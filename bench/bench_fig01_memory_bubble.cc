@@ -1,0 +1,109 @@
+// Figure 1: bubble ratio vs. peak activation memory per worker for the
+// state-of-the-art scheduling methods on Llama 13B (context 4096, p=8,
+// virtual pipeline size 2 where applicable, micro-batch size 1, n=8).
+//
+// DAPPLE/VPP/TeraPipe/SVPP points come from executable schedules measured
+// by the engine (uniform per-op costs — Figure 1 is a scheduling-theory
+// figure, not a wall-clock one); Hanayo is analytic (Table 3), exactly as
+// the paper treats it.
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "core/analytic.h"
+#include "core/svpp.h"
+#include "model/memory.h"
+#include "model/transformer.h"
+#include "sched/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace mepipe {
+namespace {
+
+constexpr int kStages = 8;
+constexpr int kVirtual = 2;
+constexpr int kMicros = 8;
+
+struct Point {
+  std::string method;
+  double bubble_ratio = 0;
+  double activation_fraction = 0;  // of A
+};
+
+// Measures an executable schedule with uniform costs; activation memory
+// is reported as retained (slice, chunk) forwards × their share of A.
+Point Measure(const std::string& name, const sched::Schedule& schedule) {
+  const int units = schedule.problem.slices * schedule.problem.num_chunks();
+  const sim::UniformCostModel costs(1.0, schedule.problem.split_backward ? 1.0 : 2.0,
+                                    1.0, 0.0, /*act_bytes=*/1);
+  const sim::SimResult result = Simulate(schedule, costs);
+  Point point;
+  point.method = name;
+  point.bubble_ratio = result.bubble_ratio;
+  point.activation_fraction =
+      static_cast<double>(result.peak_activation) / static_cast<double>(units);
+  return point;
+}
+
+std::vector<Point> BuildPoints() {
+  std::vector<Point> points;
+  points.push_back(Measure("DAPPLE", sched::OneFOneBSchedule(kStages, kMicros)));
+  points.push_back(Measure("VPP", sched::VppSchedule(kStages, kVirtual, kMicros)));
+  if (const auto hanayo =
+          core::Analyze(core::Method::kHanayo, {kStages, kVirtual, 1, kMicros})) {
+    points.push_back({"Hanayo (analytic)", hanayo->bubble_ratio, hanayo->activation_fraction});
+  }
+  points.push_back(Measure("TeraPipe s=4", sched::TeraPipeSchedule(kStages, 4, kMicros)));
+  for (int s : {4, 8}) {
+    core::SvppOptions options;
+    options.stages = kStages;
+    options.virtual_chunks = kVirtual;
+    options.slices = s;
+    options.micros = kMicros;
+    options.split_backward = false;
+    options.max_inflight = core::Table3Inflight(options);
+    points.push_back(Measure(StrFormat("MEPipe (SVPP) s=%d", s), GenerateSvpp(options)));
+  }
+  return points;
+}
+
+void EmitFigure1() {
+  const auto config = model::Llama13B();
+  const double a_gib = ToGiB(model::SampleActivationBytes(config));
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"method", "bubble_ratio", "peak_act_fraction_of_A", "peak_act_GiB"});
+  double dapple_gib = 0;
+  double svpp4_gib = 0;
+  double svpp8_gib = 0;
+  for (const Point& point : BuildPoints()) {
+    const double gib = point.activation_fraction * a_gib;
+    rows.push_back({point.method, bench::Pct(point.bubble_ratio),
+                    StrFormat("%.3f", point.activation_fraction), StrFormat("%.2f", gib)});
+    if (point.method == "DAPPLE") {
+      dapple_gib = gib;
+    } else if (point.method == "MEPipe (SVPP) s=4") {
+      svpp4_gib = gib;
+    } else if (point.method == "MEPipe (SVPP) s=8") {
+      svpp8_gib = gib;
+    }
+  }
+  bench::EmitTable(
+      StrFormat("Figure 1 — bubble ratio vs peak activation memory (Llama 13B, A = %.1f GiB)",
+                a_gib),
+      "fig01_memory_bubble", rows);
+  std::printf("memory reduction vs DAPPLE: s=4 %.0f%%, s=8 %.0f%% (paper: >70%%, >80%%)\n",
+              100.0 * (1.0 - svpp4_gib / dapple_gib), 100.0 * (1.0 - svpp8_gib / dapple_gib));
+}
+
+void BM_Figure1Points(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPoints());
+  }
+}
+BENCHMARK(BM_Figure1Points)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitFigure1)

@@ -1,0 +1,90 @@
+// Figure 8 + Table 5: end-to-end iteration time of Llama 13B on the
+// 64× RTX 4090 cluster across global batch sizes {32, 64, 128}, with the
+// grid-searched optimal parallel configuration per system (the paper's
+// own methodology, §7.1-§7.2).
+#include "bench/bench_util.h"
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe {
+namespace {
+
+using core::Method;
+
+const std::vector<Method> kSystems = {Method::kDapple, Method::kVpp, Method::kZb1p,
+                                      Method::kZbv, Method::kSvpp};
+
+void EmitFigure8() {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+
+  std::vector<std::vector<std::string>> fig8;
+  fig8.push_back({"gbs", "system", "iteration_ms", "bubble", "peak_mem_GiB", "mfu"});
+  std::vector<std::vector<std::string>> table5;
+  table5.push_back({"system", "gbs", "PP", "CP/SPP", "VP", "recompute", "note"});
+
+  for (int gbs : {32, 64, 128}) {
+    double best_other = 1e300;
+    double mepipe_time = 0;
+    for (Method method : kSystems) {
+      const auto result = core::SearchBestStrategy(method, config, cluster, gbs);
+      if (!result.best) {
+        fig8.push_back({std::to_string(gbs), ToString(method), "infeasible", "-", "-", "-"});
+        table5.push_back({ToString(method), std::to_string(gbs), "-", "-", "-", "-", "OOM"});
+        continue;
+      }
+      const auto& b = *result.best;
+      fig8.push_back({std::to_string(gbs), ToString(method), bench::Ms(b.iteration_time),
+                      bench::Pct(b.bubble_ratio), StrFormat("%.1f", ToGiB(b.peak_memory)),
+                      bench::Pct(b.mfu)});
+      const int slice = std::max(b.strategy.cp, b.strategy.spp);
+      table5.push_back({ToString(method), std::to_string(gbs), std::to_string(b.strategy.pp),
+                        std::to_string(slice), std::to_string(b.strategy.vp),
+                        b.strategy.recompute ? "yes" : "no", "ok"});
+      if (method == Method::kSvpp) {
+        mepipe_time = b.iteration_time;
+      } else {
+        best_other = std::min(best_other, b.iteration_time);
+      }
+    }
+    if (mepipe_time > 0 && best_other < 1e300) {
+      std::printf("GBS=%d: MEPipe speedup over best baseline: %.2fx\n", gbs,
+                  best_other / mepipe_time);
+    }
+  }
+  bench::EmitTable("Figure 8 — Llama 13B iteration time vs global batch size",
+                   "fig08_e2e_gbs", fig8);
+  bench::EmitTable("Table 5 — optimal parallel configurations", "table5_configs", table5);
+}
+
+void BM_PlanMepipe(benchmark::State& state) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const int gbs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::SearchBestStrategy(Method::kSvpp, config, cluster, gbs);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PlanMepipe)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateBestIteration(benchmark::State& state) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  core::Strategy strategy;
+  strategy.method = Method::kSvpp;
+  strategy.pp = 8;
+  strategy.dp = 8;
+  strategy.spp = 4;
+  for (auto _ : state) {
+    auto result = core::SimulateIteration(config, strategy, cluster, 128);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SimulateBestIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitFigure8)

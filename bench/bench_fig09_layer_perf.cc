@@ -1,0 +1,101 @@
+// Figure 9: measured performance of one Llama 13B transformer layer as
+// the sample is cut into 1/2/4/8 pieces by context parallelism (CP,
+// which pays KV-exchange communication) versus sequence pipeline
+// parallelism (SPP, which pays only kernel-shape efficiency).
+//
+// The paper's claims reproduced here: SPP=8 loses ≈12.6% of layer
+// throughput; CP loses strictly more at every size (claim C2).
+#include "bench/bench_util.h"
+#include "hw/cluster.h"
+#include "hw/comm_model.h"
+#include "hw/efficiency.h"
+#include "model/flops.h"
+#include "model/transformer.h"
+
+namespace mepipe {
+namespace {
+
+struct LayerPerf {
+  Seconds time_per_layer = 0;   // per whole sample, per GPU-visible work
+  double relative = 1.0;        // vs size=1
+};
+
+// Per-GPU time to push one whole sample through one transformer layer.
+Seconds SppLayerTime(const model::TransformerConfig& config, int spp,
+                     const hw::ClusterSpec& cluster, const hw::EfficiencyModel& eff) {
+  Seconds total = 0;
+  for (const model::SliceSpan& span : model::UniformSlices(config.seq_len, spp)) {
+    const model::LayerFlops flops = ForwardLayerFlops(config, span);
+    total += eff.KernelTime(flops.total(), cluster.gpu, config, span.tokens);
+  }
+  return total;
+}
+
+// Per-GPU time for a CP rank's share of one layer (tokens/cp + the KV
+// ring exchange), normalized back to whole-sample work by ×cp.
+Seconds CpLayerTime(const model::TransformerConfig& config, int cp,
+                    const hw::ClusterSpec& cluster, const hw::EfficiencyModel& eff) {
+  const hw::CommModel comm(cluster);
+  const std::int64_t tokens = config.seq_len / cp;
+  const model::LayerFlops whole = ForwardLayerFlops(config, {0, config.seq_len});
+  const Flops rank_flops = whole.gemm / cp + whole.attention / cp;
+  const hw::ParallelLayout layout{8, 64 / 8 / cp, cp, 1};
+  const Seconds compute = eff.KernelTime(rank_flops, cluster.gpu, config, tokens);
+  const Seconds exchange = comm.CpKvExchangePerLayer(config, tokens, layout);
+  return (compute + exchange) * cp;  // whole-sample equivalent
+}
+
+void EmitFigure9() {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const hw::EfficiencyModel eff;
+
+  const Seconds base = SppLayerTime(config, 1, cluster, eff);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"size", "SPP_layer_ms", "SPP_relative_perf", "CP_layer_ms",
+                  "CP_relative_perf"});
+  double spp8_rel = 1.0;
+  for (int size : {1, 2, 4, 8}) {
+    const Seconds spp = SppLayerTime(config, size, cluster, eff);
+    const Seconds cp = CpLayerTime(config, size, cluster, eff);
+    const double spp_rel = base / spp;
+    const double cp_rel = base / cp;
+    if (size == 8) {
+      spp8_rel = spp_rel;
+    }
+    rows.push_back({std::to_string(size), StrFormat("%.2f", ToMilliseconds(spp)),
+                    StrFormat("%.3f", spp_rel), StrFormat("%.2f", ToMilliseconds(cp)),
+                    StrFormat("%.3f", cp_rel)});
+  }
+  bench::EmitTable("Figure 9 — transformer-layer performance vs CP/SPP size (Llama 13B)",
+                   "fig09_layer_perf", rows);
+  std::printf("SPP=8 degradation: %.1f%% (paper: 12.6%%); CP is worse at every size.\n",
+              100.0 * (1.0 - spp8_rel));
+}
+
+void BM_SppLayer(benchmark::State& state) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const hw::EfficiencyModel eff;
+  const int spp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SppLayerTime(config, spp, cluster, eff));
+  }
+}
+BENCHMARK(BM_SppLayer)->Arg(1)->Arg(8);
+
+void BM_CpLayer(benchmark::State& state) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const hw::EfficiencyModel eff;
+  const int cp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CpLayerTime(config, cp, cluster, eff));
+  }
+}
+BENCHMARK(BM_CpLayer)->Arg(2)->Arg(8);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitFigure9)

@@ -1,0 +1,75 @@
+// Figure 10 + Table 8: iteration time of Llama 7B/13B/34B at global
+// batch size 128 on the 64× RTX 4090 cluster, each system grid-searched
+// to its optimal configuration (§7.4).
+#include "bench/bench_util.h"
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe {
+namespace {
+
+using core::Method;
+
+const std::vector<Method> kSystems = {Method::kDapple, Method::kVpp, Method::kZb1p,
+                                      Method::kZbv, Method::kSvpp};
+
+void EmitFigure10() {
+  const auto cluster = hw::Rtx4090Cluster();
+  const int gbs = 128;
+
+  std::vector<std::vector<std::string>> fig10;
+  fig10.push_back({"model", "system", "iteration_ms", "bubble", "mfu", "tflops_per_gpu"});
+  std::vector<std::vector<std::string>> table8;
+  table8.push_back({"system", "model", "PP", "CP/SPP", "VP", "recompute", "note"});
+
+  for (const std::string size : {"7B", "13B", "34B"}) {
+    const auto config = model::LlamaBySize(size);
+    double best_other = 1e300;
+    double mepipe_time = 0;
+    for (Method method : kSystems) {
+      const auto result = core::SearchBestStrategy(method, config, cluster, gbs);
+      if (!result.best) {
+        fig10.push_back({size, ToString(method), "infeasible", "-", "-", "-"});
+        table8.push_back({ToString(method), size, "-", "-", "-", "-", "OOM"});
+        continue;
+      }
+      const auto& b = *result.best;
+      fig10.push_back({size, ToString(method), bench::Ms(b.iteration_time),
+                       bench::Pct(b.bubble_ratio), bench::Pct(b.mfu),
+                       StrFormat("%.1f", b.per_gpu_flops / 1e12)});
+      table8.push_back({ToString(method), size, std::to_string(b.strategy.pp),
+                        std::to_string(std::max(b.strategy.cp, b.strategy.spp)),
+                        std::to_string(b.strategy.vp), b.strategy.recompute ? "yes" : "no",
+                        "ok"});
+      if (method == Method::kSvpp) {
+        mepipe_time = b.iteration_time;
+      } else {
+        best_other = std::min(best_other, b.iteration_time);
+      }
+    }
+    if (mepipe_time > 0 && best_other < 1e300) {
+      std::printf("%s: MEPipe speedup over best baseline: %.2fx\n", size.c_str(),
+                  best_other / mepipe_time);
+    }
+  }
+  bench::EmitTable("Figure 10 — iteration time vs model size (GBS 128)", "fig10_model_size",
+                   fig10);
+  bench::EmitTable("Table 8 — optimal parallel configurations per model size",
+                   "table8_configs", table8);
+}
+
+void BM_Plan34B(benchmark::State& state) {
+  const auto config = model::Llama34B();
+  const auto cluster = hw::Rtx4090Cluster();
+  for (auto _ : state) {
+    auto result = core::SearchBestStrategy(Method::kSvpp, config, cluster, 128);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Plan34B)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitFigure10)

@@ -1,0 +1,76 @@
+// Micro-benchmarks of the library's own machinery (not a paper artifact):
+// SVPP schedule generation and discrete-event execution throughput, so
+// regressions in the scheduler itself are visible.
+#include "bench/bench_util.h"
+#include "core/svpp.h"
+#include "sched/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace mepipe {
+namespace {
+
+void EmitHeader() {
+  std::printf("\n=== Scheduler micro-benchmarks (library performance, not a paper table) ===\n");
+}
+
+void BM_GenerateSvpp(benchmark::State& state) {
+  core::SvppOptions options;
+  options.stages = static_cast<int>(state.range(0));
+  options.slices = static_cast<int>(state.range(1));
+  options.micros = static_cast<int>(state.range(2));
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    auto schedule = GenerateSvpp(options);
+    ops += static_cast<std::int64_t>(schedule.stage_ops.size() * schedule.stage_ops[0].size());
+    benchmark::DoNotOptimize(schedule);
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_GenerateSvpp)
+    ->Args({4, 2, 8})
+    ->Args({8, 4, 16})
+    ->Args({8, 8, 32})
+    ->Args({16, 16, 32})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateOneFOneB(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::OneFOneBSchedule(p, n));
+  }
+}
+BENCHMARK(BM_GenerateOneFOneB)->Args({8, 32})->Args({16, 64})->Unit(benchmark::kMillisecond);
+
+void BM_SimulateSchedule(benchmark::State& state) {
+  core::SvppOptions options;
+  options.stages = 8;
+  options.slices = 8;
+  options.micros = static_cast<int>(state.range(0));
+  const auto schedule = GenerateSvpp(options);
+  const sim::UniformCostModel costs(1.0, 1.0, 1.0, 0.05, 8, 3, 35);
+  sim::EngineOptions engine;
+  engine.wgrad_mode = sim::WgradMode::kFillGemms;
+  std::int64_t spans = 0;
+  for (auto _ : state) {
+    auto result = Simulate(schedule, costs, engine);
+    spans += static_cast<std::int64_t>(result.timeline.size());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(spans);
+}
+BENCHMARK(BM_SimulateSchedule)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ValidateSchedule(benchmark::State& state) {
+  const auto schedule = sched::OneFOneBSchedule(8, 64);
+  for (auto _ : state) {
+    ValidateSchedule(schedule);
+  }
+}
+BENCHMARK(BM_ValidateSchedule)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitHeader)

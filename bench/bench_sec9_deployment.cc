@@ -1,0 +1,60 @@
+// §9 (Discussion), made quantitative: the deployment economics of
+// training on cheap accelerators —
+//   1. expected cluster-time overhead from hardware failures with
+//      memory-based checkpointing (paper: < 5% at 1000 RTX 4090s);
+//   2. electric operating cost of both clusters;
+//   3. the acquisition-vs-electricity parity horizon (paper: ≈ 24 years
+//      for the A100 fleet to catch up).
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "hw/cluster.h"
+
+namespace mepipe {
+namespace {
+
+void EmitDeployment() {
+  const auto rtx = hw::Rtx4090Cluster();
+  const auto a100 = hw::A100Cluster();
+
+  // 1. Failure overhead vs fleet size.
+  std::vector<std::vector<std::string>> reliability;
+  reliability.push_back({"gpus", "failure_overhead"});
+  for (int gpus : {64, 256, 1024, 4096}) {
+    reliability.push_back(
+        {std::to_string(gpus), bench::Pct(core::FailureOverheadFraction(gpus))});
+  }
+  bench::EmitTable("§9.1 — expected failure + checkpoint overhead", "sec9_reliability",
+                   reliability);
+  std::printf("paper's estimate at ~1000 GPUs: < 5%%\n");
+
+  // 2 & 3. Operating cost and parity horizon.
+  std::vector<std::vector<std::string>> cost;
+  cost.push_back({"cluster", "acquisition_usd", "power_usd_per_day", "tco_1y_usd",
+                  "tco_5y_usd"});
+  for (const auto* cluster : {&a100, &rtx}) {
+    const double day = core::OperatingCostUsd(*cluster, 24.0 * 3600.0);
+    cost.push_back({cluster->gpu.name,
+                    StrFormat("%.0f", cluster->nodes * cluster->gpu.server_price_usd),
+                    StrFormat("%.0f", day),
+                    StrFormat("%.0f", core::TotalCostUsd(*cluster, 1.0)),
+                    StrFormat("%.0f", core::TotalCostUsd(*cluster, 5.0))});
+  }
+  bench::EmitTable("§9.3 — acquisition and operating cost", "sec9_cost", cost);
+
+  const double parity = core::CostParityYears(rtx, a100);
+  std::printf("cost parity horizon: %.1f years of continuous operation before the\n"
+              "A100 cluster's lower power bill cancels its 5x acquisition premium\n"
+              "(paper: ~24 years).\n", parity);
+}
+
+void BM_FailureOverhead(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FailureOverheadFraction(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_FailureOverhead)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitDeployment)

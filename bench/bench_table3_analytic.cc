@@ -1,0 +1,122 @@
+// Table 3: closed-form bubble ratio and activation memory of every
+// scheduling method, in both regimes (n ≥ p and n < p), cross-checked
+// against the discrete-event simulator under the table's assumptions.
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "core/analytic.h"
+#include "core/svpp.h"
+#include "sched/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace mepipe {
+namespace {
+
+using core::AnalyticInput;
+using core::Method;
+
+std::optional<double> SimulatedBubble(Method method, const AnalyticInput& in) {
+  sched::Schedule schedule;
+  switch (method) {
+    case Method::kGPipe:
+      schedule = sched::GPipeSchedule(in.p, in.n);
+      break;
+    case Method::kDapple:
+      schedule = sched::OneFOneBSchedule(in.p, in.n);
+      break;
+    case Method::kVpp:
+      if (in.n % in.p != 0) {
+        return std::nullopt;
+      }
+      schedule = sched::VppSchedule(in.p, in.v, in.n);
+      break;
+    case Method::kTeraPipe:
+      schedule = sched::TeraPipeSchedule(in.p, in.s, in.n);
+      break;
+    case Method::kSvpp: {
+      core::SvppOptions options;
+      options.stages = in.p;
+      options.virtual_chunks = in.v;
+      options.slices = in.s;
+      options.micros = in.n;
+      options.split_backward = false;
+      schedule = GenerateSvpp(options);
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  // B=F regime for slice schedules (MEPipe splits B/W), B=2F otherwise.
+  const sim::UniformCostModel costs(1.0, in.s > 1 ? 1.0 : 2.0, 0.0, 0.0);
+  return Simulate(schedule, costs).bubble_ratio;
+}
+
+void EmitTable3() {
+  struct Row {
+    Method method;
+    AnalyticInput input;
+  };
+  const std::vector<Row> cases = {
+      // Small cluster (n >= p).
+      {Method::kGPipe, {8, 1, 1, 16}},
+      {Method::kDapple, {8, 1, 1, 16}},
+      {Method::kVpp, {8, 2, 1, 16}},
+      {Method::kHanayo, {8, 2, 1, 16}},
+      {Method::kTeraPipe, {8, 1, 4, 16}},
+      {Method::kSvpp, {8, 1, 4, 16}},
+      {Method::kSvpp, {8, 2, 4, 16}},
+      // Large cluster (n < p).
+      {Method::kDapple, {8, 1, 1, 4}},
+      {Method::kHanayo, {8, 2, 1, 4}},
+      {Method::kTeraPipe, {8, 1, 4, 4}},
+      {Method::kSvpp, {8, 1, 4, 4}},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"method", "p", "v", "s", "n", "regime", "bubble_analytic", "bubble_simulated",
+                  "activation_fraction_of_A"});
+  for (const Row& row : cases) {
+    const auto analytic = core::Analyze(row.method, row.input);
+    if (!analytic) {
+      continue;
+    }
+    const auto simulated = SimulatedBubble(row.method, row.input);
+    rows.push_back({ToString(row.method), std::to_string(row.input.p),
+                    std::to_string(row.input.v), std::to_string(row.input.s),
+                    std::to_string(row.input.n),
+                    row.input.n >= row.input.p ? "n>=p" : "n<p",
+                    bench::Pct(analytic->bubble_ratio),
+                    simulated ? bench::Pct(*simulated) : "(analytic only)",
+                    StrFormat("%.3f", analytic->activation_fraction)});
+  }
+  bench::EmitTable("Table 3 — analytic bubble ratio & activation memory", "table3_analytic",
+                   rows);
+  std::printf(
+      "note: simulated SVPP bubbles use the Table 3 variant ceiling; slice\n"
+      "rows are checked at B=F (split-B/W regime). See EXPERIMENTS.md.\n");
+}
+
+void BM_AnalyzeAllRows(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int n : {4, 16, 64}) {
+      for (Method m : {Method::kGPipe, Method::kDapple, Method::kVpp, Method::kHanayo,
+                       Method::kTeraPipe, Method::kSvpp}) {
+        benchmark::DoNotOptimize(core::Analyze(m, {8, 2, 4, n}));
+      }
+    }
+  }
+}
+BENCHMARK(BM_AnalyzeAllRows);
+
+void BM_SimulatedSvppCrossCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulatedBubble(Method::kSvpp, {8, 1, 4, 16}));
+  }
+}
+BENCHMARK(BM_SimulatedSvppCrossCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitTable3)

@@ -1,0 +1,56 @@
+// Table 6: influence of pipeline-parallel size on DAPPLE for Llama 13B
+// at global batch size 64 — (PP, DP, CP) ∈ {(2,4,8), (4,4,4), (8,4,2)}.
+// PP=2 exceeds device memory; larger PP raises the bubble ratio but cuts
+// static memory and parameter-sync traffic, so PP=8 wins.
+#include "bench/bench_util.h"
+#include "core/iteration.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe {
+namespace {
+
+core::Strategy Dapple(int pp, int dp, int cp) {
+  core::Strategy s;
+  s.method = core::Method::kDapple;
+  s.pp = pp;
+  s.dp = dp;
+  s.cp = cp;
+  return s;
+}
+
+void EmitTable6() {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const int gbs = 64;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"(PP,DP,CP)", "bubble_ratio", "iteration_time_ms", "peak_mem_GiB"});
+  for (const auto& [pp, dp, cp] :
+       std::vector<std::tuple<int, int, int>>{{2, 4, 8}, {4, 4, 4}, {8, 4, 2}}) {
+    const auto result = core::SimulateIteration(config, Dapple(pp, dp, cp), cluster, gbs);
+    rows.push_back({StrFormat("(%d,%d,%d)", pp, dp, cp),
+                    result.micros > 0 ? bench::Pct(result.bubble_ratio) : "-",
+                    result.feasible ? bench::Ms(result.iteration_time) : "OOM",
+                    StrFormat("%.1f", ToGiB(result.peak_memory))});
+  }
+  bench::EmitTable("Table 6 — influence of PP on DAPPLE (Llama 13B, GBS 64)", "table6_pp",
+                   rows);
+}
+
+void BM_DapplePpSweep(benchmark::State& state) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const int pp = static_cast<int>(state.range(0));
+  const int cp = 16 / pp;
+  for (auto _ : state) {
+    auto result = core::SimulateIteration(config, Dapple(pp, 4, cp), cluster, 64);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DapplePpSweep)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitTable6)

@@ -1,0 +1,60 @@
+// Table 7: influence of context-parallel size on DAPPLE for Llama 13B at
+// global batch size 32 — (PP,DP,CP) ∈ {(8,8,1), (8,4,2), (8,2,4)}.
+// CP=2 wins: the bubble reduction (more micro-batches per replica)
+// outweighs the KV-exchange overhead; CP=4's communication dominates.
+#include "bench/bench_util.h"
+#include "core/analytic.h"
+#include "core/iteration.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe {
+namespace {
+
+core::Strategy Dapple(int pp, int dp, int cp) {
+  core::Strategy s;
+  s.method = core::Method::kDapple;
+  s.pp = pp;
+  s.dp = dp;
+  s.cp = cp;
+  return s;
+}
+
+void EmitTable7() {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const int gbs = 32;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"(PP,DP,CP)", "n", "bubble_analytic", "bubble_simulated",
+                  "iteration_time_ms"});
+  for (const auto& [pp, dp, cp] :
+       std::vector<std::tuple<int, int, int>>{{8, 8, 1}, {8, 4, 2}, {8, 2, 4}}) {
+    const auto result = core::SimulateIteration(config, Dapple(pp, dp, cp), cluster, gbs);
+    const auto analytic = core::Analyze(core::Method::kDapple, {pp, 1, 1, gbs / dp});
+    rows.push_back({StrFormat("(%d,%d,%d)", pp, dp, cp), std::to_string(gbs / dp),
+                    analytic ? bench::Pct(analytic->bubble_ratio) : "-",
+                    result.micros > 0 ? bench::Pct(result.bubble_ratio) : "-",
+                    result.feasible ? bench::Ms(result.iteration_time) : result.note});
+  }
+  bench::EmitTable("Table 7 — influence of CP on DAPPLE (Llama 13B, GBS 32)", "table7_cp",
+                   rows);
+  std::printf("paper analytic bubbles: 63.6%% / 46.7%% / 30.4%% — reproduced exactly by the\n"
+              "closed form; the measured column adds communication effects.\n");
+}
+
+void BM_DappleCpSweep(benchmark::State& state) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const int cp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::SimulateIteration(config, Dapple(8, 8 / cp, cp), cluster, 32);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DappleCpSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitTable7)

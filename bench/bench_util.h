@@ -1,0 +1,54 @@
+// Shared helpers for the paper-reproduction bench binaries: each binary
+// regenerates one table/figure of the paper, printing the rows in the
+// paper's shape and dropping a CSV next to the binary for plotting, then
+// runs its google-benchmark cases.
+#ifndef MEPIPE_BENCH_BENCH_UTIL_H_
+#define MEPIPE_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "trace/csv.h"
+
+namespace mepipe::bench {
+
+// Prints a titled fixed-width table and writes it as CSV to
+// `<csv_name>.csv` in the working directory.
+inline void EmitTable(const std::string& title, const std::string& csv_name,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n=== %s ===\n%s", title.c_str(), RenderTable(rows).c_str());
+  if (rows.empty()) {
+    return;
+  }
+  trace::CsvWriter csv(rows.front());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    csv.AddRow(rows[i]);
+  }
+  const std::string path = csv_name + ".csv";
+  csv.WriteFile(path);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+inline std::string Ms(double seconds) { return StrFormat("%.1f", seconds * 1e3); }
+inline std::string Pct(double fraction) { return StrFormat("%.1f%%", fraction * 100.0); }
+
+}  // namespace mepipe::bench
+
+// Standard main: emit the paper artifact first, then run benchmark cases.
+#define MEPIPE_BENCH_MAIN(emit_fn)                         \
+  int main(int argc, char** argv) {                        \
+    emit_fn();                                             \
+    ::benchmark::Initialize(&argc, argv);                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                            \
+    }                                                      \
+    ::benchmark::RunSpecifiedBenchmarks();                 \
+    ::benchmark::Shutdown();                               \
+    return 0;                                              \
+  }
+
+#endif  // MEPIPE_BENCH_BENCH_UTIL_H_

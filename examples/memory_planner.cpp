@@ -1,0 +1,86 @@
+// Memory-planner scenario (§4.5): for a model and a parallel layout,
+// walk the SVPP variant space — how many forward passes can be admitted
+// before the first backward within the device's memory — and show the
+// memory/bubble trade-off of Figure 5, plus the automatic variant the
+// library would pick.
+//
+//   $ ./memory_planner [7B|13B|34B] [pp] [spp]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/format.h"
+#include "core/iteration.h"
+#include "core/memory_model.h"
+#include "core/svpp.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+int main(int argc, char** argv) {
+  using namespace mepipe;
+
+  const std::string size = argc > 1 ? argv[1] : "13B";
+  const int pp = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int spp = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  const auto config = model::LlamaBySize(size);
+  const auto cluster = hw::Rtx4090Cluster();
+  const int dp = cluster.world_size() / pp;
+
+  core::Strategy strategy;
+  strategy.method = core::Method::kSvpp;
+  strategy.pp = pp;
+  strategy.dp = dp;
+  strategy.spp = spp;
+
+  sched::PipelineProblem problem;
+  problem.stages = pp;
+  problem.slices = spp;
+  problem.micros = 128 / dp;
+  problem.split_backward = true;
+
+  const core::TrainingCostModel costs(config, strategy, cluster, problem);
+  core::SvppOptions svpp;
+  svpp.stages = pp;
+  svpp.slices = spp;
+  svpp.micros = problem.micros;
+
+  std::printf("Memory plan for %s, pp=%d, dp=%d, spp=%d on %s (%s usable)\n\n",
+              config.name.c_str(), pp, dp, spp, cluster.gpu.name.c_str(),
+              FormatBytes(cluster.gpu.usable_memory()).c_str());
+  std::printf("static memory (worst stage) : %s\n",
+              FormatBytes(costs.MaxStaticMemory()).c_str());
+  std::printf("per-forward activation unit : %s\n",
+              FormatBytes(costs.PerForwardActivationBytes()).c_str());
+
+  const core::VariantDecision decision = ChooseSvppVariant(costs, svpp, cluster.gpu);
+  if (!decision.feasible) {
+    std::printf("\nNo feasible SVPP variant: %s\n", decision.reason.c_str());
+    return 1;
+  }
+  std::printf("activation budget           : %s\n",
+              FormatBytes(decision.activation_budget).c_str());
+  std::printf("chosen variant f            : %d  (floor %d, Table 3 %d, ceiling %d)\n\n",
+              decision.f, MinInflight(svpp), Table3Inflight(svpp), MaxUsefulInflight(svpp));
+
+  // Sweep the variants: memory up, bubble down (Figure 5's trade-off).
+  std::printf("%-6s %-14s %-12s %-14s\n", "f", "iteration_ms", "bubble", "peak_mem");
+  core::IterationOptions options;
+  options.keep_timeline = false;
+  for (int f = MinInflight(svpp); f <= std::min(decision.f, MaxUsefulInflight(svpp));
+       f = f + std::max(1, (decision.f - MinInflight(svpp)) / 6)) {
+    options.svpp_inflight = f;
+    const auto result = SimulateIteration(config, strategy, cluster, 128, options);
+    if (!result.feasible) {
+      std::printf("%-6d %s\n", f, result.note.c_str());
+      continue;
+    }
+    std::printf("%-6d %-14.1f %-12s %-14s\n", f, ToMilliseconds(result.iteration_time),
+                StrFormat("%.1f%%", 100.0 * result.bubble_ratio).c_str(),
+                FormatBytes(result.peak_memory).c_str());
+  }
+  std::printf("\nSmaller f delays forwards past the first backward (Figure 5's\n"
+              "variants): less memory, more bubbles. The automatic pick is the\n"
+              "largest f that fits the budget.\n");
+  return 0;
+}

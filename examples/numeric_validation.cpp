@@ -1,0 +1,74 @@
+// Numeric validation: demonstrates on a real (tiny) transformer that
+// slice-level execution — the thing MEPipe schedules — computes exactly
+// the same gradients as whole-sequence execution, for any slicing, with
+// weight gradients optionally deferred per GEMM (§5).
+//
+//   $ ./numeric_validation [slices]
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "model/flops.h"
+#include "model/slicing.h"
+#include "ref/ref_model.h"
+
+int main(int argc, char** argv) {
+  using namespace mepipe;
+  const int slices = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  ref::RefConfig config;
+  config.hidden = 48;
+  config.ffn = 96;
+  config.layers = 3;
+  config.heads = 4;
+  config.vocab = 101;
+  config.seq_len = 24;
+
+  const ref::RefModel model(config, /*seed=*/2025);
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::int64_t> dist(0, config.vocab - 1);
+  std::vector<std::int64_t> tokens(static_cast<std::size_t>(config.seq_len));
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(config.seq_len));
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    tokens[i] = dist(rng);
+    targets[i] = dist(rng);
+  }
+
+  std::printf("tiny transformer: h=%lld, layers=%lld, heads=%lld, L=%lld, s=%d\n\n",
+              static_cast<long long>(config.hidden), static_cast<long long>(config.layers),
+              static_cast<long long>(config.heads), static_cast<long long>(config.seq_len),
+              slices);
+
+  const auto whole = model.TrainStepWhole(tokens, targets);
+  std::printf("whole-sequence execution:      loss = %.6f\n", whole.loss);
+
+  const auto uniform_spans = model::UniformSlices(config.seq_len, slices);
+  const auto sliced = model.TrainStepSliced(tokens, targets, uniform_spans, /*defer=*/false);
+  std::printf("sliced (uniform, inline W):    loss = %.6f   max |Δgrad| = %.2e\n", sliced.loss,
+              ref::Weights::MaxAbsDiff(sliced.grads, whole.grads));
+
+  const auto deferred = model.TrainStepSliced(tokens, targets, uniform_spans, /*defer=*/true);
+  std::printf("sliced (uniform, deferred W):  loss = %.6f   max |Δgrad| = %.2e\n",
+              deferred.loss, ref::Weights::MaxAbsDiff(deferred.grads, whole.grads));
+
+  // TeraPipe-style balanced (non-uniform) slicing also matches: slicing
+  // geometry is irrelevant to the math.
+  model::TransformerConfig mcfg;
+  mcfg.hidden = config.hidden;
+  mcfg.ffn_hidden = config.ffn;
+  mcfg.layers = config.layers;
+  mcfg.heads = config.heads;
+  mcfg.kv_heads = config.heads;
+  mcfg.seq_len = config.seq_len;
+  const auto balanced_spans = model::BalancedSlices(mcfg, config.seq_len, slices);
+  const auto balanced =
+      model.TrainStepSliced(tokens, targets, balanced_spans, /*defer=*/true);
+  std::printf("sliced (balanced, deferred W): loss = %.6f   max |Δgrad| = %.2e\n",
+              balanced.loss, ref::Weights::MaxAbsDiff(balanced.grads, whole.grads));
+
+  std::printf(
+      "\nAll variants agree to float tolerance: the dependencies MEPipe's\n"
+      "scheduler encodes (F(t) after F(t-1); B(t) after B(t+1); W after B)\n"
+      "are exactly what the K/V cache and dK/dV accumulators require.\n");
+  return 0;
+}

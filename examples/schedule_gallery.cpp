@@ -1,0 +1,106 @@
+// Schedule gallery: renders the pipeline diagrams of the paper's
+// Figures 2-6 as ASCII timelines — every baseline plus the SVPP memory
+// variants — so the scheduling differences are visible at a glance.
+//
+//   $ ./schedule_gallery
+#include <cstdio>
+
+#include "core/svpp.h"
+#include "sched/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "trace/ascii.h"
+
+namespace {
+
+using namespace mepipe;
+
+void Show(const char* caption, const sched::Schedule& schedule, double b_time = 2.0) {
+  const sim::UniformCostModel costs(1.0, b_time, 1.0, 0.02);
+  sim::EngineOptions engine;
+  engine.wgrad_mode = sim::WgradMode::kFillGemms;
+  const sim::SimResult result = Simulate(schedule, costs, engine);
+  std::printf("\n--- %s (%s) ---\n", caption, schedule.method.c_str());
+  std::printf("%s", trace::RenderTimeline(result, schedule.problem.stages, 100).c_str());
+  std::printf("bubble %.1f%%  peak retained %lld units\n", 100.0 * result.bubble_ratio,
+              static_cast<long long>(result.peak_activation));
+}
+
+}  // namespace
+
+int main() {
+  const int p = 4;
+  const int n = 4;
+
+  std::printf("Pipeline schedule gallery: p=%d stages, n=%d micro-batches.\n", p, n);
+  std::printf("Digits are forward passes (micro id), letters backward, '.' weight-grad.\n");
+
+  // Figure 2 — 1F1B (DAPPLE).
+  Show("Figure 2: 1F1B / DAPPLE", sched::OneFOneBSchedule(p, n));
+
+  // GPipe, for contrast (§2.1).
+  Show("GPipe (all-F-then-all-B)", sched::GPipeSchedule(p, n));
+
+  // Figure 3 — TeraPipe: slice-level GPipe ordering.
+  Show("Figure 3: TeraPipe, s=2", sched::TeraPipeSchedule(p, 2, n));
+
+  // Megatron interleaved VPP.
+  Show("Megatron VPP, v=2", sched::VppSchedule(p, 2, n));
+
+  // Figure 4(a) — SVPP, v=1, s=2.
+  {
+    core::SvppOptions options;
+    options.stages = p;
+    options.slices = 2;
+    options.micros = n;
+    options.split_backward = false;
+    options.max_inflight = core::Table3Inflight(options);
+    Show("Figure 4(a): SVPP v=1 s=2", GenerateSvpp(options));
+  }
+
+  // Figure 4(b) — SVPP, v=2, s=2.
+  {
+    core::SvppOptions options;
+    options.stages = p;
+    options.virtual_chunks = 2;
+    options.slices = 2;
+    options.micros = n;
+    options.split_backward = false;
+    options.max_inflight = core::Table3Inflight(options);
+    Show("Figure 4(b): SVPP v=2 s=2", GenerateSvpp(options));
+  }
+
+  // Figure 5 — the memory variants: f from the floor up.
+  {
+    core::SvppOptions options;
+    options.stages = p;
+    options.virtual_chunks = 2;
+    options.slices = 2;
+    options.micros = 2;
+    options.split_backward = false;
+    const int floor = core::MinInflight(options);
+    for (int f : {floor, floor + 2, core::Table3Inflight(options)}) {
+      options.max_inflight = f;
+      Show(f == floor ? "Figure 5(c): minimal-memory variant"
+                      : (f == core::Table3Inflight(options)
+                             ? "Figure 5(a): lowest-bubble variant"
+                             : "Figure 5(b): intermediate variant"),
+           GenerateSvpp(options));
+    }
+  }
+
+  // Zero-bubble baselines with deferred W (engine fills the tail).
+  Show("ZB-1P (split B/W, deferred W)", sched::Zb1pSchedule(p, n), 1.0);
+  Show("ZBV (V-shape chunks)", sched::ZbvSchedule(p, n), 1.0);
+
+  // MEPipe proper: SVPP + fine-grained W.
+  {
+    core::SvppOptions options;
+    options.stages = p;
+    options.slices = 2;
+    options.micros = n;
+    options.split_backward = true;
+    Show("MEPipe: SVPP + fine-grained weight gradients", GenerateSvpp(options), 1.0);
+  }
+  return 0;
+}

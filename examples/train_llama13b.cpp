@@ -1,0 +1,73 @@
+// End-to-end scenario (the paper's E1): find the optimal parallel
+// strategy for every system on Llama 13B over the 64× RTX 4090 cluster,
+// simulate a training iteration, and report the Figure-8-style
+// comparison. Optionally dumps the winning MEPipe timeline as a Chrome
+// trace for inspection in Perfetto.
+//
+//   $ ./train_llama13b [gbs] [trace.json]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "trace/ascii.h"
+#include "trace/chrome_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace mepipe;
+  using core::Method;
+
+  const int gbs = argc > 1 ? std::atoi(argv[1]) : 64;
+  const char* trace_path = argc > 2 ? argv[2] : nullptr;
+
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  std::printf("Training %s on %d x %s (global batch %d, seq len %lld)\n\n", config.name.c_str(),
+              cluster.world_size(), cluster.gpu.name.c_str(), gbs,
+              static_cast<long long>(config.seq_len));
+
+  std::optional<core::IterationResult> mepipe;
+  double best_other = 1e300;
+  for (Method method : {Method::kDapple, Method::kVpp, Method::kZb1p, Method::kZbv,
+                        Method::kSvpp}) {
+    const auto result = core::SearchBestStrategy(method, config, cluster, gbs);
+    if (!result.best) {
+      std::printf("%-8s no feasible configuration (%zu tried)\n", ToString(method),
+                  result.evaluated.size());
+      continue;
+    }
+    const auto& b = *result.best;
+    std::printf("%-8s %-32s iter %8.1f ms  bubble %5.1f%%  peak %6.1f GiB  MFU %5.1f%%\n",
+                ToString(method), b.strategy.ToString().c_str(),
+                ToMilliseconds(b.iteration_time), 100.0 * b.bubble_ratio,
+                ToGiB(b.peak_memory), 100.0 * b.mfu);
+    if (method == Method::kSvpp) {
+      mepipe = b;
+    } else {
+      best_other = std::min(best_other, b.iteration_time);
+    }
+  }
+
+  if (!mepipe) {
+    std::printf("\nMEPipe found no feasible configuration.\n");
+    return 1;
+  }
+  if (best_other < 1e300) {
+    std::printf("\nMEPipe speedup over the best baseline: %.2fx\n",
+                best_other / mepipe->iteration_time);
+  }
+  std::printf("tokens/s: %.0f   achieved %.1f TFLOPS/GPU\n",
+              static_cast<double>(gbs) * static_cast<double>(config.seq_len) /
+                  mepipe->iteration_time,
+              mepipe->per_gpu_flops / 1e12);
+
+  std::printf("\nMEPipe pipeline timeline:\n%s",
+              trace::RenderTimeline(mepipe->sim, mepipe->strategy.pp, 110).c_str());
+
+  if (trace_path != nullptr) {
+    trace::WriteChromeTrace(mepipe->sim, trace_path);
+    std::printf("Chrome trace written to %s (open in ui.perfetto.dev)\n", trace_path);
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+namespace mepipe::internal {
+
+void FailCheck(const char* file, int line, const char* condition,
+               const std::string& message) {
+  std::ostringstream out;
+  out << "Check failed at " << file << ":" << line << ": " << condition;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw CheckError(out.str());
+}
+
+}  // namespace mepipe::internal

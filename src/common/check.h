@@ -1,0 +1,72 @@
+// Lightweight runtime-check macros used throughout the library.
+//
+// Checks are always on (they guard scheduling invariants whose violation
+// would silently corrupt simulation results), and failures throw
+// mepipe::CheckError so that tests can assert on them and library users
+// can recover.
+#ifndef MEPIPE_COMMON_CHECK_H_
+#define MEPIPE_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mepipe {
+
+// Thrown when a MEPIPE_CHECK* macro fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] void FailCheck(const char* file, int line, const char* condition,
+                            const std::string& message);
+
+// Stream-style message builder so call sites can write
+//   MEPIPE_CHECK(x > 0) << "x was " << x;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    FailCheck(file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+// Consumes a CheckMessageBuilder when the condition holds (no-op).
+struct CheckVoidify {
+  void operator&(const CheckMessageBuilder&) {}
+};
+
+}  // namespace internal
+}  // namespace mepipe
+
+#define MEPIPE_CHECK(condition)                                       \
+  (condition) ? (void)0                                               \
+              : ::mepipe::internal::CheckVoidify() &                  \
+                    ::mepipe::internal::CheckMessageBuilder(__FILE__, \
+                                                            __LINE__, #condition)
+
+#define MEPIPE_CHECK_EQ(a, b) MEPIPE_CHECK((a) == (b))
+#define MEPIPE_CHECK_NE(a, b) MEPIPE_CHECK((a) != (b))
+#define MEPIPE_CHECK_LT(a, b) MEPIPE_CHECK((a) < (b))
+#define MEPIPE_CHECK_LE(a, b) MEPIPE_CHECK((a) <= (b))
+#define MEPIPE_CHECK_GT(a, b) MEPIPE_CHECK((a) > (b))
+#define MEPIPE_CHECK_GE(a, b) MEPIPE_CHECK((a) >= (b))
+
+#endif  // MEPIPE_COMMON_CHECK_H_

@@ -1,0 +1,25 @@
+// Small text-formatting helpers shared by the trace renderers and the
+// bench table printers. Kept dependency-free (no fmt/abseil).
+#ifndef MEPIPE_COMMON_FORMAT_H_
+#define MEPIPE_COMMON_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+namespace mepipe {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Pads/truncates `text` to exactly `width` columns (left-aligned).
+std::string PadRight(const std::string& text, std::size_t width);
+// Pads `text` to at least `width` columns (right-aligned).
+std::string PadLeft(const std::string& text, std::size_t width);
+
+// Renders rows as a fixed-width text table with a header separator; the
+// first row is treated as the header. Every row must have the same arity.
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mepipe
+
+#endif  // MEPIPE_COMMON_FORMAT_H_

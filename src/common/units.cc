@@ -1,0 +1,48 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mepipe {
+namespace {
+
+std::string Printf(const char* fmt, double value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return std::string(buf) + suffix;
+}
+
+}  // namespace
+
+std::string FormatBytes(Bytes bytes) {
+  const double b = static_cast<double>(bytes);
+  if (std::abs(b) >= static_cast<double>(kGiB)) {
+    return Printf("%.2f", b / static_cast<double>(kGiB), " GiB");
+  }
+  if (std::abs(b) >= static_cast<double>(kMiB)) {
+    return Printf("%.2f", b / static_cast<double>(kMiB), " MiB");
+  }
+  if (std::abs(b) >= static_cast<double>(kKiB)) {
+    return Printf("%.2f", b / static_cast<double>(kKiB), " KiB");
+  }
+  return Printf("%.0f", b, " B");
+}
+
+std::string FormatSeconds(Seconds seconds) {
+  if (seconds >= 1.0) {
+    return Printf("%.3f", seconds, " s");
+  }
+  if (seconds >= 1e-3) {
+    return Printf("%.1f", seconds * 1e3, " ms");
+  }
+  return Printf("%.1f", seconds * 1e6, " us");
+}
+
+std::string FormatFlopsRate(FlopsPerSecond rate) {
+  if (rate >= kTera) {
+    return Printf("%.1f", rate / kTera, " TFLOPS");
+  }
+  return Printf("%.1f", rate / kGiga, " GFLOPS");
+}
+
+}  // namespace mepipe

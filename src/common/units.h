@@ -1,0 +1,48 @@
+// Physical units used by the cost and memory models.
+//
+// The library standardizes on:
+//   - time:   double seconds (`Seconds`)
+//   - memory: std::int64_t bytes (`Bytes`)
+//   - work:   double floating-point operations (`Flops`)
+//   - rate:   double bytes per second / flops per second
+//
+// Helper literals and converters keep call sites free of magic factors.
+#ifndef MEPIPE_COMMON_UNITS_H_
+#define MEPIPE_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mepipe {
+
+using Seconds = double;
+using Bytes = std::int64_t;
+using Flops = double;
+using BytesPerSecond = double;
+using FlopsPerSecond = double;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+constexpr Seconds Milliseconds(double ms) { return ms * 1e-3; }
+constexpr Seconds Microseconds(double us) { return us * 1e-6; }
+constexpr double ToMilliseconds(Seconds s) { return s * 1e3; }
+constexpr double ToMicroseconds(Seconds s) { return s * 1e6; }
+
+constexpr double ToGiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+constexpr double ToTeraflops(Flops f) { return f / kTera; }
+
+// Human-readable rendering, e.g. "12.3 GiB", "116.0 TFLOPS", "6226.3 ms".
+std::string FormatBytes(Bytes bytes);
+std::string FormatSeconds(Seconds seconds);
+std::string FormatFlopsRate(FlopsPerSecond rate);
+
+}  // namespace mepipe
+
+#endif  // MEPIPE_COMMON_UNITS_H_

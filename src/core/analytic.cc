@@ -1,0 +1,109 @@
+#include "core/analytic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mepipe::core {
+namespace {
+
+double D(int x) { return static_cast<double>(x); }
+
+}  // namespace
+
+const char* ToString(Method method) {
+  switch (method) {
+    case Method::kGPipe:
+      return "GPipe";
+    case Method::kDapple:
+      return "DAPPLE";
+    case Method::kVpp:
+      return "VPP";
+    case Method::kHanayo:
+      return "Hanayo";
+    case Method::kTeraPipe:
+      return "TeraPipe";
+    case Method::kZb1p:
+      return "ZB";
+    case Method::kZbv:
+      return "ZBV";
+    case Method::kSvpp:
+      return "MEPipe";
+  }
+  return "?";
+}
+
+std::optional<AnalyticResult> Analyze(Method method, const AnalyticInput& input) {
+  const int p = input.p;
+  const int v = input.v;
+  const int s = input.s;
+  const int n = input.n;
+  MEPIPE_CHECK_GE(p, 1);
+  MEPIPE_CHECK_GE(v, 1);
+  MEPIPE_CHECK_GE(s, 1);
+  MEPIPE_CHECK_GE(n, 1);
+
+  AnalyticResult out;
+  switch (method) {
+    case Method::kGPipe:
+      // All n forwards retained before the first backward.
+      out.bubble_ratio = D(p - 1) / D(p - 1 + n);
+      out.activation_fraction = D(n) / D(p);
+      return out;
+
+    case Method::kDapple:
+      out.bubble_ratio = D(p - 1) / D(p - 1 + n);
+      out.activation_fraction = D(std::min(n, p)) / D(p);
+      return out;
+
+    case Method::kVpp: {
+      if (n < p) {
+        return std::nullopt;  // Table 3 marks this regime unsupported
+      }
+      out.bubble_ratio = D(p - 1) / D(p - 1 + n * v);
+      out.activation_fraction =
+          std::min(1.0 + D(p - 1) / D(p * v), D(n) / D(v * p));
+      return out;
+    }
+
+    case Method::kHanayo: {
+      if (n >= p) {
+        out.bubble_ratio = D(p - 1) / D(p - 1 + n * v);
+        out.activation_fraction = 1.0;
+      } else {
+        out.bubble_ratio = D(v * p + n - 1 - n * v) / D(v * p + n - 1);
+        out.activation_fraction = D(n) / D(p);
+      }
+      return out;
+    }
+
+    case Method::kTeraPipe:
+      out.bubble_ratio = D(p - 1) / D(n * s + p - 1);
+      out.activation_fraction = D(n) / D(p);
+      return out;
+
+    case Method::kZb1p:
+    case Method::kZbv:
+      // §4.4 deliberately excludes the zero-bubble family from Table 3
+      // (its B/W split composes with every row); the simulator measures
+      // these methods instead of a closed form.
+      return std::nullopt;
+
+    case Method::kSvpp: {
+      const double table_fraction =
+          D(v * std::max(p, s) + std::min(p, s) - 1) / D(v * s * p);
+      if (n >= p) {
+        out.bubble_ratio = D(p - 1) / D(n * s * v + p - 1);
+        out.activation_fraction = table_fraction;
+      } else {
+        const int gap = (v - 1) * std::max(p - s * n, 0);
+        out.bubble_ratio = D(p - 1 + gap) / D(p - 1 + gap + n * v * s);
+        out.activation_fraction = std::min(table_fraction, D(n) / D(p));
+      }
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mepipe::core

@@ -1,0 +1,49 @@
+// Closed-form bubble-ratio and activation-memory expressions for every
+// scheduling method the paper analyzes — a direct transcription of
+// Table 3 (§4.4), under its assumptions: evenly partitioned computation,
+// balanced stages, communication ignored, and (for the capped methods)
+// the lowest-bubble / highest-memory variant.
+//
+// Activation memory is expressed as a fraction of A, the activation
+// footprint of one full sample through the whole model (Table 1).
+#ifndef MEPIPE_CORE_ANALYTIC_H_
+#define MEPIPE_CORE_ANALYTIC_H_
+
+#include <optional>
+#include <string>
+
+namespace mepipe::core {
+
+enum class Method {
+  kGPipe,
+  kDapple,   // 1F1B
+  kVpp,      // Megatron interleaved
+  kHanayo,   // wave-like
+  kTeraPipe, // sequence pipeline, GPipe-like ordering
+  kZb1p,     // zero bubble (1F1B extension)
+  kZbv,      // zero bubble (V-shape)
+  kSvpp,     // MEPipe
+};
+
+const char* ToString(Method method);
+
+struct AnalyticInput {
+  int p = 1;  // pipeline stages
+  int v = 1;  // virtual pipeline size
+  int s = 1;  // sequence pipeline size (slices)
+  int n = 1;  // micro-batches
+};
+
+struct AnalyticResult {
+  double bubble_ratio = 0;
+  // Peak activation memory of the worst stage, as a fraction of A.
+  double activation_fraction = 0;
+};
+
+// Table 3 entry for `method`; nullopt when the table marks the regime
+// unsupported (e.g. VPP with n < p).
+std::optional<AnalyticResult> Analyze(Method method, const AnalyticInput& input);
+
+}  // namespace mepipe::core
+
+#endif  // MEPIPE_CORE_ANALYTIC_H_

@@ -1,0 +1,63 @@
+#include "core/deployment.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace mepipe::core {
+
+double FailureOverheadFraction(int gpus, const ReliabilityOptions& options) {
+  MEPIPE_CHECK_GT(gpus, 0);
+  MEPIPE_CHECK_GT(options.mtbf_per_1000_gpus, 0.0);
+  MEPIPE_CHECK_GT(options.checkpoint_interval, 0.0);
+  const double mtbf = options.mtbf_per_1000_gpus * 1000.0 / static_cast<double>(gpus);
+  // Each failure costs recovery plus on average half a checkpoint
+  // interval of lost work; each interval costs one checkpoint write.
+  const double per_failure = options.recovery_time + options.checkpoint_interval / 2.0;
+  const double failure_fraction = per_failure / mtbf;
+  const double checkpoint_fraction =
+      options.checkpoint_write_cost / options.checkpoint_interval;
+  return failure_fraction + checkpoint_fraction;
+}
+
+namespace {
+
+double ClusterPowerWatts(const hw::ClusterSpec& cluster, const OperatingCostOptions& options) {
+  const double gpu_power =
+      static_cast<double>(cluster.world_size()) * cluster.gpu.board_power_w;
+  const double host_power = static_cast<double>(cluster.nodes) * options.host_power_w;
+  return (gpu_power + host_power) * options.pue;
+}
+
+double AcquisitionUsd(const hw::ClusterSpec& cluster) {
+  return static_cast<double>(cluster.nodes) * cluster.gpu.server_price_usd;
+}
+
+}  // namespace
+
+double OperatingCostUsd(const hw::ClusterSpec& cluster, Seconds duration,
+                        const OperatingCostOptions& options) {
+  const double kwh = ClusterPowerWatts(cluster, options) / 1000.0 * duration / 3600.0;
+  return kwh * options.electricity_usd_per_kwh;
+}
+
+double CostParityYears(const hw::ClusterSpec& cheap, const hw::ClusterSpec& reference,
+                       const OperatingCostOptions& options) {
+  const double acquisition_gap = AcquisitionUsd(reference) - AcquisitionUsd(cheap);
+  const double seconds_per_year = 365.0 * 24.0 * 3600.0;
+  const double power_gap_per_year =
+      OperatingCostUsd(cheap, seconds_per_year, options) -
+      OperatingCostUsd(reference, seconds_per_year, options);
+  if (power_gap_per_year <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return acquisition_gap / power_gap_per_year;
+}
+
+double TotalCostUsd(const hw::ClusterSpec& cluster, double years,
+                    const OperatingCostOptions& options) {
+  const double seconds = years * 365.0 * 24.0 * 3600.0;
+  return AcquisitionUsd(cluster) + OperatingCostUsd(cluster, seconds, options);
+}
+
+}  // namespace mepipe::core

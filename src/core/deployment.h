@@ -1,0 +1,61 @@
+// Deployment economics of cheap-accelerator clusters — the §9
+// discussion, made computable:
+//  - hardware-failure overhead from MTBF and checkpoint/recovery costs
+//    ("we estimate the cost of hardware failures is less than 5% for a
+//    thousand RTX 4090 GPUs");
+//  - power/operating cost and the acquisition-vs-electricity parity
+//    horizon ("approximately 24 years for A100 clusters to achieve cost
+//    parity");
+//  - overall cost-effectiveness combining both.
+#ifndef MEPIPE_CORE_DEPLOYMENT_H_
+#define MEPIPE_CORE_DEPLOYMENT_H_
+
+#include "common/units.h"
+#include "hw/cluster.h"
+
+namespace mepipe::core {
+
+struct ReliabilityOptions {
+  // Mean time between failures for a reference fleet (§9 cites ~12 h for
+  // one thousand A100s). Scales inversely with GPU count.
+  Seconds mtbf_per_1000_gpus = 12.0 * 3600.0;
+  // Checkpoint-restore time with memory-based checkpointing (§9 cites
+  // "a few minutes").
+  Seconds recovery_time = 3.0 * 60.0;
+  // Interval between checkpoints; work since the last one is lost.
+  Seconds checkpoint_interval = 10.0 * 60.0;
+  // Cost of writing one checkpoint (pause or bandwidth steal).
+  Seconds checkpoint_write_cost = 10.0;
+};
+
+// Expected fraction of cluster time lost to failures + checkpointing for
+// a cluster of `gpus` accelerators. §9's claim: < 5% at 1000 GPUs.
+double FailureOverheadFraction(int gpus, const ReliabilityOptions& options = {});
+
+struct OperatingCostOptions {
+  double electricity_usd_per_kwh = 0.10;  // §9: industrial rate, Feb 2025
+  // Non-GPU server power (CPUs, fans, NICs) per 8-GPU node, watts.
+  double host_power_w = 800;
+  // Power usage effectiveness of the facility.
+  double pue = 1.3;
+};
+
+// Electric operating cost of running the whole cluster for `duration`.
+double OperatingCostUsd(const hw::ClusterSpec& cluster, Seconds duration,
+                        const OperatingCostOptions& options = {});
+
+// Years of continuous operation after which the cheaper-to-buy cluster's
+// higher power bill erases its acquisition advantage against the
+// reference cluster, assuming both deliver the same training throughput.
+// Returns +infinity when the cheaper cluster also consumes less power.
+// §9 computes ≈ 24 years for 2×4090-per-A100-equivalent fleets.
+double CostParityYears(const hw::ClusterSpec& cheap, const hw::ClusterSpec& reference,
+                       const OperatingCostOptions& options = {});
+
+// Total cost of ownership over `years`, acquisition + electricity.
+double TotalCostUsd(const hw::ClusterSpec& cluster, double years,
+                    const OperatingCostOptions& options = {});
+
+}  // namespace mepipe::core
+
+#endif  // MEPIPE_CORE_DEPLOYMENT_H_

@@ -1,0 +1,57 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mepipe::core {
+
+ExperimentReport RunExperiment(const model::TransformerConfig& config,
+                               const Strategy& strategy, const hw::ClusterSpec& cluster,
+                               int global_batch, const ExperimentOptions& options) {
+  MEPIPE_CHECK_GE(options.iterations, 1);
+  MEPIPE_CHECK_GE(options.tail, 1);
+  MEPIPE_CHECK_LE(options.tail, options.iterations);
+
+  ExperimentReport report;
+  report.strategy = strategy;
+
+  IterationOptions iteration = options.iteration;
+  iteration.keep_timeline = false;
+  iteration.noise_sigma = options.noise_sigma;
+
+  for (int i = 0; i < options.iterations; ++i) {
+    iteration.noise_seed = options.seed * 1000003ULL + static_cast<std::uint64_t>(i);
+    const IterationResult result =
+        SimulateIteration(config, strategy, cluster, global_batch, iteration);
+    if (i == 0) {
+      report.feasible = result.feasible;
+      report.note = result.note;
+      if (!result.feasible) {
+        return report;  // a real run would die at startup
+      }
+    }
+    report.all_iterations.push_back(result.iteration_time);
+  }
+  report.iterations = options.iterations;
+
+  const auto tail_begin = report.all_iterations.end() - options.tail;
+  double sum = 0;
+  double sum_sq = 0;
+  report.min_iteration = *tail_begin;
+  report.max_iteration = *tail_begin;
+  for (auto it = tail_begin; it != report.all_iterations.end(); ++it) {
+    sum += *it;
+    sum_sq += *it * *it;
+    report.min_iteration = std::min(report.min_iteration, *it);
+    report.max_iteration = std::max(report.max_iteration, *it);
+  }
+  const double k = static_cast<double>(options.tail);
+  report.mean_iteration = sum / k;
+  report.stddev_iteration =
+      std::sqrt(std::max(0.0, sum_sq / k - report.mean_iteration * report.mean_iteration));
+  return report;
+}
+
+}  // namespace mepipe::core

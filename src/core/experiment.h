@@ -1,0 +1,46 @@
+// The paper's measurement protocol (§7.1): "Each task is executed for
+// 100 iterations … We measure the average time of the last 10 iterations
+// as the result." This harness runs a strategy for many jittered
+// iterations (sim/noise) and reports the tail statistics an experiment
+// section would quote.
+#ifndef MEPIPE_CORE_EXPERIMENT_H_
+#define MEPIPE_CORE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "core/iteration.h"
+
+namespace mepipe::core {
+
+struct ExperimentOptions {
+  int iterations = 100;    // total simulated iterations
+  int tail = 10;           // how many final iterations to average
+  double noise_sigma = 0.03;  // per-op lognormal jitter (~3%)
+  std::uint64_t seed = 1;
+  IterationOptions iteration;
+};
+
+struct ExperimentReport {
+  Strategy strategy;
+  bool feasible = false;
+  std::string note;
+
+  int iterations = 0;
+  Seconds mean_iteration = 0;   // tail mean — the paper's reported value
+  Seconds stddev_iteration = 0; // tail standard deviation
+  Seconds min_iteration = 0;    // over the tail
+  Seconds max_iteration = 0;
+  std::vector<Seconds> all_iterations;  // full series, warmup included
+};
+
+// Runs the protocol. The schedule and deterministic per-op costs are
+// resolved once; each iteration re-executes under fresh noise. The first
+// iteration's feasibility gates the whole experiment, matching how a
+// real run either fits in memory or dies at startup.
+ExperimentReport RunExperiment(const model::TransformerConfig& config,
+                               const Strategy& strategy, const hw::ClusterSpec& cluster,
+                               int global_batch, const ExperimentOptions& options = {});
+
+}  // namespace mepipe::core
+
+#endif  // MEPIPE_CORE_EXPERIMENT_H_

@@ -1,0 +1,206 @@
+#include "core/iteration.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/format.h"
+#include "core/memory_model.h"
+#include "core/svpp.h"
+#include "model/flops.h"
+#include "sched/baselines.h"
+#include "sim/noise.h"
+
+namespace mepipe::core {
+namespace {
+
+bool MethodSplitsBackward(Method method) {
+  return method == Method::kZb1p || method == Method::kZbv || method == Method::kSvpp;
+}
+
+IterationResult Infeasible(const Strategy& strategy, std::string note) {
+  IterationResult result;
+  result.strategy = strategy;
+  result.feasible = false;
+  result.note = std::move(note);
+  return result;
+}
+
+}  // namespace
+
+IterationResult SimulateIteration(const model::TransformerConfig& config,
+                                  const Strategy& strategy, const hw::ClusterSpec& cluster,
+                                  int global_batch, const IterationOptions& options) {
+  // ---- structural feasibility -------------------------------------------
+  if (strategy.method == Method::kHanayo && strategy.vp != 2) {
+    return Infeasible(strategy, "the Hanayo wave schedule is defined for vp=2");
+  }
+  const int world = cluster.world_size();
+  if (strategy.layout().ranks() != world) {
+    return Infeasible(strategy, StrFormat("layout covers %d ranks, cluster has %d",
+                                          strategy.layout().ranks(), world));
+  }
+  if (global_batch % strategy.dp != 0) {
+    return Infeasible(strategy, "global batch not divisible by dp");
+  }
+  const int micros = global_batch / strategy.dp;
+  if (config.partition_units() % (strategy.pp * strategy.vp) != 0) {
+    return Infeasible(strategy, StrFormat("%lld units not divisible by pp*vp=%d",
+                                          static_cast<long long>(config.partition_units()),
+                                          strategy.pp * strategy.vp));
+  }
+  if (config.partition_units() / (strategy.pp * strategy.vp) < 1) {
+    return Infeasible(strategy, "fewer partition units than chunks");
+  }
+  if (strategy.cp > 1 && strategy.spp > 1) {
+    return Infeasible(strategy, "cp and spp cannot be combined");
+  }
+  if (config.seq_len % strategy.cp != 0) {
+    return Infeasible(strategy, "sequence length not divisible by cp");
+  }
+  if (strategy.recompute && MethodSplitsBackward(strategy.method)) {
+    return Infeasible(strategy, "recompute incompatible with split B/W (§7.1)");
+  }
+  if (strategy.method == Method::kVpp) {
+    if (strategy.vp < 2) {
+      return Infeasible(strategy, "VPP requires vp >= 2");
+    }
+    if (micros % strategy.pp != 0) {
+      return Infeasible(strategy, "Megatron interleaving requires n % p == 0");
+    }
+  }
+  if (strategy.method == Method::kZbv && strategy.vp != 2) {
+    return Infeasible(strategy, "ZBV is defined for vp=2");
+  }
+  if ((strategy.method == Method::kDapple || strategy.method == Method::kGPipe ||
+       strategy.method == Method::kZb1p) &&
+      strategy.vp != 1) {
+    return Infeasible(strategy, "method does not use virtual chunks");
+  }
+  if (strategy.spp > 1 && strategy.method != Method::kSvpp &&
+      strategy.method != Method::kTeraPipe) {
+    return Infeasible(strategy, "only SPP methods slice samples");
+  }
+
+  // ---- problem + costs -----------------------------------------------------
+  sched::PipelineProblem problem;
+  problem.stages = strategy.pp;
+  problem.virtual_chunks = strategy.vp;
+  problem.slices = strategy.spp;
+  problem.micros = micros;
+  problem.split_backward = MethodSplitsBackward(strategy.method);
+  if (strategy.method == Method::kZbv || strategy.method == Method::kHanayo) {
+    problem.placement = sched::ChunkPlacement::kVShape;
+  }
+
+  TrainingCostModel costs(config, strategy, cluster, problem, options.cost);
+
+  // ---- schedule -------------------------------------------------------------
+  sched::Schedule schedule;
+  sim::EngineOptions engine;
+  engine.wgrad_mode = options.wgrad_mode;
+  switch (strategy.method) {
+    case Method::kGPipe:
+      schedule = sched::GPipeSchedule(strategy.pp, micros);
+      break;
+    case Method::kDapple:
+      schedule = sched::OneFOneBSchedule(strategy.pp, micros);
+      break;
+    case Method::kVpp:
+      schedule = sched::VppSchedule(strategy.pp, strategy.vp, micros);
+      break;
+    case Method::kTeraPipe:
+      schedule = sched::TeraPipeSchedule(strategy.pp, strategy.spp, micros);
+      break;
+    case Method::kZb1p:
+      schedule = sched::Zb1pSchedule(strategy.pp, micros);
+      engine.wgrad_mode = sim::WgradMode::kFillWhole;  // ZB fills whole-W tasks
+      break;
+    case Method::kZbv:
+      schedule = sched::ZbvSchedule(strategy.pp, micros);
+      engine.wgrad_mode = sim::WgradMode::kFillWhole;
+      break;
+    case Method::kSvpp: {
+      SvppOptions svpp;
+      svpp.stages = strategy.pp;
+      svpp.virtual_chunks = strategy.vp;
+      svpp.slices = strategy.spp;
+      svpp.micros = micros;
+      svpp.split_backward = true;
+      svpp.reschedule_backwards = options.svpp_reschedule;
+      if (options.svpp_inflight > 0) {
+        svpp.max_inflight = options.svpp_inflight;
+      } else {
+        const VariantDecision decision = ChooseSvppVariant(costs, svpp, cluster.gpu);
+        if (!decision.feasible) {
+          return Infeasible(strategy, "no feasible SVPP variant: " + decision.reason);
+        }
+        svpp.max_inflight = decision.f;
+      }
+      schedule = GenerateSvpp(svpp);
+      break;
+    }
+    case Method::kHanayo:
+      schedule = sched::HanayoSchedule(strategy.pp, micros);
+      break;
+  }
+
+  // ---- execute ---------------------------------------------------------------
+  if (problem.split_backward) {
+    // Deferred weight gradients retain memory; cap every stage's
+    // activation footprint at what the device leaves after static memory
+    // (§5: proceed "as soon as there is enough memory").
+    engine.activation_budget.resize(static_cast<std::size_t>(strategy.pp));
+    for (int stage = 0; stage < strategy.pp; ++stage) {
+      engine.activation_budget[static_cast<std::size_t>(stage)] =
+          std::max<Bytes>(0, cluster.gpu.usable_memory() - costs.StaticMemory(stage));
+    }
+  }
+  sim::SimResult sim;
+  if (options.noise_sigma > 0) {
+    const sim::NoisyCostModel noisy(costs, options.noise_sigma, options.noise_seed);
+    sim = Simulate(schedule, noisy, engine);
+  } else {
+    sim = Simulate(schedule, costs, engine);
+  }
+
+  IterationResult result;
+  result.strategy = strategy;
+  result.micros = micros;
+  result.pipeline_time = sim.makespan;
+  result.dp_sync_time = costs.DpSyncTime();
+  result.iteration_time = sim.makespan + result.dp_sync_time + options.optimizer_step;
+  result.bubble_ratio = sim.bubble_ratio;
+  result.static_memory = costs.MaxStaticMemory();
+  result.peak_activation = sim.peak_activation;
+
+  // Worst stage overall: static of that stage + its activation peak.
+  Bytes peak = 0;
+  for (int stage = 0; stage < strategy.pp; ++stage) {
+    peak = std::max(peak, costs.StaticMemory(stage) +
+                              sim.stages[static_cast<std::size_t>(stage)].peak_activation);
+  }
+  result.peak_memory = peak;
+
+  const std::int64_t tokens = static_cast<std::int64_t>(global_batch) * config.seq_len;
+  result.per_gpu_flops = model::TrainingFlops(config, tokens) /
+                         (result.iteration_time * static_cast<double>(world));
+  result.mfu = result.per_gpu_flops / cluster.gpu.peak_flops;
+
+  if (result.peak_memory > cluster.gpu.usable_memory()) {
+    result.feasible = false;
+    result.note = StrFormat("OOM: peak %s > usable %s", FormatBytes(result.peak_memory).c_str(),
+                            FormatBytes(cluster.gpu.usable_memory()).c_str());
+  } else {
+    result.feasible = true;
+    result.note = "ok";
+  }
+  if (options.keep_timeline) {
+    result.sim = std::move(sim);
+  } else {
+    sim.timeline.clear();
+    result.sim = std::move(sim);
+  }
+  return result;
+}
+
+}  // namespace mepipe::core

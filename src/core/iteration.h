@@ -1,0 +1,68 @@
+// End-to-end iteration simulation: builds the schedule a strategy calls
+// for, prices it with TrainingCostModel, executes it on the
+// discrete-event engine, and folds in the data-parallel synchronization
+// and optimizer step — producing the quantities the paper's evaluation
+// reports (iteration time, bubble ratio, peak memory, per-GPU TFLOPS,
+// MFU).
+#ifndef MEPIPE_CORE_ITERATION_H_
+#define MEPIPE_CORE_ITERATION_H_
+
+#include <string>
+
+#include "core/training_cost.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "sim/engine.h"
+
+namespace mepipe::core {
+
+struct IterationOptions {
+  TrainingCostOptions cost;
+  // Fill policy for deferred weight gradients (MEPipe default: per-GEMM).
+  sim::WgradMode wgrad_mode = sim::WgradMode::kFillGemms;
+  // SVPP memory variant; 0 = automatic via the §4.5 memory model.
+  int svpp_inflight = 0;
+  // Disable the §4.3 backward rescheduling pass (ablation).
+  bool svpp_reschedule = true;
+  // Host-side optimizer step once per iteration.
+  Seconds optimizer_step = Milliseconds(15);
+  // Drop the (potentially large) per-op timeline from the result.
+  bool keep_timeline = true;
+  // Per-op lognormal duration jitter (0 = deterministic); seeds one
+  // "iteration" of the §7.1 measurement protocol (see core/experiment.h).
+  double noise_sigma = 0;
+  std::uint64_t noise_seed = 0;
+};
+
+struct IterationResult {
+  Strategy strategy;
+  bool feasible = false;
+  std::string note;  // "ok", or the constraint/OOM explanation
+
+  int micros = 0;                // n per data-parallel replica
+  Seconds pipeline_time = 0;     // schedule makespan
+  Seconds dp_sync_time = 0;
+  Seconds iteration_time = 0;    // makespan + DP sync + optimizer step
+  double bubble_ratio = 0;
+
+  Bytes static_memory = 0;       // worst stage
+  Bytes peak_activation = 0;     // worst stage (measured)
+  Bytes peak_memory = 0;         // static + activations
+
+  double per_gpu_flops = 0;      // achieved FLOPS per GPU
+  double mfu = 0;                // model FLOPS utilization
+
+  sim::SimResult sim;            // timeline (empty if !keep_timeline)
+};
+
+// Simulates one training iteration of `config` under `strategy` on
+// `cluster` with global batch size `global_batch` (samples). Infeasible
+// strategies (indivisible batch, model not partitionable, OOM, …) return
+// feasible=false with an explanatory note instead of throwing.
+IterationResult SimulateIteration(const model::TransformerConfig& config,
+                                  const Strategy& strategy, const hw::ClusterSpec& cluster,
+                                  int global_batch, const IterationOptions& options = {});
+
+}  // namespace mepipe::core
+
+#endif  // MEPIPE_CORE_ITERATION_H_

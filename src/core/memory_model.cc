@@ -1,0 +1,46 @@
+#include "core/memory_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/format.h"
+
+namespace mepipe::core {
+
+VariantDecision ChooseSvppVariant(const TrainingCostModel& costs, const SvppOptions& svpp,
+                                  const hw::GpuSpec& gpu) {
+  VariantDecision decision;
+  decision.static_bytes = costs.MaxStaticMemory();
+  decision.activation_budget = gpu.usable_memory() - decision.static_bytes;
+
+  Bytes per_forward = costs.PerForwardActivationBytes();
+  if (svpp.split_backward) {
+    // Between B and W the slice also holds its activation gradients.
+    per_forward += costs.ActGradBytes(
+        {sched::OpKind::kBackward, 0, 0, svpp.stages * svpp.virtual_chunks - 1});
+  }
+  decision.per_forward_bytes = per_forward;
+
+  if (decision.activation_budget <= 0) {
+    decision.reason = StrFormat("static memory %s exceeds usable %s",
+                                FormatBytes(decision.static_bytes).c_str(),
+                                FormatBytes(gpu.usable_memory()).c_str());
+    return decision;
+  }
+
+  const int floor = MinInflight(svpp);
+  const int ceiling = MaxUsefulInflight(svpp);
+  MEPIPE_CHECK_GT(per_forward, 0);
+  const int affordable = static_cast<int>(decision.activation_budget / per_forward);
+  if (affordable < floor) {
+    decision.reason =
+        StrFormat("budget %s holds only %d forwards; v*s floor is %d",
+                  FormatBytes(decision.activation_budget).c_str(), affordable, floor);
+    return decision;
+  }
+  decision.feasible = true;
+  decision.f = std::min(affordable, ceiling);
+  return decision;
+}
+
+}  // namespace mepipe::core

@@ -1,0 +1,38 @@
+// §4.5: the three-component memory model that picks the SVPP schedule
+// variant (the parameter f — forward passes admitted before the first
+// backward) fitting a device's memory.
+//
+//   budget = usable device memory − static memory (params, grads,
+//            optimizer shards) − temporary memory (workspace, logits)
+//   f      = clamp(budget / bytes-retained-per-forward, v·s, f_max)
+//
+// With split B/W, one retained forward eventually also holds its
+// activation gradients between B and W, so the per-forward unit charges
+// both.
+#ifndef MEPIPE_CORE_MEMORY_MODEL_H_
+#define MEPIPE_CORE_MEMORY_MODEL_H_
+
+#include <string>
+
+#include "core/svpp.h"
+#include "core/training_cost.h"
+#include "hw/gpu.h"
+
+namespace mepipe::core {
+
+struct VariantDecision {
+  bool feasible = false;
+  int f = 0;                     // chosen variant (0 when infeasible)
+  Bytes static_bytes = 0;        // worst-stage static + temporary
+  Bytes per_forward_bytes = 0;   // activation (+ act-grad) unit
+  Bytes activation_budget = 0;   // usable − static
+  std::string reason;            // set when infeasible
+};
+
+// Picks the largest feasible f for the SVPP instance priced by `costs`.
+VariantDecision ChooseSvppVariant(const TrainingCostModel& costs, const SvppOptions& svpp,
+                                  const hw::GpuSpec& gpu);
+
+}  // namespace mepipe::core
+
+#endif  // MEPIPE_CORE_MEMORY_MODEL_H_

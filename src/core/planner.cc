@@ -1,0 +1,179 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mepipe::core {
+namespace {
+
+bool UsesSlices(Method method) {
+  return method == Method::kSvpp || method == Method::kTeraPipe;
+}
+
+bool SplitsBackward(Method method) {
+  return method == Method::kZb1p || method == Method::kZbv || method == Method::kSvpp;
+}
+
+std::vector<int> VpCandidatesFor(Method method, const PlannerOptions& options) {
+  switch (method) {
+    case Method::kVpp: {
+      std::vector<int> vps;
+      for (int vp : options.vp_candidates) {
+        if (vp >= 2) {
+          vps.push_back(vp);
+        }
+      }
+      if (vps.empty()) {
+        vps.push_back(2);
+      }
+      return vps;
+    }
+    case Method::kZbv:
+    case Method::kHanayo:
+      return {2};
+    case Method::kSvpp:
+      return options.vp_candidates;
+    default:
+      return {1};
+  }
+}
+
+// Compute-only lower bound on a strategy's iteration time: the busiest
+// stage must at least execute all of its F/B/W work back to back, and
+// the iteration ends with the data-parallel sync and optimizer step. Any
+// bubble or transfer only adds to this. Returns nullopt when the
+// strategy is structurally inapplicable (the full evaluation will report
+// the reason).
+std::optional<Seconds> IterationLowerBound(Method method,
+                                           const model::TransformerConfig& config,
+                                           const Strategy& strategy,
+                                           const hw::ClusterSpec& cluster, int global_batch,
+                                           const IterationOptions& options) {
+  if (global_batch % strategy.dp != 0) {
+    return std::nullopt;
+  }
+  sched::PipelineProblem problem;
+  problem.stages = strategy.pp;
+  problem.virtual_chunks = strategy.vp;
+  problem.slices = strategy.spp;
+  problem.micros = global_batch / strategy.dp;
+  problem.split_backward = SplitsBackward(method);
+  try {
+    problem.Validate();
+    const TrainingCostModel costs(config, strategy, cluster, problem, options.cost);
+    Seconds busiest = 0;
+    for (int stage = 0; stage < problem.stages; ++stage) {
+      Seconds busy = 0;
+      for (int chunk = 0; chunk < problem.num_chunks(); ++chunk) {
+        if (problem.stage_of_chunk(chunk) != stage) {
+          continue;
+        }
+        for (int slice = 0; slice < problem.slices; ++slice) {
+          busy += costs.ComputeTime({sched::OpKind::kForward, 0, slice, chunk});
+          busy += costs.ComputeTime({sched::OpKind::kBackward, 0, slice, chunk});
+          if (problem.split_backward) {
+            busy += costs.ComputeTime({sched::OpKind::kWeightGrad, 0, slice, chunk});
+          }
+        }
+      }
+      busiest = std::max(busiest, busy * problem.micros);
+    }
+    return busiest + costs.DpSyncTime() + options.optimizer_step;
+  } catch (const CheckError&) {
+    return std::nullopt;  // let the full evaluation explain why
+  }
+}
+
+}  // namespace
+
+PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& config,
+                                 const hw::ClusterSpec& cluster, int global_batch,
+                                 const PlannerOptions& options) {
+  PlannerResult out;
+  const int world = cluster.world_size();
+
+  IterationOptions eval_options = options.iteration;
+  eval_options.keep_timeline = false;
+
+  for (int tp : options.tp_candidates) {
+    for (int pp : options.pp_candidates) {
+      for (int slice : options.slice_candidates) {
+        for (int vp : VpCandidatesFor(method, options)) {
+          const std::vector<bool> recompute_choices =
+              (options.allow_recompute && !SplitsBackward(method))
+                  ? std::vector<bool>{false, true}
+                  : std::vector<bool>{false};
+          for (bool recompute : recompute_choices) {
+            Strategy strategy;
+            strategy.method = method;
+            strategy.pp = pp;
+            strategy.tp = tp;
+            strategy.vp = vp;
+            strategy.recompute = recompute;
+            if (UsesSlices(method)) {
+              strategy.cp = 1;
+              strategy.spp = slice;
+            } else {
+              strategy.cp = slice;
+              strategy.spp = 1;
+            }
+            const int denom = pp * strategy.cp * tp;
+            if (denom == 0 || world % denom != 0) {
+              continue;
+            }
+            strategy.dp = world / denom;
+            if (strategy.dp < options.min_dp) {
+              continue;
+            }
+            if (options.prune && out.best) {
+              const auto bound = IterationLowerBound(method, config, strategy, cluster,
+                                                     global_batch, eval_options);
+              if (bound && *bound >= out.best->iteration_time) {
+                ++out.pruned;
+                IterationResult skipped;
+                skipped.strategy = strategy;
+                skipped.note = "pruned: compute lower bound above incumbent";
+                out.evaluated.push_back(std::move(skipped));
+                continue;
+              }
+            }
+            IterationResult result =
+                SimulateIteration(config, strategy, cluster, global_batch, eval_options);
+            ++out.simulated;
+            if (result.feasible) {
+              if (!out.best || result.iteration_time < out.best->iteration_time) {
+                out.best = result;
+              }
+            }
+            out.evaluated.push_back(std::move(result));
+          }
+        }
+      }
+    }
+  }
+
+  // Re-simulate the winner with its timeline for downstream rendering.
+  if (out.best) {
+    IterationOptions final_options = options.iteration;
+    final_options.keep_timeline = true;
+    *out.best =
+        SimulateIteration(config, out.best->strategy, cluster, global_batch, final_options);
+    MEPIPE_CHECK(out.best->feasible);
+  }
+  return out;
+}
+
+std::vector<PlannerResult> SearchMethods(const std::vector<Method>& methods,
+                                         const model::TransformerConfig& config,
+                                         const hw::ClusterSpec& cluster, int global_batch,
+                                         const PlannerOptions& options) {
+  std::vector<PlannerResult> results;
+  results.reserve(methods.size());
+  for (Method method : methods) {
+    results.push_back(SearchBestStrategy(method, config, cluster, global_batch, options));
+  }
+  return results;
+}
+
+}  // namespace mepipe::core

@@ -1,0 +1,52 @@
+// Strategy grid search (§7.1 "Baseline", §7.3 "Selection of the Optimal
+// Parallel Strategy"): exhaustively evaluates the (PP, DP, CP/SPP, VP,
+// recomputation) combinations a method admits and returns the fastest
+// feasible one — exactly how the paper tuned every system it compares.
+#ifndef MEPIPE_CORE_PLANNER_H_
+#define MEPIPE_CORE_PLANNER_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/iteration.h"
+
+namespace mepipe::core {
+
+struct PlannerOptions {
+  IterationOptions iteration;
+  // §7.1: minimal data-parallel size used to emulate large-cluster runs.
+  int min_dp = 2;
+  std::vector<int> pp_candidates = {2, 4, 8, 16, 32};
+  // CP sizes for CP methods, SPP sizes for slice methods.
+  std::vector<int> slice_candidates = {1, 2, 4, 8, 16};
+  std::vector<int> vp_candidates = {1, 2};
+  std::vector<int> tp_candidates = {1};  // opened up for the A100 runs
+  bool allow_recompute = true;
+  // Cost-model-guided pruning (§9's "automated parallelization
+  // frameworks" direction): skip configurations whose compute-only lower
+  // bound already exceeds the best feasible time found so far. Same
+  // winner, fewer simulations.
+  bool prune = false;
+};
+
+struct PlannerResult {
+  std::optional<IterationResult> best;      // fastest feasible, if any
+  std::vector<IterationResult> evaluated;   // every combination tried
+  int simulated = 0;                        // full simulations run
+  int pruned = 0;                           // skipped via the lower bound
+};
+
+// Searches the grid for `method`. Timelines are kept only on the winner.
+PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& config,
+                                 const hw::ClusterSpec& cluster, int global_batch,
+                                 const PlannerOptions& options = {});
+
+// Convenience: searches several methods and returns per-method winners.
+std::vector<PlannerResult> SearchMethods(const std::vector<Method>& methods,
+                                         const model::TransformerConfig& config,
+                                         const hw::ClusterSpec& cluster, int global_batch,
+                                         const PlannerOptions& options = {});
+
+}  // namespace mepipe::core
+
+#endif  // MEPIPE_CORE_PLANNER_H_

@@ -1,0 +1,92 @@
+#include "hw/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mepipe::hw {
+namespace {
+
+LinkSpec Shared(LinkSpec link, int streams) {
+  MEPIPE_CHECK_GT(streams, 0);
+  link.bandwidth /= static_cast<double>(streams);
+  return link;
+}
+
+}  // namespace
+
+ClusterSpec Rtx4090Cluster() {
+  ClusterSpec c;
+  c.gpu = Rtx4090();
+  c.nodes = 8;
+  c.gpus_per_node = 8;
+  c.intra_node = Pcie4x16();
+  c.inter_node = Infiniband100G();
+  return c;
+}
+
+ClusterSpec A100Cluster() {
+  ClusterSpec c;
+  c.gpu = A100_80G();
+  c.nodes = 4;
+  c.gpus_per_node = 8;
+  c.intra_node = NvLink3();
+  c.inter_node = Infiniband800G();
+  return c;
+}
+
+LinkSpec PipelineP2pLink(const ClusterSpec& cluster, const ParallelLayout& layout) {
+  MEPIPE_CHECK_EQ(layout.ranks(), cluster.world_size())
+      << "layout must cover the whole cluster";
+  if (layout.pp == 1) {
+    return {"loopback", 1e15, 0.0};
+  }
+  const int stride = cluster.world_size() / layout.pp;  // ranks between stages
+  if (stride >= cluster.gpus_per_node) {
+    // Every boundary crosses nodes; all per-node streams share the NIC.
+    return Shared(cluster.inter_node, cluster.gpus_per_node);
+  }
+  // A node holds several stages. The worst (steady-state critical) boundary
+  // is still the inter-node one, shared by `stride` concurrent streams.
+  if (cluster.nodes > 1 && layout.pp * stride > cluster.gpus_per_node) {
+    return Shared(cluster.inter_node, stride);
+  }
+  return cluster.intra_node;
+}
+
+LinkSpec ContextParallelLink(const ClusterSpec& cluster, const ParallelLayout& layout) {
+  if (layout.cp == 1) {
+    return {"loopback", 1e15, 0.0};
+  }
+  const int group_span = layout.cp * layout.tp;  // contiguous innermost ranks
+  if (group_span <= cluster.gpus_per_node) {
+    return cluster.intra_node;
+  }
+  return Shared(cluster.inter_node, cluster.gpus_per_node);
+}
+
+LinkSpec DataParallelLink(const ClusterSpec& cluster, const ParallelLayout& layout) {
+  if (layout.dp * layout.cp == 1) {
+    return {"loopback", 1e15, 0.0};
+  }
+  const int group_span = layout.dp * layout.cp * layout.tp;
+  if (group_span <= cluster.gpus_per_node) {
+    return cluster.intra_node;
+  }
+  // A ring over a contiguous multi-node block crosses each node's NIC
+  // once per direction; only the cp·tp rings interleaved within the same
+  // block contend for it (the intra-node hops ride the faster fabric).
+  return Shared(cluster.inter_node, layout.cp * layout.tp);
+}
+
+LinkSpec TensorParallelLink(const ClusterSpec& cluster, const ParallelLayout& layout) {
+  if (layout.tp == 1) {
+    return {"loopback", 1e15, 0.0};
+  }
+  if (layout.tp <= cluster.gpus_per_node) {
+    return cluster.intra_node;
+  }
+  return Shared(cluster.inter_node, cluster.gpus_per_node);
+}
+
+}  // namespace mepipe::hw

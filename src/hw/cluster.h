@@ -1,0 +1,58 @@
+// Cluster topology and the mapping from parallel dimensions to links.
+//
+// Ranks are laid out Megatron-style, innermost to outermost:
+//   tensor (tp) → context (cp) → data (dp) → pipeline (pp)
+// so adjacent pipeline stages are world/pp ranks apart. On the paper's
+// testbed (8 nodes × 8 RTX 4090, pp=8) every pipeline boundary crosses
+// nodes and all eight per-node streams share one 100 Gb/s NIC.
+#ifndef MEPIPE_HW_CLUSTER_H_
+#define MEPIPE_HW_CLUSTER_H_
+
+#include "common/units.h"
+#include "hw/gpu.h"
+#include "hw/interconnect.h"
+
+namespace mepipe::hw {
+
+struct ClusterSpec {
+  GpuSpec gpu;
+  int nodes = 0;
+  int gpus_per_node = 0;
+  LinkSpec intra_node;  // GPU↔GPU inside a server
+  LinkSpec inter_node;  // NIC between servers (per node, shared)
+
+  int world_size() const { return nodes * gpus_per_node; }
+};
+
+// Paper testbeds (§7.1, §7.6).
+ClusterSpec Rtx4090Cluster();  // 8 nodes × 8 GPU, PCIe4 + IB-100G
+ClusterSpec A100Cluster();     // 4 nodes × 8 GPU, NVLink + IB-800G
+
+// How the world is decomposed. tp is kept for the A100 comparison; the
+// 4090 search space fixes tp=1 (§7.1). spp (slice count) consumes no
+// ranks and therefore does not appear here.
+struct ParallelLayout {
+  int pp = 1;
+  int dp = 1;
+  int cp = 1;
+  int tp = 1;
+
+  int ranks() const { return pp * dp * cp * tp; }
+};
+
+// Effective link for one pipeline p2p stream between adjacent stages,
+// accounting for NIC sharing by co-located concurrent streams.
+LinkSpec PipelineP2pLink(const ClusterSpec& cluster, const ParallelLayout& layout);
+
+// Effective link for context-parallel collectives (KV ring exchange).
+LinkSpec ContextParallelLink(const ClusterSpec& cluster, const ParallelLayout& layout);
+
+// Effective link for data-parallel gradient/optimizer collectives.
+LinkSpec DataParallelLink(const ClusterSpec& cluster, const ParallelLayout& layout);
+
+// Effective link for tensor-parallel activations (A100 only in practice).
+LinkSpec TensorParallelLink(const ClusterSpec& cluster, const ParallelLayout& layout);
+
+}  // namespace mepipe::hw
+
+#endif  // MEPIPE_HW_CLUSTER_H_

@@ -1,0 +1,78 @@
+#include "hw/comm_model.h"
+
+#include "common/check.h"
+#include "model/memory.h"
+
+namespace mepipe::hw {
+
+Seconds CommModel::PipelineP2p(Bytes bytes, const ParallelLayout& layout) const {
+  if (layout.pp == 1) {
+    return 0.0;
+  }
+  return PipelineP2pLink(cluster_, layout).transfer_time(bytes);
+}
+
+Seconds CommModel::AllReduce(Bytes bytes, int group, const LinkSpec& link) {
+  MEPIPE_CHECK_GT(group, 0);
+  if (group == 1 || bytes == 0) {
+    return 0.0;
+  }
+  const double g = static_cast<double>(group);
+  const double volume = 2.0 * (g - 1.0) / g * static_cast<double>(bytes);
+  return 2.0 * (g - 1.0) * link.latency + volume / link.bandwidth;
+}
+
+Seconds CommModel::AllGather(Bytes bytes, int group, const LinkSpec& link) {
+  MEPIPE_CHECK_GT(group, 0);
+  if (group == 1 || bytes == 0) {
+    return 0.0;
+  }
+  const double g = static_cast<double>(group);
+  const double volume = (g - 1.0) / g * static_cast<double>(bytes);
+  return (g - 1.0) * link.latency + volume / link.bandwidth;
+}
+
+Seconds CommModel::ReduceScatter(Bytes bytes, int group, const LinkSpec& link) {
+  return AllGather(bytes, group, link);  // same ring volume and steps
+}
+
+Seconds CommModel::CpKvExchangePerLayer(const model::TransformerConfig& config,
+                                        std::int64_t tokens_per_worker,
+                                        const ParallelLayout& layout) const {
+  if (layout.cp == 1) {
+    return 0.0;
+  }
+  const LinkSpec link = ContextParallelLink(cluster_, layout);
+  // Each worker ends up receiving the K and V blocks of every peer:
+  // an all-gather of 2 (K,V) · tokens · kv_hidden · 2 bytes.
+  const Bytes kv_bytes = 2 * tokens_per_worker * config.kv_hidden() * 2;
+  const Bytes total = kv_bytes * layout.cp;
+  return AllGather(total, layout.cp, link);
+}
+
+Seconds CommModel::DpGradientSync(Bytes param_bytes, const ParallelLayout& layout) const {
+  // CP ranks hold identical parameters and compute gradients on different
+  // tokens, so the synchronization (and ZeRO sharding) group is dp·cp —
+  // exactly Megatron's distributed-optimizer group.
+  const int group = layout.dp * layout.cp;
+  if (group == 1) {
+    return 0.0;
+  }
+  const LinkSpec link = DataParallelLink(cluster_, layout);
+  // ZeRO-1: reduce-scatter fp32-accumulated grads (4 bytes/param over the
+  // 2-byte param count ⇒ 2× param_bytes) + all-gather updated bf16 params.
+  return ReduceScatter(2 * param_bytes, group, link) + AllGather(param_bytes, group, link);
+}
+
+Seconds CommModel::TpAllReducePerLayer(const model::TransformerConfig& config,
+                                       std::int64_t tokens, const ParallelLayout& layout) const {
+  if (layout.tp == 1) {
+    return 0.0;
+  }
+  const LinkSpec link = TensorParallelLink(cluster_, layout);
+  const Bytes boundary = model::BoundaryBytesPerToken(config) * tokens;
+  // Megatron partitioning: one all-reduce after attention + one after MLP.
+  return 2.0 * AllReduce(boundary, layout.tp, link);
+}
+
+}  // namespace mepipe::hw

@@ -1,0 +1,52 @@
+// Communication cost model: point-to-point transfers and the ring-based
+// collectives (all-reduce / all-gather / reduce-scatter) that DP, CP and
+// TP issue. All costs are α-β style: per-step latency + volume/bandwidth.
+#ifndef MEPIPE_HW_COMM_MODEL_H_
+#define MEPIPE_HW_COMM_MODEL_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe::hw {
+
+class CommModel {
+ public:
+  explicit CommModel(const ClusterSpec& cluster) : cluster_(cluster) {}
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+  // One pipeline activation/gradient transfer between adjacent stages.
+  Seconds PipelineP2p(Bytes bytes, const ParallelLayout& layout) const;
+
+  // Ring collectives over a group of `group` ranks on `link`.
+  // `bytes` is the full (unsharded) payload size.
+  static Seconds AllReduce(Bytes bytes, int group, const LinkSpec& link);
+  static Seconds AllGather(Bytes bytes, int group, const LinkSpec& link);
+  static Seconds ReduceScatter(Bytes bytes, int group, const LinkSpec& link);
+
+  // Context parallelism: per transformer layer, each worker circulates the
+  // K and V blocks of its `tokens_per_worker` tokens around the CP ring
+  // (forward), and the corresponding gradients on backward (§2.2).
+  Seconds CpKvExchangePerLayer(const model::TransformerConfig& config,
+                               std::int64_t tokens_per_worker,
+                               const ParallelLayout& layout) const;
+
+  // Data parallelism with ZeRO-1: gradient reduce-scatter + parameter
+  // all-gather over this stage's `param_bytes` of parameters.
+  Seconds DpGradientSync(Bytes param_bytes, const ParallelLayout& layout) const;
+
+  // Tensor parallelism: two all-reduces of the layer output per forward
+  // (and two per backward) over the TP group — used by the A100 baseline.
+  Seconds TpAllReducePerLayer(const model::TransformerConfig& config, std::int64_t tokens,
+                              const ParallelLayout& layout) const;
+
+ private:
+  ClusterSpec cluster_;
+};
+
+}  // namespace mepipe::hw
+
+#endif  // MEPIPE_HW_COMM_MODEL_H_

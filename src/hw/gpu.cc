@@ -1,0 +1,31 @@
+#include "hw/gpu.h"
+
+namespace mepipe::hw {
+
+GpuSpec Rtx4090() {
+  GpuSpec spec;
+  spec.name = "RTX-4090";
+  spec.memory_capacity = 24 * kGiB;
+  spec.memory_reserved = static_cast<Bytes>(1.5 * static_cast<double>(kGiB));
+  spec.peak_flops = 330 * kTera;  // fp16 tensor cores, fp16 accumulate
+  // FP32 accumulation halves tensor-core throughput on AD102 (§7.6), and
+  // sustained GEMM reaches ~90% of that on large shapes.
+  spec.matmul_derate = 0.5 * 0.90;
+  spec.server_price_usd = 30'000;
+  spec.board_power_w = 450;
+  return spec;
+}
+
+GpuSpec A100_80G() {
+  GpuSpec spec;
+  spec.name = "A100-80G";
+  spec.memory_capacity = 80 * kGiB;
+  spec.memory_reserved = static_cast<Bytes>(1.5 * static_cast<double>(kGiB));
+  spec.peak_flops = 312 * kTera;
+  spec.matmul_derate = 0.90;  // fp32 accumulation is full-rate on A100
+  spec.server_price_usd = 150'000;
+  spec.board_power_w = 400;
+  return spec;
+}
+
+}  // namespace mepipe::hw

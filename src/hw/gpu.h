@@ -1,0 +1,41 @@
+// Accelerator descriptions. The two devices the paper compares are the
+// NVIDIA RTX 4090 (cheap: high FLOPS, small memory, no NVLink) and the
+// NVIDIA A100-80G (expensive: NVLink, large memory) — Table 9.
+#ifndef MEPIPE_HW_GPU_H_
+#define MEPIPE_HW_GPU_H_
+
+#include <string>
+
+#include "common/units.h"
+
+namespace mepipe::hw {
+
+struct GpuSpec {
+  std::string name;
+  Bytes memory_capacity = 0;
+  // Memory that the CUDA context, framework allocator, and fragmentation
+  // keep away from tensors; subtracted before any OOM comparison.
+  Bytes memory_reserved = 0;
+  // Peak dense fp16/bf16 tensor-core throughput (spec sheet).
+  FlopsPerSecond peak_flops = 0;
+  // Multiplier applied to `peak_flops` for matmul-class kernels before
+  // operator-shape efficiency: captures the fp32-accumulation penalty the
+  // paper hits on the RTX 4090 (§7.6: "approximately half the performance
+  // of a single A100") and general sustained-vs-peak derating.
+  double matmul_derate = 1.0;
+  // Acquisition price of one 8-GPU server (Table 9, USD).
+  double server_price_usd = 0;
+  // Board power, used by the §9 operating-cost discussion (watts).
+  double board_power_w = 0;
+
+  Bytes usable_memory() const { return memory_capacity - memory_reserved; }
+  FlopsPerSecond sustained_matmul_flops() const { return peak_flops * matmul_derate; }
+};
+
+// Presets matching Table 9.
+GpuSpec Rtx4090();
+GpuSpec A100_80G();
+
+}  // namespace mepipe::hw
+
+#endif  // MEPIPE_HW_GPU_H_

@@ -1,0 +1,13 @@
+#include "hw/interconnect.h"
+
+namespace mepipe::hw {
+
+LinkSpec Pcie4x16() { return {"PCIe4-x16", 25e9, Microseconds(15)}; }
+
+LinkSpec NvLink3() { return {"NVLink3", 250e9, Microseconds(5)}; }
+
+LinkSpec Infiniband100G() { return {"IB-100G", 12e9, Microseconds(25)}; }
+
+LinkSpec Infiniband800G() { return {"IB-800G", 96e9, Microseconds(25)}; }
+
+}  // namespace mepipe::hw

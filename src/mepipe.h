@@ -1,0 +1,49 @@
+// Umbrella header: the public API of the MEPipe library.
+//
+//   model/   — transformer configs, FLOPs, memory, slicing
+//   hw/      — GPUs, links, clusters, efficiency, collectives
+//   sched/   — ops, dependencies, schedules, baselines, serialization
+//   sim/     — discrete-event engine, cost models, noise
+//   core/    — SVPP, analytics, memory model, planner, profiler,
+//              deployment economics
+//   trace/   — ASCII timelines, Chrome traces, CSV
+//   tensor/, ref/ — the numerical validation substrate
+#ifndef MEPIPE_MEPIPE_H_
+#define MEPIPE_MEPIPE_H_
+
+#include "core/analytic.h"
+#include "core/deployment.h"
+#include "core/experiment.h"
+#include "core/iteration.h"
+#include "core/memory_model.h"
+#include "core/planner.h"
+#include "core/profiler.h"
+#include "core/svpp.h"
+#include "core/training_cost.h"
+#include "hw/cluster.h"
+#include "hw/comm_model.h"
+#include "hw/efficiency.h"
+#include "hw/gpu.h"
+#include "hw/interconnect.h"
+#include "model/flops.h"
+#include "model/memory.h"
+#include "model/slicing.h"
+#include "model/transformer.h"
+#include "ref/ref_model.h"
+#include "sched/baselines.h"
+#include "sched/dependency.h"
+#include "sched/generator.h"
+#include "sched/op.h"
+#include "sched/schedule.h"
+#include "sched/serialize.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/noise.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "trace/ascii.h"
+#include "trace/chrome_trace.h"
+#include "trace/csv.h"
+#include "trace/memory_timeline.h"
+
+#endif  // MEPIPE_MEPIPE_H_

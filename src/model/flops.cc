@@ -1,0 +1,118 @@
+#include "model/flops.h"
+
+#include "common/check.h"
+
+namespace mepipe::model {
+namespace {
+
+// Sum over the queries of a span of the number of keys each attends to
+// (causal attention): sum_{q in span} (span.start + local_index(q) + 1).
+double AttendedKeyPositions(const SliceSpan& span) {
+  const double t = static_cast<double>(span.tokens);
+  const double o = static_cast<double>(span.start);
+  return t * o + t * (t + 1.0) / 2.0;
+}
+
+}  // namespace
+
+std::vector<SliceSpan> UniformSlices(std::int64_t seq_len, std::int64_t slices) {
+  MEPIPE_CHECK_GT(slices, 0);
+  MEPIPE_CHECK_GE(seq_len, slices);
+  std::vector<SliceSpan> spans;
+  spans.reserve(static_cast<std::size_t>(slices));
+  const std::int64_t base = seq_len / slices;
+  const std::int64_t remainder = seq_len % slices;
+  std::int64_t start = 0;
+  for (std::int64_t i = 0; i < slices; ++i) {
+    const std::int64_t tokens = base + (i < remainder ? 1 : 0);
+    spans.push_back({start, tokens});
+    start += tokens;
+  }
+  return spans;
+}
+
+LayerFlops ForwardLayerFlops(const TransformerConfig& config, const SliceSpan& span) {
+  const double t = static_cast<double>(span.tokens);
+  const double h = static_cast<double>(config.hidden);
+  const double hkv = static_cast<double>(config.kv_hidden());
+  const double f = static_cast<double>(config.ffn_hidden);
+
+  LayerFlops out;
+  // Q and output projections (h×h each), K and V projections (h×h_kv each),
+  // gated MLP (gate, up, down: 3 GEMMs of h×f). 2 FLOPs per MAC.
+  out.gemm = 2.0 * t * (2.0 * h * h + 2.0 * h * hkv + 3.0 * h * f);
+  // Attention score: QK^T and PV, 2·h FLOPs per (query, key) pair each.
+  out.attention = 4.0 * h * AttendedKeyPositions(span);
+  return out;
+}
+
+Flops BackwardLayerFlops(const TransformerConfig& config, const SliceSpan& span) {
+  const LayerFlops fwd = ForwardLayerFlops(config, span);
+  // dX GEMMs cost the same as the forward GEMMs; attention backward
+  // (dQ + dK/dV) costs roughly twice the forward attention score.
+  return fwd.gemm + 2.0 * fwd.attention;
+}
+
+Flops WeightGradLayerFlops(const TransformerConfig& config, const SliceSpan& span) {
+  // dW = activation^T · output-grad for every projection: same FLOPs as
+  // the forward GEMMs, no attention-context term (§5).
+  return ForwardLayerFlops(config, {0, span.tokens}).gemm;
+}
+
+Flops ForwardEmbeddingFlops(const TransformerConfig& config, std::int64_t tokens) {
+  // Table lookup; modelled as one copy of the output activations.
+  return static_cast<double>(tokens) * static_cast<double>(config.hidden);
+}
+
+Flops ForwardHeadFlops(const TransformerConfig& config, std::int64_t tokens) {
+  return 2.0 * static_cast<double>(tokens) * static_cast<double>(config.hidden) *
+         static_cast<double>(config.vocab);
+}
+
+Flops BackwardHeadFlops(const TransformerConfig& config, std::int64_t tokens) {
+  return ForwardHeadFlops(config, tokens);  // dX projection
+}
+
+Flops WeightGradHeadFlops(const TransformerConfig& config, std::int64_t tokens) {
+  return ForwardHeadFlops(config, tokens);  // dW projection
+}
+
+std::vector<Flops> WeightGradGemms(const TransformerConfig& config, std::int64_t tokens) {
+  const double t = static_cast<double>(tokens);
+  const double h = static_cast<double>(config.hidden);
+  const double hkv = static_cast<double>(config.kv_hidden());
+  const double f = static_cast<double>(config.ffn_hidden);
+  return {
+      2.0 * t * h * h,    // dW_q
+      2.0 * t * h * hkv,  // dW_k
+      2.0 * t * h * hkv,  // dW_v
+      2.0 * t * h * h,    // dW_out
+      2.0 * t * h * f,    // dW_gate
+      2.0 * t * h * f,    // dW_up
+      2.0 * t * f * h,    // dW_down
+  };
+}
+
+Flops TrainingFlops(const TransformerConfig& config, std::int64_t tokens) {
+  // Per-layer: F + B + W for the full sequence.
+  const SliceSpan whole{0, config.seq_len};
+  const LayerFlops fwd = ForwardLayerFlops(config, whole);
+  const Flops per_layer = fwd.total() + BackwardLayerFlops(config, whole) +
+                          WeightGradLayerFlops(config, whole);
+  const double sequences = static_cast<double>(tokens) / static_cast<double>(config.seq_len);
+  const Flops layers = sequences * static_cast<double>(config.layers) * per_layer;
+  const Flops head = sequences * (ForwardHeadFlops(config, config.seq_len) +
+                                  BackwardHeadFlops(config, config.seq_len) +
+                                  WeightGradHeadFlops(config, config.seq_len));
+  return layers + head;
+}
+
+double ModelFlopsUtilization(const TransformerConfig& config, std::int64_t tokens_per_iter,
+                             Seconds iteration_time, int num_gpus, FlopsPerSecond peak_per_gpu) {
+  MEPIPE_CHECK_GT(iteration_time, 0.0);
+  MEPIPE_CHECK_GT(num_gpus, 0);
+  const Flops work = TrainingFlops(config, tokens_per_iter);
+  return work / (iteration_time * static_cast<double>(num_gpus) * peak_per_gpu);
+}
+
+}  // namespace mepipe::model

@@ -1,0 +1,84 @@
+// Floating-point-operation cost model for decoder-only transformers,
+// resolved to the granularity MEPipe schedules at: one *slice* of one
+// micro-batch passing through one contiguous group of layers.
+//
+// Costs are split the way §5 of the paper splits them:
+//   F  — forward pass (balanced GEMMs + context-dependent attention score)
+//   B  — backward activation-gradient pass (dX GEMMs + attention backward)
+//   W  — backward weight-gradient pass (dW GEMMs only; independent of the
+//        slice's attention context, hence balanced across slices)
+//
+// The attention-score term grows with the number of preceding tokens,
+// which is exactly the per-slice imbalance the paper's fine-grained
+// weight-gradient technique compensates for.
+#ifndef MEPIPE_MODEL_FLOPS_H_
+#define MEPIPE_MODEL_FLOPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "model/transformer.h"
+
+namespace mepipe::model {
+
+// A contiguous token range of one sample: [start, start + tokens).
+// `start` is the number of preceding tokens the attention of this slice
+// must attend over (its KV context offset).
+struct SliceSpan {
+  std::int64_t start = 0;
+  std::int64_t tokens = 0;
+
+  std::int64_t end() const { return start + tokens; }
+  bool operator==(const SliceSpan&) const = default;
+};
+
+// Partitions a sequence of `seq_len` tokens into `slices` uniform spans.
+// `seq_len` need not divide evenly; earlier slices get the remainder,
+// matching Megatron's padding-free uniform split.
+std::vector<SliceSpan> UniformSlices(std::int64_t seq_len, std::int64_t slices);
+
+// Per-transformer-layer forward FLOPs of one slice, split into the
+// context-independent GEMM part and the context-dependent attention part.
+struct LayerFlops {
+  Flops gemm = 0;
+  Flops attention = 0;
+  Flops total() const { return gemm + attention; }
+};
+
+LayerFlops ForwardLayerFlops(const TransformerConfig& config, const SliceSpan& span);
+
+// Backward activation-gradient (B) FLOPs of one slice through one layer:
+// one dX GEMM set (equal to the forward GEMM cost) plus the attention
+// backward (≈ 2× the forward attention cost: dQ, dK/dV recurrences).
+Flops BackwardLayerFlops(const TransformerConfig& config, const SliceSpan& span);
+
+// Weight-gradient (W) FLOPs of one slice through one layer: one dW GEMM
+// set, equal to the forward GEMM cost and independent of `span.start`.
+Flops WeightGradLayerFlops(const TransformerConfig& config, const SliceSpan& span);
+
+// Embedding layer (lookup — negligible compute, modelled as a small copy).
+Flops ForwardEmbeddingFlops(const TransformerConfig& config, std::int64_t tokens);
+
+// LM head (projection to vocabulary + softmax/loss).
+Flops ForwardHeadFlops(const TransformerConfig& config, std::int64_t tokens);
+Flops BackwardHeadFlops(const TransformerConfig& config, std::int64_t tokens);
+Flops WeightGradHeadFlops(const TransformerConfig& config, std::int64_t tokens);
+
+// The per-GEMM decomposition of a layer's weight-gradient computation
+// (§5): q, k, v, attention-out, gate, up, down projections. Returns the
+// FLOPs of each individual GEMM for a slice of `tokens` tokens.
+std::vector<Flops> WeightGradGemms(const TransformerConfig& config, std::int64_t tokens);
+
+// Whole-model *model FLOPs* of one training step over `tokens` tokens
+// (forward + backward + weight grads), used for MFU accounting exactly as
+// the paper's §7.6 (≈ 6 · params · tokens + attention term).
+Flops TrainingFlops(const TransformerConfig& config, std::int64_t tokens);
+
+// Model FLOPS utilization given measured iteration time.
+double ModelFlopsUtilization(const TransformerConfig& config, std::int64_t tokens_per_iter,
+                             Seconds iteration_time, int num_gpus, FlopsPerSecond peak_per_gpu);
+
+}  // namespace mepipe::model
+
+#endif  // MEPIPE_MODEL_FLOPS_H_

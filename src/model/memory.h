@@ -1,0 +1,75 @@
+// Memory cost model (§4.5): the three components the paper's variant
+// selector reasons about — static memory (parameters, gradients,
+// optimizer shards), temporary memory (loss/logits workspace), and
+// activation memory retained between forward and backward passes.
+//
+// All byte counts are for bf16/fp16 training with a Megatron-style
+// mixed-precision Adam optimizer sharded over the data-parallel group
+// (ZeRO-1), matching the paper's setup.
+#ifndef MEPIPE_MODEL_MEMORY_H_
+#define MEPIPE_MODEL_MEMORY_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "model/transformer.h"
+
+namespace mepipe::model {
+
+// Tunable byte-accounting knobs. Defaults reproduce the paper's own
+// measurements (e.g. §7.4: the mixed-precision optimizer occupies
+// 12 bytes/param sharded over all d·p workers ⇒ 6.375 GB for 34B on 64).
+struct MemoryModelOptions {
+  int bytes_per_param = 2;          // bf16 parameters
+  int bytes_per_grad = 2;           // bf16 gradient buffers
+  int optimizer_bytes_per_param = 12;  // fp32 master + Adam m, v (ZeRO-1 sharded)
+  Bytes fixed_workspace = static_cast<Bytes>(1) * kGiB;  // cuDNN/cuBLAS/NCCL workspaces
+};
+
+// --- Activation accounting -------------------------------------------------
+
+// Bytes of activations one transformer layer must retain per token for its
+// backward pass (FlashAttention: no quadratic score matrix is stored).
+Bytes LayerActivationBytesPerToken(const TransformerConfig& config);
+
+// Same, when full recomputation is enabled: only the layer input survives.
+Bytes LayerActivationBytesPerTokenRecompute(const TransformerConfig& config);
+
+// Bytes of the hidden-state boundary tensor transferred between pipeline
+// stages, per token.
+Bytes BoundaryBytesPerToken(const TransformerConfig& config);
+
+// Bytes of activation *gradients* retained per token per layer between a
+// split backward (B) and its deferred weight-gradient computation (W).
+// This is the extra footprint of zero-bubble-style scheduling (§7.1).
+Bytes LayerActGradBytesPerToken(const TransformerConfig& config);
+
+// Activation memory of one full sample through the whole model — the "A"
+// of Table 3 (embedding/head contributions folded in).
+Bytes SampleActivationBytes(const TransformerConfig& config);
+
+// --- Static + temporary accounting -----------------------------------------
+
+struct StageMemory {
+  Bytes parameters = 0;
+  Bytes gradients = 0;
+  Bytes optimizer = 0;
+  Bytes temporary = 0;
+  Bytes total() const { return parameters + gradients + optimizer + temporary; }
+};
+
+// Static + temporary memory of one pipeline stage holding `stage_layers`
+// partition units (embedding and head included via flags), with the
+// optimizer sharded over `dp` workers.
+StageMemory StaticStageMemory(const TransformerConfig& config, std::int64_t stage_layers,
+                              bool has_embedding, bool has_head, int dp,
+                              std::int64_t logits_tokens,
+                              const MemoryModelOptions& options = {});
+
+// Temporary bytes for materializing fp32 logits + softmax for `tokens`
+// tokens on the head stage. Slicing samples (SPP) shrinks this too.
+Bytes LogitsTemporaryBytes(const TransformerConfig& config, std::int64_t tokens);
+
+}  // namespace mepipe::model
+
+#endif  // MEPIPE_MODEL_MEMORY_H_

@@ -1,0 +1,130 @@
+#include "model/slicing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mepipe::model {
+
+Flops SliceForwardCost(const TransformerConfig& config, const SliceSpan& span) {
+  return ForwardLayerFlops(config, span).total();
+}
+
+namespace {
+
+// Largest token count t such that the slice [start, start+t) costs at
+// most `budget` FLOPs. Slice cost is strictly increasing in t, so binary
+// search applies.
+std::int64_t MaxTokensWithinBudget(const TransformerConfig& config, std::int64_t start,
+                                   std::int64_t remaining, Flops budget) {
+  std::int64_t lo = 0;
+  std::int64_t hi = remaining;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo + 1) / 2;
+    if (SliceForwardCost(config, {start, mid}) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+// Can `seq_len` tokens be covered by at most `slices` slices each
+// costing ≤ budget? Greedy (always take the largest feasible slice) is
+// optimal for contiguous bottleneck partitioning.
+bool Feasible(const TransformerConfig& config, std::int64_t seq_len, std::int64_t slices,
+              Flops budget) {
+  std::int64_t start = 0;
+  for (std::int64_t i = 0; i < slices && start < seq_len; ++i) {
+    const std::int64_t take = MaxTokensWithinBudget(config, start, seq_len - start, budget);
+    if (take == 0) {
+      return false;  // even a single token exceeds the budget
+    }
+    start += take;
+  }
+  return start >= seq_len;
+}
+
+}  // namespace
+
+std::vector<SliceSpan> BalancedSlices(const TransformerConfig& config, std::int64_t seq_len,
+                                      std::int64_t slices) {
+  MEPIPE_CHECK_GT(slices, 0);
+  MEPIPE_CHECK_GE(seq_len, slices);
+  if (slices == 1) {
+    return {{0, seq_len}};
+  }
+
+  // Binary-search the bottleneck budget between mean cost and whole cost.
+  const Flops whole = SliceForwardCost(config, {0, seq_len});
+  Flops lo = whole / static_cast<double>(slices);
+  Flops hi = whole;
+  for (int iter = 0; iter < 64 && hi - lo > 1e-6 * whole; ++iter) {
+    const Flops mid = (lo + hi) / 2.0;
+    if (Feasible(config, seq_len, slices, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // Materialize the partition at the found bottleneck, then spread any
+  // trailing shortfall by extending the final slice.
+  std::vector<SliceSpan> spans;
+  std::int64_t start = 0;
+  for (std::int64_t i = 0; i < slices; ++i) {
+    std::int64_t take;
+    if (i + 1 == slices) {
+      take = seq_len - start;
+    } else {
+      take = MaxTokensWithinBudget(config, start, seq_len - start, hi);
+      // Never strand the remaining slices without tokens.
+      const std::int64_t slices_left = slices - i - 1;
+      take = std::min(take, seq_len - start - slices_left);
+      take = std::max<std::int64_t>(take, 1);
+    }
+    spans.push_back({start, take});
+    start += take;
+  }
+  MEPIPE_CHECK_EQ(start, seq_len);
+  return spans;
+}
+
+double SliceImbalance(const TransformerConfig& config, const std::vector<SliceSpan>& spans) {
+  MEPIPE_CHECK(!spans.empty());
+  Flops max_cost = 0;
+  Flops total = 0;
+  for (const SliceSpan& span : spans) {
+    const Flops cost = SliceForwardCost(config, span);
+    max_cost = std::max(max_cost, cost);
+    total += cost;
+  }
+  return max_cost / (total / static_cast<double>(spans.size()));
+}
+
+std::vector<SliceSpan> AlignSlices(std::vector<SliceSpan> spans, std::int64_t alignment) {
+  MEPIPE_CHECK_GT(alignment, 0);
+  if (spans.size() <= 1 || alignment == 1) {
+    return spans;
+  }
+  const std::int64_t seq_len = spans.back().end();
+  std::int64_t start = 0;
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+    std::int64_t end = spans[i].end();
+    end = (end + alignment / 2) / alignment * alignment;  // round to nearest
+    // Keep at least one aligned block per remaining slice.
+    const std::int64_t min_end = start + alignment;
+    const std::int64_t max_end =
+        seq_len - static_cast<std::int64_t>(spans.size() - i - 1) * alignment;
+    end = std::clamp(end, min_end, max_end);
+    spans[i] = {start, end - start};
+    start = end;
+  }
+  spans.back() = {start, seq_len - start};
+  MEPIPE_CHECK_GT(spans.back().tokens, 0);
+  return spans;
+}
+
+}  // namespace mepipe::model

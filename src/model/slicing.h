@@ -1,0 +1,48 @@
+// Sample-slicing strategies.
+//
+// Uniform slicing (model/flops.h) keeps GEMM shapes power-of-two
+// friendly but leaves the causal-attention work imbalanced: later slices
+// attend over more context. TeraPipe instead partitions samples
+// *non-uniformly* so every slice costs the same time, via dynamic
+// programming (§5). MEPipe argues uniform + fine-grained W wins at
+// moderate context, while non-uniform wins beyond ~128k tokens — this
+// module implements the non-uniform partitioner so the trade-off can be
+// measured (see bench_ablation_slicing).
+#ifndef MEPIPE_MODEL_SLICING_H_
+#define MEPIPE_MODEL_SLICING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/flops.h"
+#include "model/transformer.h"
+
+namespace mepipe::model {
+
+// Forward cost (FLOPs) of one slice through one transformer layer —
+// the objective the balanced partitioner equalizes.
+Flops SliceForwardCost(const TransformerConfig& config, const SliceSpan& span);
+
+// Partitions `seq_len` tokens into `slices` contiguous spans whose
+// per-layer forward FLOPs are as equal as possible (minimizes the
+// maximum slice cost). Earlier slices come out longer (they attend over
+// less context). Runs an exact bottleneck search (binary search on the
+// bottleneck + greedy feasibility, O(s·log²)), equivalent to TeraPipe's
+// DP solution for this cost structure.
+std::vector<SliceSpan> BalancedSlices(const TransformerConfig& config, std::int64_t seq_len,
+                                      std::int64_t slices);
+
+// Quality metric: max slice cost / mean slice cost (1.0 = perfectly
+// balanced). Uniform slicing of long contexts scores well above 1.
+double SliceImbalance(const TransformerConfig& config,
+                      const std::vector<SliceSpan>& spans);
+
+// Rounds span boundaries to multiples of `alignment` tokens (GEMM and
+// FlashAttention prefer power-of-two-ish shapes — the paper's §5
+// efficiency argument), preserving coverage. The last span absorbs the
+// rounding remainder.
+std::vector<SliceSpan> AlignSlices(std::vector<SliceSpan> spans, std::int64_t alignment);
+
+}  // namespace mepipe::model
+
+#endif  // MEPIPE_MODEL_SLICING_H_

@@ -1,0 +1,85 @@
+#include "model/transformer.h"
+
+#include "common/check.h"
+
+namespace mepipe::model {
+
+std::int64_t TransformerConfig::params_per_layer() const {
+  // Attention: Q (h*h), K/V (h*h_kv each), output projection (h*h).
+  const std::int64_t attn = hidden * hidden * 2 + hidden * kv_hidden() * 2;
+  // Gated MLP: gate, up (h*f each) and down (f*h).
+  const std::int64_t mlp = 3 * hidden * ffn_hidden;
+  // RMSNorm scales (two per layer).
+  const std::int64_t norms = 2 * hidden;
+  return attn + mlp + norms;
+}
+
+std::int64_t TransformerConfig::embedding_params() const { return vocab * hidden; }
+
+std::int64_t TransformerConfig::head_params() const { return vocab * hidden; }
+
+std::int64_t TransformerConfig::total_params() const {
+  return layers * params_per_layer() + embedding_params() + head_params() + hidden /* final norm */;
+}
+
+TransformerConfig Llama7B() {
+  TransformerConfig c;
+  c.name = "Llama-7B";
+  c.hidden = 4096;
+  c.ffn_hidden = 11008;
+  c.layers = 30;  // 32 minus the two removed layers (§7.1)
+  c.heads = 32;
+  c.kv_heads = 32;
+  return c;
+}
+
+TransformerConfig Llama13B() {
+  TransformerConfig c;
+  c.name = "Llama-13B";
+  c.hidden = 5120;
+  c.ffn_hidden = 13824;
+  c.layers = 38;  // 40 minus the two removed layers
+  c.heads = 40;
+  c.kv_heads = 40;
+  return c;
+}
+
+TransformerConfig Llama34B() {
+  TransformerConfig c;
+  c.name = "Llama-34B";
+  c.hidden = 8192;
+  c.ffn_hidden = 22016;
+  c.layers = 46;  // 48 minus the two removed layers
+  c.heads = 64;
+  c.kv_heads = 8;  // Llama-2 34B uses grouped-query attention
+  return c;
+}
+
+TransformerConfig LlamaBySize(const std::string& size) {
+  if (size == "7B") {
+    return Llama7B();
+  }
+  if (size == "13B") {
+    return Llama13B();
+  }
+  if (size == "34B") {
+    return Llama34B();
+  }
+  MEPIPE_CHECK(false) << "unknown Llama size: " << size;
+  return {};
+}
+
+TransformerConfig TinyTestModel() {
+  TransformerConfig c;
+  c.name = "Tiny";
+  c.hidden = 64;
+  c.ffn_hidden = 172;
+  c.layers = 6;
+  c.heads = 4;
+  c.kv_heads = 4;
+  c.vocab = 1000;
+  c.seq_len = 128;
+  return c;
+}
+
+}  // namespace mepipe::model

@@ -1,0 +1,55 @@
+// Transformer (Llama-family) model descriptions.
+//
+// Mirrors the configurations evaluated in the paper (§7.1, Table 4):
+// Llama-2 7B / 13B / 34B with two transformer layers removed so that the
+// embedding layer and the LM head layer can be counted as pipeline
+// partition units, giving 32 / 40 / 48 evenly partitionable "layers".
+#ifndef MEPIPE_MODEL_TRANSFORMER_H_
+#define MEPIPE_MODEL_TRANSFORMER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace mepipe::model {
+
+// Static architecture description of a decoder-only transformer.
+struct TransformerConfig {
+  std::string name;
+  std::int64_t hidden = 0;           // model width h
+  std::int64_t ffn_hidden = 0;       // gated-MLP intermediate width f
+  std::int64_t layers = 0;           // transformer layers (embedding/head excluded)
+  std::int64_t heads = 0;            // attention heads
+  std::int64_t kv_heads = 0;         // key/value heads (GQA); == heads for MHA
+  std::int64_t vocab = 32000;        // vocabulary size
+  std::int64_t seq_len = 4096;       // training context length
+
+  // Number of pipeline partition units: transformer layers plus the
+  // embedding layer and the head layer (§7.1).
+  std::int64_t partition_units() const { return layers + 2; }
+
+  // Per-head dimension.
+  std::int64_t head_dim() const { return hidden / heads; }
+  // Total K/V width (h_kv): kv_heads * head_dim.
+  std::int64_t kv_hidden() const { return kv_heads * head_dim(); }
+
+  // Parameter counts.
+  std::int64_t params_per_layer() const;
+  std::int64_t embedding_params() const;  // token embedding table
+  std::int64_t head_params() const;       // LM head projection
+  std::int64_t total_params() const;
+};
+
+// Paper presets (Table 4, with the two-layer removal already applied).
+TransformerConfig Llama7B();
+TransformerConfig Llama13B();
+TransformerConfig Llama34B();
+TransformerConfig LlamaBySize(const std::string& size);  // "7B" | "13B" | "34B"
+
+// A tiny model for tests/examples where absolute sizes are irrelevant.
+TransformerConfig TinyTestModel();
+
+}  // namespace mepipe::model
+
+#endif  // MEPIPE_MODEL_TRANSFORMER_H_

@@ -1,0 +1,382 @@
+#include "ref/ref_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace mepipe::ref {
+
+using tensor::Tensor;
+
+namespace {
+
+// Copies head `hd`'s columns [hd·d, (hd+1)·d) out of x[t, h].
+Tensor HeadCols(const Tensor& x, std::int64_t hd, std::int64_t d) {
+  const std::int64_t t = x.dim(0);
+  Tensor out({t, d});
+  for (std::int64_t i = 0; i < t; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      out.at(i, j) = x.at(i, hd * d + j);
+    }
+  }
+  return out;
+}
+
+void AddHeadCols(Tensor& x, const Tensor& part, std::int64_t hd, std::int64_t d) {
+  const std::int64_t t = part.dim(0);
+  for (std::int64_t i = 0; i < t; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      x.at(i, hd * d + j) += part.at(i, j);
+    }
+  }
+}
+
+// Forward state retained by one (layer, slice) for its backward pass —
+// the "activations" whose footprint the scheduling work economizes.
+struct LayerSliceState {
+  Tensor x_in;                  // [t,h] layer input
+  Tensor normed_attn;           // [t,h]
+  Tensor inv_rms_attn;          // [t]
+  Tensor q, k, v;               // [t,h]
+  std::vector<Tensor> probs;    // per head: [t, ctx_end]
+  Tensor ctx;                   // [t,h] attention mix (input of wo)
+  Tensor resid;                 // [t,h] x_in + attn_out
+  Tensor normed_mlp;            // [t,h]
+  Tensor inv_rms_mlp;           // [t]
+  Tensor gate, up, act;         // [t,f]
+};
+
+struct SliceState {
+  std::vector<LayerSliceState> layers;
+  Tensor final_in;       // [t,h] input of the final norm
+  Tensor inv_rms_final;  // [t]
+  Tensor normed_final;   // [t,h]
+  Tensor dlogits;        // [t,V] from the loss
+};
+
+// A deferred weight-gradient GEMM: *target += inᵀ · dout (§5).
+struct WGradTask {
+  Tensor in;
+  Tensor dout;
+  Tensor* target;
+};
+
+class WGradSink {
+ public:
+  explicit WGradSink(bool deferred) : deferred_(deferred) {}
+
+  void Emit(const Tensor& in, const Tensor& dout, Tensor* target) {
+    if (deferred_) {
+      tasks_.push_back({in, dout, target});
+    } else {
+      target->Add(MatMulTa(in, dout));
+    }
+  }
+
+  // Runs every deferred GEMM (the W phase).
+  void Drain() {
+    for (const WGradTask& task : tasks_) {
+      task.target->Add(MatMulTa(task.in, task.dout));
+    }
+    tasks_.clear();
+  }
+
+ private:
+  bool deferred_;
+  std::vector<WGradTask> tasks_;
+};
+
+}  // namespace
+
+Weights Weights::Random(const RefConfig& config, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const float scale = 0.08f;
+  Weights w;
+  w.embedding = Tensor::Randn({config.vocab, config.hidden}, rng, scale);
+  w.final_norm = Tensor({config.hidden});
+  w.final_norm.Fill(1.0f);
+  w.head = Tensor::Randn({config.hidden, config.vocab}, rng, scale);
+  for (std::int64_t l = 0; l < config.layers; ++l) {
+    LayerWeights layer;
+    layer.wq = Tensor::Randn({config.hidden, config.hidden}, rng, scale);
+    layer.wk = Tensor::Randn({config.hidden, config.hidden}, rng, scale);
+    layer.wv = Tensor::Randn({config.hidden, config.hidden}, rng, scale);
+    layer.wo = Tensor::Randn({config.hidden, config.hidden}, rng, scale);
+    layer.wgate = Tensor::Randn({config.hidden, config.ffn}, rng, scale);
+    layer.wup = Tensor::Randn({config.hidden, config.ffn}, rng, scale);
+    layer.wdown = Tensor::Randn({config.ffn, config.hidden}, rng, scale);
+    layer.norm_attn = Tensor({config.hidden});
+    layer.norm_attn.Fill(1.0f);
+    layer.norm_mlp = Tensor({config.hidden});
+    layer.norm_mlp.Fill(1.0f);
+    w.layers.push_back(std::move(layer));
+  }
+  return w;
+}
+
+Weights Weights::ZerosLike(const RefConfig& config) {
+  Weights w;
+  w.embedding = Tensor::Zeros({config.vocab, config.hidden});
+  w.final_norm = Tensor::Zeros({config.hidden});
+  w.head = Tensor::Zeros({config.hidden, config.vocab});
+  for (std::int64_t l = 0; l < config.layers; ++l) {
+    LayerWeights layer;
+    layer.wq = Tensor::Zeros({config.hidden, config.hidden});
+    layer.wk = Tensor::Zeros({config.hidden, config.hidden});
+    layer.wv = Tensor::Zeros({config.hidden, config.hidden});
+    layer.wo = Tensor::Zeros({config.hidden, config.hidden});
+    layer.wgate = Tensor::Zeros({config.hidden, config.ffn});
+    layer.wup = Tensor::Zeros({config.hidden, config.ffn});
+    layer.wdown = Tensor::Zeros({config.ffn, config.hidden});
+    layer.norm_attn = Tensor::Zeros({config.hidden});
+    layer.norm_mlp = Tensor::Zeros({config.hidden});
+    w.layers.push_back(std::move(layer));
+  }
+  return w;
+}
+
+float Weights::MaxAbsDiff(const Weights& a, const Weights& b) {
+  float m = Tensor::MaxAbsDiff(a.embedding, b.embedding);
+  m = std::max(m, Tensor::MaxAbsDiff(a.final_norm, b.final_norm));
+  m = std::max(m, Tensor::MaxAbsDiff(a.head, b.head));
+  MEPIPE_CHECK_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    const LayerWeights& x = a.layers[l];
+    const LayerWeights& y = b.layers[l];
+    m = std::max(m, Tensor::MaxAbsDiff(x.wq, y.wq));
+    m = std::max(m, Tensor::MaxAbsDiff(x.wk, y.wk));
+    m = std::max(m, Tensor::MaxAbsDiff(x.wv, y.wv));
+    m = std::max(m, Tensor::MaxAbsDiff(x.wo, y.wo));
+    m = std::max(m, Tensor::MaxAbsDiff(x.wgate, y.wgate));
+    m = std::max(m, Tensor::MaxAbsDiff(x.wup, y.wup));
+    m = std::max(m, Tensor::MaxAbsDiff(x.wdown, y.wdown));
+    m = std::max(m, Tensor::MaxAbsDiff(x.norm_attn, y.norm_attn));
+    m = std::max(m, Tensor::MaxAbsDiff(x.norm_mlp, y.norm_mlp));
+  }
+  return m;
+}
+
+RefModel::StepResult RefModel::TrainStepSliced(const std::vector<std::int64_t>& tokens,
+                                               const std::vector<std::int64_t>& targets,
+                                               const std::vector<model::SliceSpan>& spans,
+                                               bool defer_weight_grads) const {
+  MEPIPE_CHECK_EQ(static_cast<std::int64_t>(tokens.size()), config_.seq_len);
+  MEPIPE_CHECK_EQ(tokens.size(), targets.size());
+  MEPIPE_CHECK(!spans.empty());
+  MEPIPE_CHECK_EQ(spans.back().end(), config_.seq_len);
+
+  const std::int64_t h = config_.hidden;
+  const std::int64_t d = config_.head_dim();
+  const std::int64_t heads = config_.heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const std::int64_t total_tokens = config_.seq_len;
+
+  StepResult result;
+  result.grads = Weights::ZerosLike(config_);
+  WGradSink wgrad(defer_weight_grads);
+
+  // --- forward: slices in order, growing per-layer K/V caches ------------
+  std::vector<Tensor> k_cache(static_cast<std::size_t>(config_.layers), Tensor({0, h}));
+  std::vector<Tensor> v_cache(static_cast<std::size_t>(config_.layers), Tensor({0, h}));
+  std::vector<SliceState> states(spans.size());
+
+  for (std::size_t si = 0; si < spans.size(); ++si) {
+    const model::SliceSpan span = spans[si];
+    std::vector<std::int64_t> slice_tokens(
+        tokens.begin() + static_cast<std::ptrdiff_t>(span.start),
+        tokens.begin() + static_cast<std::ptrdiff_t>(span.end()));
+    Tensor x = Embed(weights_.embedding, slice_tokens);
+
+    SliceState& state = states[si];
+    state.layers.resize(static_cast<std::size_t>(config_.layers));
+    for (std::int64_t l = 0; l < config_.layers; ++l) {
+      const LayerWeights& w = weights_.layers[static_cast<std::size_t>(l)];
+      LayerSliceState& ls = state.layers[static_cast<std::size_t>(l)];
+      ls.x_in = x;
+
+      auto norm_attn = RmsNorm(x, w.norm_attn);
+      ls.normed_attn = norm_attn.y;
+      ls.inv_rms_attn = norm_attn.inv_rms;
+      ls.q = MatMul(ls.normed_attn, w.wq);
+      ls.k = MatMul(ls.normed_attn, w.wk);
+      ls.v = MatMul(ls.normed_attn, w.wv);
+      k_cache[static_cast<std::size_t>(l)].AppendRows(ls.k);
+      v_cache[static_cast<std::size_t>(l)].AppendRows(ls.v);
+      const Tensor& keys = k_cache[static_cast<std::size_t>(l)];
+      const Tensor& values = v_cache[static_cast<std::size_t>(l)];
+      const std::int64_t ctx = keys.dim(0);
+      MEPIPE_CHECK_EQ(ctx, span.end());
+
+      ls.ctx = Tensor({span.tokens, h});
+      ls.probs.resize(static_cast<std::size_t>(heads));
+      for (std::int64_t hd = 0; hd < heads; ++hd) {
+        const Tensor qh = HeadCols(ls.q, hd, d);
+        const Tensor kh = HeadCols(keys, hd, d);
+        const Tensor vh = HeadCols(values, hd, d);
+        Tensor scores = MatMulTb(qh, kh);  // [t, ctx]
+        scores.Scale(scale);
+        // Causal mask: query at global position span.start+i sees keys 0..pos.
+        for (std::int64_t i = 0; i < span.tokens; ++i) {
+          for (std::int64_t j = span.start + i + 1; j < ctx; ++j) {
+            scores.at(i, j) = -1e30f;
+          }
+        }
+        Tensor probs = SoftmaxRows(scores);
+        AddHeadCols(ls.ctx, MatMul(probs, vh), hd, d);
+        ls.probs[static_cast<std::size_t>(hd)] = std::move(probs);
+      }
+
+      Tensor attn_out = MatMul(ls.ctx, w.wo);
+      ls.resid = ls.x_in;
+      ls.resid.Add(attn_out);
+
+      auto norm_mlp = RmsNorm(ls.resid, w.norm_mlp);
+      ls.normed_mlp = norm_mlp.y;
+      ls.inv_rms_mlp = norm_mlp.inv_rms;
+      ls.gate = MatMul(ls.normed_mlp, w.wgate);
+      ls.up = MatMul(ls.normed_mlp, w.wup);
+      ls.act = Mul(Silu(ls.gate), ls.up);
+      Tensor mlp_out = MatMul(ls.act, w.wdown);
+      x = ls.resid;
+      x.Add(mlp_out);
+    }
+
+    // Head + loss for this slice (the loss of slice t depends only on its
+    // own logits — why the first backward can start early, §4.1).
+    state.final_in = x;
+    auto norm_final = RmsNorm(x, weights_.final_norm);
+    state.normed_final = norm_final.y;
+    state.inv_rms_final = norm_final.inv_rms;
+    Tensor logits = MatMul(state.normed_final, weights_.head);
+    std::vector<std::int64_t> slice_targets(
+        targets.begin() + static_cast<std::ptrdiff_t>(span.start),
+        targets.begin() + static_cast<std::ptrdiff_t>(span.end()));
+    auto ce = CrossEntropy(logits, slice_targets);
+    const double weight = static_cast<double>(span.tokens) / static_cast<double>(total_tokens);
+    result.loss += ce.loss * weight;
+    ce.dlogits.Scale(static_cast<float>(weight));
+    state.dlogits = std::move(ce.dlogits);
+  }
+
+  // --- backward: slices in REVERSE order with dK/dV accumulators ----------
+  // B(m,t) must run after B(m,t+1): the gradient of slice t's keys/values
+  // receives contributions from every later slice's queries. These
+  // accumulators are that dependency, made concrete.
+  std::vector<Tensor> dk_cache(static_cast<std::size_t>(config_.layers),
+                               Tensor({config_.seq_len, h}));
+  std::vector<Tensor> dv_cache(static_cast<std::size_t>(config_.layers),
+                               Tensor({config_.seq_len, h}));
+
+  for (std::size_t si = spans.size(); si-- > 0;) {
+    const model::SliceSpan span = spans[si];
+    SliceState& state = states[si];
+
+    // Head / final-norm backward.
+    Tensor dy = MatMulTb(state.dlogits, weights_.head);  // [t,h]
+    wgrad.Emit(state.normed_final, state.dlogits, &result.grads.head);
+    auto final_grads = RmsNormBackward(state.final_in, weights_.final_norm,
+                                       state.inv_rms_final, dy);
+    result.grads.final_norm.Add(final_grads.dw);
+    Tensor dx = std::move(final_grads.dx);  // gradient w.r.t. layer-stack output
+
+    for (std::int64_t l = config_.layers; l-- > 0;) {
+      const LayerWeights& w = weights_.layers[static_cast<std::size_t>(l)];
+      LayerWeights& g = result.grads.layers[static_cast<std::size_t>(l)];
+      LayerSliceState& ls = state.layers[static_cast<std::size_t>(l)];
+
+      // out = resid + wdown(act(norm_mlp(resid)))
+      const Tensor& d_out = dx;
+      Tensor d_act = MatMulTb(d_out, w.wdown);
+      wgrad.Emit(ls.act, d_out, &g.wdown);
+      const Tensor silu_gate = Silu(ls.gate);
+      Tensor d_gate_out = Mul(d_act, ls.up);
+      Tensor d_up = Mul(d_act, silu_gate);
+      Tensor d_gate = SiluBackward(ls.gate, d_gate_out);
+      Tensor d_normed_mlp = MatMulTb(d_gate, w.wgate);
+      d_normed_mlp.Add(MatMulTb(d_up, w.wup));
+      wgrad.Emit(ls.normed_mlp, d_gate, &g.wgate);
+      wgrad.Emit(ls.normed_mlp, d_up, &g.wup);
+      auto mlp_norm_grads =
+          RmsNormBackward(ls.resid, w.norm_mlp, ls.inv_rms_mlp, d_normed_mlp);
+      g.norm_mlp.Add(mlp_norm_grads.dw);
+      Tensor d_resid = d_out;
+      d_resid.Add(mlp_norm_grads.dx);
+
+      // resid = x_in + wo(ctx)
+      Tensor d_ctx = MatMulTb(d_resid, w.wo);
+      wgrad.Emit(ls.ctx, d_resid, &g.wo);
+
+      // Attention backward per head; dK/dV flow into the accumulators.
+      const Tensor& keys = k_cache[static_cast<std::size_t>(l)];
+      const Tensor& values = v_cache[static_cast<std::size_t>(l)];
+      Tensor d_q = Tensor({span.tokens, h});
+      Tensor& dk_acc = dk_cache[static_cast<std::size_t>(l)];
+      Tensor& dv_acc = dv_cache[static_cast<std::size_t>(l)];
+      const std::int64_t ctx_len = span.end();
+      for (std::int64_t hd = 0; hd < heads; ++hd) {
+        const Tensor& probs = ls.probs[static_cast<std::size_t>(hd)];
+        const Tensor d_ctx_h = HeadCols(d_ctx, hd, d);
+        const Tensor kh = HeadCols(keys, hd, d).RowSlice(0, ctx_len);
+        const Tensor vh = HeadCols(values, hd, d).RowSlice(0, ctx_len);
+        // dV_ctx += probsᵀ · d_ctx_h   (contributes to *all* prior slices)
+        const Tensor dv_part = MatMulTa(probs, d_ctx_h);  // [ctx, d]
+        for (std::int64_t j = 0; j < ctx_len; ++j) {
+          for (std::int64_t c = 0; c < d; ++c) {
+            dv_acc.at(j, hd * d + c) += dv_part.at(j, c);
+          }
+        }
+        const Tensor d_probs = MatMulTb(d_ctx_h, vh);  // [t, ctx]
+        Tensor d_scores = SoftmaxRowsBackward(probs, d_probs);
+        d_scores.Scale(scale);
+        AddHeadCols(d_q, MatMul(d_scores, kh), hd, d);
+        const Tensor dk_part = MatMulTa(d_scores, HeadCols(ls.q, hd, d));  // [ctx, d]
+        for (std::int64_t j = 0; j < ctx_len; ++j) {
+          for (std::int64_t c = 0; c < d; ++c) {
+            dk_acc.at(j, hd * d + c) += dk_part.at(j, c);
+          }
+        }
+      }
+
+      // This slice's own K/V rows are now fully accumulated (its own
+      // queries above + every later slice processed before it).
+      const Tensor d_k_own = dk_acc.RowSlice(span.start, span.end());
+      const Tensor d_v_own = dv_acc.RowSlice(span.start, span.end());
+      Tensor d_normed_attn = MatMulTb(d_q, w.wq);
+      d_normed_attn.Add(MatMulTb(d_k_own, w.wk));
+      d_normed_attn.Add(MatMulTb(d_v_own, w.wv));
+      wgrad.Emit(ls.normed_attn, d_q, &g.wq);
+      wgrad.Emit(ls.normed_attn, d_k_own, &g.wk);
+      wgrad.Emit(ls.normed_attn, d_v_own, &g.wv);
+
+      auto attn_norm_grads =
+          RmsNormBackward(ls.x_in, w.norm_attn, ls.inv_rms_attn, d_normed_attn);
+      g.norm_attn.Add(attn_norm_grads.dw);
+      Tensor d_x_in = std::move(attn_norm_grads.dx);
+      d_x_in.Add(d_resid);  // residual path
+      dx = std::move(d_x_in);
+    }
+
+    // Embedding gradient for this slice's tokens.
+    std::vector<std::int64_t> slice_tokens(
+        tokens.begin() + static_cast<std::ptrdiff_t>(span.start),
+        tokens.begin() + static_cast<std::ptrdiff_t>(span.end()));
+    EmbedBackward(slice_tokens, dx, result.grads.embedding);
+  }
+
+  // --- the W phase: run every deferred weight-gradient GEMM (§5) ----------
+  wgrad.Drain();
+  return result;
+}
+
+RefModel::StepResult RefModel::TrainStepWhole(const std::vector<std::int64_t>& tokens,
+                                              const std::vector<std::int64_t>& targets) const {
+  return TrainStepSliced(tokens, targets, {{0, config_.seq_len}}, false);
+}
+
+double RefModel::Loss(const std::vector<std::int64_t>& tokens,
+                      const std::vector<std::int64_t>& targets) const {
+  return TrainStepWhole(tokens, targets).loss;
+}
+
+}  // namespace mepipe::ref

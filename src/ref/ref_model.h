@@ -1,0 +1,94 @@
+// A reference decoder-only transformer executed *slice by slice* — the
+// numerical counterpart of the scheduling work in src/core.
+//
+// The simulator shows slice-level scheduling is fast; this module shows
+// it is *correct*: processing a sample as s sequential slices (forward
+// with a K/V cache, backward in reverse slice order with dK/dV
+// accumulators, weight gradients optionally deferred and applied later,
+// §5) produces bit-for-bit the gradients of whole-sequence execution up
+// to float associativity. The backward dependency the scheduler encodes
+// — B(m,t) after B(m,t+1) — is exactly the dK/dV accumulation order
+// visible in TrainStepSliced.
+//
+// Dimensions are meant to be tiny (tests use hidden ≤ 64); performance
+// is the simulator's job.
+#ifndef MEPIPE_REF_REF_MODEL_H_
+#define MEPIPE_REF_REF_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/flops.h"
+#include "tensor/tensor.h"
+
+namespace mepipe::ref {
+
+struct RefConfig {
+  std::int64_t hidden = 32;
+  std::int64_t ffn = 64;
+  std::int64_t layers = 2;
+  std::int64_t heads = 4;
+  std::int64_t vocab = 61;
+  std::int64_t seq_len = 16;
+
+  std::int64_t head_dim() const { return hidden / heads; }
+};
+
+struct LayerWeights {
+  tensor::Tensor wq, wk, wv, wo;      // [h,h]
+  tensor::Tensor wgate, wup;          // [h,f]
+  tensor::Tensor wdown;               // [f,h]
+  tensor::Tensor norm_attn, norm_mlp; // [h]
+};
+
+struct Weights {
+  tensor::Tensor embedding;  // [V,h]
+  tensor::Tensor final_norm; // [h]
+  tensor::Tensor head;       // [h,V]
+  std::vector<LayerWeights> layers;
+
+  static Weights Random(const RefConfig& config, std::uint32_t seed);
+  static Weights ZerosLike(const RefConfig& config);
+  // Max |a-b| over every parameter tensor.
+  static float MaxAbsDiff(const Weights& a, const Weights& b);
+};
+
+class RefModel {
+ public:
+  RefModel(RefConfig config, std::uint32_t seed)
+      : config_(config), weights_(Weights::Random(config, seed)) {}
+
+  const RefConfig& config() const { return config_; }
+  Weights& weights() { return weights_; }
+
+  struct StepResult {
+    double loss = 0;
+    Weights grads;
+  };
+
+  // One forward+backward over `tokens` (next-token targets `targets`),
+  // executed as the given sequence of slices. `defer_weight_grads`
+  // separates B from W: the backward stashes (activation, output-grad)
+  // pairs per GEMM and a second phase computes every dW — the §5
+  // decomposition.
+  StepResult TrainStepSliced(const std::vector<std::int64_t>& tokens,
+                             const std::vector<std::int64_t>& targets,
+                             const std::vector<model::SliceSpan>& spans,
+                             bool defer_weight_grads) const;
+
+  // Whole-sequence execution (a single slice).
+  StepResult TrainStepWhole(const std::vector<std::int64_t>& tokens,
+                            const std::vector<std::int64_t>& targets) const;
+
+  // Loss only (for finite-difference gradient checking).
+  double Loss(const std::vector<std::int64_t>& tokens,
+              const std::vector<std::int64_t>& targets) const;
+
+ private:
+  RefConfig config_;
+  Weights weights_;
+};
+
+}  // namespace mepipe::ref
+
+#endif  // MEPIPE_REF_REF_MODEL_H_

@@ -1,0 +1,73 @@
+#include "sched/dependency.h"
+
+#include "common/check.h"
+
+namespace mepipe::sched {
+
+std::vector<Dep> DependenciesOf(const PipelineProblem& problem, const OpId& op) {
+  const int last_chunk = problem.num_chunks() - 1;
+  const int stage = problem.stage_of_chunk(op.chunk);
+  std::vector<Dep> deps;
+  switch (op.kind) {
+    case OpKind::kForward: {
+      if (op.chunk > 0) {
+        const bool cross = problem.stage_of_chunk(op.chunk - 1) != stage;
+        deps.push_back({{OpKind::kForward, op.micro, op.slice, op.chunk - 1}, cross});
+      }
+      if (op.slice > 0) {
+        deps.push_back({{OpKind::kForward, op.micro, op.slice - 1, op.chunk}, false});
+      }
+      break;
+    }
+    case OpKind::kBackward: {
+      if (op.chunk < last_chunk) {
+        const bool cross = problem.stage_of_chunk(op.chunk + 1) != stage;
+        deps.push_back({{OpKind::kBackward, op.micro, op.slice, op.chunk + 1}, cross});
+      } else {
+        deps.push_back({{OpKind::kForward, op.micro, op.slice, last_chunk}, false});
+      }
+      if (op.slice + 1 < problem.slices) {
+        deps.push_back({{OpKind::kBackward, op.micro, op.slice + 1, op.chunk}, false});
+      }
+      break;
+    }
+    case OpKind::kWeightGrad:
+    case OpKind::kWeightGradGemm: {
+      deps.push_back({{OpKind::kBackward, op.micro, op.slice, op.chunk}, false});
+      break;
+    }
+  }
+  return deps;
+}
+
+std::vector<OpId> StageOps(const PipelineProblem& problem, int stage) {
+  MEPIPE_CHECK_GE(stage, 0);
+  MEPIPE_CHECK_LT(stage, problem.stages);
+  std::vector<OpId> ops;
+  for (int chunk = 0; chunk < problem.num_chunks(); ++chunk) {
+    if (problem.stage_of_chunk(chunk) != stage) {
+      continue;
+    }
+    for (int micro = 0; micro < problem.micros; ++micro) {
+      for (int slice = 0; slice < problem.slices; ++slice) {
+        ops.push_back({OpKind::kForward, micro, slice, chunk});
+        ops.push_back({OpKind::kBackward, micro, slice, chunk});
+        if (problem.split_backward) {
+          ops.push_back({OpKind::kWeightGrad, micro, slice, chunk});
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+std::vector<OpId> AllOps(const PipelineProblem& problem) {
+  std::vector<OpId> ops;
+  for (int stage = 0; stage < problem.stages; ++stage) {
+    auto stage_ops = StageOps(problem, stage);
+    ops.insert(ops.end(), stage_ops.begin(), stage_ops.end());
+  }
+  return ops;
+}
+
+}  // namespace mepipe::sched

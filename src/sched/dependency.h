@@ -1,0 +1,44 @@
+// Dependency semantics of slice-level pipeline training (§4.1, Figure 4).
+//
+// Forward F(m,t,g) requires:
+//   - F(m,t,g-1): the slice's activations from the preceding chunk
+//     (a cross-stage transfer whenever the chunks live on different
+//     stages);
+//   - F(m,t-1,g): the K/V of all preceding slices of the same sample on
+//     the same chunk (causal attention — same device, no transfer).
+// Backward B(m,t,g) requires:
+//   - B(m,t,g+1) (cross-stage), or F(m,t,G-1) when g is the last chunk
+//     (the loss of slice t only depends on its own logits);
+//   - B(m,t+1,g): dK/dV contributions flowing from later slices.
+// Weight gradients W/Wg(m,t,g) require only B(m,t,g).
+#ifndef MEPIPE_SCHED_DEPENDENCY_H_
+#define MEPIPE_SCHED_DEPENDENCY_H_
+
+#include <vector>
+
+#include "sched/op.h"
+
+namespace mepipe::sched {
+
+struct Dep {
+  OpId op;
+  bool cross_stage = false;  // satisfied through an inter-stage transfer
+
+  friend bool operator==(const Dep&, const Dep&) = default;
+};
+
+// Dependencies of `op` under `problem`. `op.kind == kWeightGradGemm` deps
+// match kWeightGrad (the GEMMs of one W are mutually independent).
+std::vector<Dep> DependenciesOf(const PipelineProblem& problem, const OpId& op);
+
+// All F/B(/W) compute ops owned by `stage`, in an unspecified order.
+// Per-GEMM W splits are not enumerated here (they are an execution-time
+// refinement of kWeightGrad).
+std::vector<OpId> StageOps(const PipelineProblem& problem, int stage);
+
+// All compute ops of the whole problem.
+std::vector<OpId> AllOps(const PipelineProblem& problem);
+
+}  // namespace mepipe::sched
+
+#endif  // MEPIPE_SCHED_DEPENDENCY_H_

@@ -1,0 +1,261 @@
+#include "sched/generator.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace mepipe::sched {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct GeneratorState {
+  const PipelineProblem& problem;
+  const GeneratorOptions& options;
+
+  // Completion time of finished ops (compute time, before transfer).
+  std::unordered_map<OpId, double, OpIdHash> done;
+  std::vector<double> stage_free;
+  std::vector<int> inflight;          // retained forwards per stage
+  std::vector<std::vector<OpId>> pending;  // unscheduled ops per stage
+  std::vector<std::vector<OpId>> order;    // output program order
+  // Forwards already scheduled per (stage, micro) — drives the
+  // reservation-based admission that keeps capped generation
+  // deadlock-free (see AdmitForward).
+  std::vector<std::vector<int>> fwd_scheduled;
+
+  explicit GeneratorState(const PipelineProblem& p, const GeneratorOptions& o)
+      : problem(p),
+        options(o),
+        stage_free(static_cast<std::size_t>(p.stages), 0.0),
+        inflight(static_cast<std::size_t>(p.stages), 0),
+        pending(static_cast<std::size_t>(p.stages)),
+        order(static_cast<std::size_t>(p.stages)),
+        fwd_scheduled(static_cast<std::size_t>(p.stages),
+                      std::vector<int>(static_cast<std::size_t>(p.micros), 0)),
+        last_kind(static_cast<std::size_t>(p.stages), OpKind::kForward) {}
+
+  // Admission control for forwards under the memory cap. Admitting any
+  // ready forward greedily can deadlock for v > 1: early chunks of new
+  // micro-batches fill the cap, starving the oldest micro's later-chunk
+  // forwards, whose backward chain is the only thing that frees memory.
+  // Rule: always leave enough headroom for the oldest forward-incomplete
+  // micro-batch on this stage to finish its remaining v·s forwards.
+  bool AdmitForward(int stage, const OpId& op, int cap) const {
+    const int in_flight = inflight[static_cast<std::size_t>(stage)];
+    if (in_flight >= cap) {
+      return false;
+    }
+    const int per_micro = problem.virtual_chunks * problem.slices;
+    const auto& scheduled = fwd_scheduled[static_cast<std::size_t>(stage)];
+    int oldest = -1;
+    for (int m = 0; m < problem.micros; ++m) {
+      if (scheduled[static_cast<std::size_t>(m)] < per_micro) {
+        oldest = m;
+        break;
+      }
+    }
+    if (oldest < 0 || op.micro <= oldest) {
+      return true;  // the oldest micro itself is never starved
+    }
+    const int remaining = per_micro - scheduled[static_cast<std::size_t>(oldest)];
+    return in_flight + 1 + remaining <= cap;
+  }
+
+  int cap(int stage) const {
+    if (options.inflight_cap.empty()) {
+      return 0;  // uncapped
+    }
+    return options.inflight_cap[static_cast<std::size_t>(stage)];
+  }
+
+  double duration(const OpId& op) const {
+    switch (op.kind) {
+      case OpKind::kForward:
+        return options.f_time;
+      case OpKind::kBackward:
+        return options.b_time;
+      case OpKind::kWeightGrad:
+      case OpKind::kWeightGradGemm:
+        return options.w_time;
+    }
+    return 1.0;
+  }
+
+  // Earliest time `op` can start given finished deps; +inf if a dep has
+  // not finished yet.
+  double ReadyTime(const OpId& op) const {
+    double ready = 0.0;
+    for (const Dep& dep : DependenciesOf(problem, op)) {
+      auto it = done.find(dep.op);
+      if (it == done.end()) {
+        return kInfinity;
+      }
+      ready = std::max(ready, it->second + (dep.cross_stage ? options.transfer_time : 0.0));
+    }
+    return ready;
+  }
+
+  // Last compute kind scheduled per stage; drives 1F1B-style alternation.
+  std::vector<OpKind> last_kind;
+
+  // Rank used to break ties among ops ready at the same instant. Lower is
+  // better. In backward-first (1F1B/SVPP) mode the steady state must
+  // *alternate* F and B: always draining ready backwards back-to-back
+  // starves downstream stages of forwards and reopens bubbles, so when
+  // both kinds are ready we prefer the opposite of what just ran.
+  // GPipe mode simply prefers F.
+  std::int64_t Priority(int stage, const OpId& op) const {
+    const bool prefer_backward =
+        options.backward_first &&
+        last_kind[static_cast<std::size_t>(stage)] != OpKind::kBackward;
+    std::int64_t kind_rank = 0;
+    switch (op.kind) {
+      case OpKind::kBackward:
+        kind_rank = prefer_backward ? 0 : 1;
+        break;
+      case OpKind::kForward:
+        kind_rank = prefer_backward ? 1 : 0;
+        break;
+      case OpKind::kWeightGrad:
+      case OpKind::kWeightGradGemm:
+        kind_rank = (options.wgrad == WgradPolicy::kImmediate) ? 0 : 2;
+        break;
+    }
+    // Within a kind: earlier micro first; forwards walk chunks upward and
+    // slices within a chunk; backwards walk chunks downward and slices
+    // downward (the dependency direction).
+    const bool backwardish = op.kind != OpKind::kForward;
+    if (backwardish && options.child_count_backward_priority &&
+        op.kind == OpKind::kBackward) {
+      // More children ⇒ smaller rank ⇒ scheduled first (§4.3).
+      const std::int64_t children =
+          static_cast<std::int64_t>(op.slice + 1) * (op.chunk + 1) - 1;
+      const std::int64_t max_children =
+          static_cast<std::int64_t>(problem.slices) * problem.num_chunks();
+      return ((kind_rank * 4096 + op.micro) * 4096 * 4096) + (max_children - children);
+    }
+    const std::int64_t chunk_rank = backwardish ? (problem.num_chunks() - 1 - op.chunk) : op.chunk;
+    const std::int64_t slice_rank = backwardish ? (problem.slices - 1 - op.slice) : op.slice;
+    return ((kind_rank * 4096 + op.micro) * 4096 + chunk_rank) * 4096 + slice_rank;
+  }
+};
+
+}  // namespace
+
+std::vector<int> CapSchedule(int stages, int f, int min_cap) {
+  MEPIPE_CHECK_GE(f, min_cap) << "cap f below the schedulability floor v*s";
+  std::vector<int> caps(static_cast<std::size_t>(stages));
+  for (int i = 0; i < stages; ++i) {
+    caps[static_cast<std::size_t>(i)] = std::max(min_cap, f - i);
+  }
+  return caps;
+}
+
+Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& options,
+                        std::string method_name) {
+  problem.Validate();
+  if (!options.inflight_cap.empty()) {
+    MEPIPE_CHECK_EQ(static_cast<int>(options.inflight_cap.size()), problem.stages);
+  }
+
+  GeneratorState state(problem, options);
+  const bool emit_w_static =
+      problem.split_backward && options.wgrad != WgradPolicy::kDeferred;
+  std::size_t remaining = 0;
+  for (int stage = 0; stage < problem.stages; ++stage) {
+    for (const OpId& op : StageOps(problem, stage)) {
+      if (op.kind == OpKind::kWeightGrad && !emit_w_static) {
+        continue;  // deferred to the execution engine
+      }
+      state.pending[static_cast<std::size_t>(stage)].push_back(op);
+      ++remaining;
+    }
+  }
+
+  double now = 0.0;
+  while (remaining > 0) {
+    bool scheduled_any = false;
+    double next_event = kInfinity;
+
+    for (int stage = 0; stage < problem.stages; ++stage) {
+      auto& pending = state.pending[static_cast<std::size_t>(stage)];
+      const double free_at = state.stage_free[static_cast<std::size_t>(stage)];
+      if (pending.empty()) {
+        continue;
+      }
+      if (free_at > now) {
+        next_event = std::min(next_event, free_at);
+        continue;
+      }
+      // Gather candidates ready at `now` (or within the lookahead window).
+      const double lookahead =
+          options.lookahead >= 0 ? options.lookahead : 2.0 * options.transfer_time;
+      const OpId* best = nullptr;
+      std::int64_t best_priority = 0;
+      double best_ready = 0.0;
+      const int cap = state.cap(stage);
+      for (const OpId& op : pending) {
+        const double ready = state.ReadyTime(op);
+        if (ready > now + lookahead) {
+          if (ready < kInfinity) {
+            next_event = std::min(next_event, ready);
+          }
+          continue;
+        }
+        if (op.kind == OpKind::kForward && cap > 0 && !state.AdmitForward(stage, op, cap)) {
+          continue;  // memory cap / reservation: hold this forward back
+        }
+        const std::int64_t priority = state.Priority(stage, op);
+        if (best == nullptr || priority < best_priority) {
+          best = &op;
+          best_priority = priority;
+          best_ready = ready;
+        }
+      }
+      if (best == nullptr) {
+        continue;
+      }
+      const OpId op = *best;
+      const double start = std::max(now, best_ready);
+      const double end = start + state.duration(op);
+      state.done.emplace(op, end);
+      state.order[static_cast<std::size_t>(stage)].push_back(op);
+      if (op.kind == OpKind::kForward) {
+        ++state.inflight[static_cast<std::size_t>(stage)];
+        ++state.fwd_scheduled[static_cast<std::size_t>(stage)]
+                             [static_cast<std::size_t>(op.micro)];
+      } else if (op.kind == OpKind::kBackward) {
+        --state.inflight[static_cast<std::size_t>(stage)];
+      }
+      if (op.kind == OpKind::kForward || op.kind == OpKind::kBackward) {
+        state.last_kind[static_cast<std::size_t>(stage)] = op.kind;
+      }
+      state.stage_free[static_cast<std::size_t>(stage)] = end;
+      std::erase(pending, op);
+      --remaining;
+      scheduled_any = true;
+      next_event = std::min(next_event, end);
+    }
+
+    if (scheduled_any) {
+      continue;  // other stages may start at the same instant
+    }
+    MEPIPE_CHECK_LT(next_event, kInfinity)
+        << "generator deadlocked with " << remaining << " ops left (method " << method_name
+        << "); the in-flight cap is likely below the v*s floor";
+    now = next_event;
+  }
+
+  Schedule schedule;
+  schedule.problem = problem;
+  schedule.method = std::move(method_name);
+  schedule.stage_ops = std::move(state.order);
+  schedule.deferred_wgrad = problem.split_backward && options.wgrad == WgradPolicy::kDeferred;
+  ValidateSchedule(schedule);
+  return schedule;
+}
+
+}  // namespace mepipe::sched

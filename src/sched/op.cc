@@ -1,0 +1,73 @@
+#include "sched/op.h"
+
+#include "common/check.h"
+#include "common/format.h"
+
+namespace mepipe::sched {
+
+const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kForward:
+      return "F";
+    case OpKind::kBackward:
+      return "B";
+    case OpKind::kWeightGrad:
+      return "W";
+    case OpKind::kWeightGradGemm:
+      return "Wg";
+  }
+  return "?";
+}
+
+std::string ToString(const OpId& op) {
+  std::string out = StrFormat("%s(m=%d,t=%d,g=%d", ToString(op.kind), op.micro, op.slice, op.chunk);
+  if (op.kind == OpKind::kWeightGradGemm) {
+    out += StrFormat(",k=%d", op.gemm);
+  }
+  return out + ")";
+}
+
+std::size_t OpIdHash::operator()(const OpId& op) const {
+  std::size_t seed = static_cast<std::size_t>(op.kind);
+  auto mix = [&seed](std::size_t value) {
+    seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  };
+  mix(static_cast<std::size_t>(op.micro));
+  mix(static_cast<std::size_t>(op.slice));
+  mix(static_cast<std::size_t>(op.chunk));
+  mix(static_cast<std::size_t>(op.gemm + 1));
+  return seed;
+}
+
+int PipelineProblem::stage_of_chunk(int chunk) const {
+  MEPIPE_CHECK_GE(chunk, 0);
+  MEPIPE_CHECK_LT(chunk, num_chunks());
+  switch (placement) {
+    case ChunkPlacement::kRoundRobin:
+      return chunk % stages;
+    case ChunkPlacement::kVShape: {
+      // Zig-zag: 0,1,…,p-1, then p-1,…,1,0, repeating.
+      const int round = chunk / stages;
+      const int offset = chunk % stages;
+      return (round % 2 == 0) ? offset : stages - 1 - offset;
+    }
+  }
+  return chunk % stages;
+}
+
+std::int64_t PipelineProblem::ops_per_stage() const {
+  const std::int64_t fb = static_cast<std::int64_t>(micros) * slices * virtual_chunks;
+  return split_backward ? 3 * fb : 2 * fb;
+}
+
+void PipelineProblem::Validate() const {
+  MEPIPE_CHECK_GE(stages, 1);
+  MEPIPE_CHECK_GE(virtual_chunks, 1);
+  MEPIPE_CHECK_GE(slices, 1);
+  MEPIPE_CHECK_GE(micros, 1);
+  if (placement == ChunkPlacement::kVShape) {
+    MEPIPE_CHECK_EQ(virtual_chunks, 2) << "V-shape placement is defined for v=2";
+  }
+}
+
+}  // namespace mepipe::sched

@@ -1,0 +1,118 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace mepipe::sched {
+namespace {
+
+using OpSet = std::unordered_set<OpId, OpIdHash>;
+
+// Expected multiset of ops for a stage's static order.
+std::vector<OpId> ExpectedStageOps(const Schedule& schedule, int stage) {
+  std::vector<OpId> expected = StageOps(schedule.problem, stage);
+  if (schedule.deferred_wgrad) {
+    std::erase_if(expected, [](const OpId& op) { return op.kind == OpKind::kWeightGrad; });
+  }
+  return expected;
+}
+
+}  // namespace
+
+void ValidateSchedule(const Schedule& schedule) {
+  const PipelineProblem& problem = schedule.problem;
+  problem.Validate();
+  MEPIPE_CHECK_EQ(static_cast<int>(schedule.stage_ops.size()), problem.stages);
+  if (schedule.deferred_wgrad) {
+    MEPIPE_CHECK(problem.split_backward) << "deferred W requires split backward";
+  }
+
+  // 1. Each stage's list is exactly the expected op multiset.
+  for (int stage = 0; stage < problem.stages; ++stage) {
+    std::vector<OpId> expected = ExpectedStageOps(schedule, stage);
+    std::vector<OpId> actual = schedule.stage_ops[static_cast<std::size_t>(stage)];
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    MEPIPE_CHECK(expected == actual)
+        << "stage " << stage << " op multiset mismatch (" << actual.size() << " vs expected "
+        << expected.size() << ")";
+  }
+
+  // 2. The program orders are jointly executable: repeatedly advance every
+  // stage past ops whose dependencies have completed. W ops removed from
+  // the static order (deferred) are treated as always-runnable after their
+  // B, which the engine guarantees; they impose no order constraints here.
+  OpSet done;
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(problem.stages), 0);
+  bool progressed = true;
+  std::size_t remaining = 0;
+  for (const auto& ops : schedule.stage_ops) {
+    remaining += ops.size();
+  }
+  while (progressed && remaining > 0) {
+    progressed = false;
+    for (int stage = 0; stage < problem.stages; ++stage) {
+      auto& index = cursor[static_cast<std::size_t>(stage)];
+      const auto& ops = schedule.stage_ops[static_cast<std::size_t>(stage)];
+      while (index < ops.size()) {
+        const OpId& op = ops[index];
+        bool ready = true;
+        for (const Dep& dep : DependenciesOf(problem, op)) {
+          if (!done.contains(dep.op)) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) {
+          break;
+        }
+        done.insert(op);
+        ++index;
+        --remaining;
+        progressed = true;
+      }
+    }
+  }
+  MEPIPE_CHECK_EQ(remaining, 0u) << "schedule deadlocks: " << remaining
+                                 << " ops can never execute under program order";
+}
+
+std::size_t FirstBackwardIndex(const Schedule& schedule, int stage) {
+  const auto& ops = schedule.stage_ops[static_cast<std::size_t>(stage)];
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kBackward) {
+      return i;
+    }
+  }
+  return ops.size();
+}
+
+int PeakRetainedForwards(const Schedule& schedule, int stage) {
+  const bool release_on_w = schedule.problem.split_backward && !schedule.deferred_wgrad;
+  int current = 0;
+  int peak = 0;
+  for (const OpId& op : schedule.stage_ops[static_cast<std::size_t>(stage)]) {
+    switch (op.kind) {
+      case OpKind::kForward:
+        peak = std::max(peak, ++current);
+        break;
+      case OpKind::kBackward:
+        if (!release_on_w) {
+          --current;
+        }
+        break;
+      case OpKind::kWeightGrad:
+        if (release_on_w) {
+          --current;
+        }
+        break;
+      case OpKind::kWeightGradGemm:
+        break;
+    }
+  }
+  return peak;
+}
+
+}  // namespace mepipe::sched

@@ -1,0 +1,33 @@
+// Plain-text serialization of schedules, so a generated schedule can be
+// handed to an external execution engine (the role Megatron plays for
+// the real MEPipe, §6) or archived and diffed. The format is
+// line-oriented and human-readable:
+//
+//   mepipe-schedule v1
+//   method SVPP(v=1,s=2,f=5)
+//   problem p=4 v=1 s=2 n=6 split=1 placement=rr deferred_w=1
+//   stage 0: F0.0.0 F0.1.0 B0.1.0 ...
+//   ...
+//
+// Op tokens are K<micro>.<slice>.<chunk>[.<gemm>] with K ∈ {F,B,W,Wg}.
+#ifndef MEPIPE_SCHED_SERIALIZE_H_
+#define MEPIPE_SCHED_SERIALIZE_H_
+
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace mepipe::sched {
+
+std::string SerializeSchedule(const Schedule& schedule);
+
+// Parses and validates; throws CheckError on malformed input or on a
+// schedule that fails ValidateSchedule.
+Schedule ParseSchedule(const std::string& text);
+
+void WriteScheduleFile(const Schedule& schedule, const std::string& path);
+Schedule ReadScheduleFile(const std::string& path);
+
+}  // namespace mepipe::sched
+
+#endif  // MEPIPE_SCHED_SERIALIZE_H_

@@ -1,0 +1,32 @@
+#include "sim/cost_model.h"
+
+#include "common/check.h"
+
+namespace mepipe::sim {
+
+Seconds UniformCostModel::ComputeTime(const sched::OpId& op) const {
+  switch (op.kind) {
+    case sched::OpKind::kForward:
+      return f_;
+    case sched::OpKind::kBackward:
+      return b_;
+    case sched::OpKind::kWeightGrad:
+      return w_;
+    case sched::OpKind::kWeightGradGemm:
+      return w_ / static_cast<double>(wgrad_gemms_);
+  }
+  return 0.0;
+}
+
+Seconds UniformCostModel::TransferTime(const sched::OpId&) const { return transfer_; }
+
+Bytes UniformCostModel::ActivationBytes(const sched::OpId&) const { return act_bytes_; }
+
+Bytes UniformCostModel::ActGradBytes(const sched::OpId&) const { return act_grad_bytes_; }
+
+int UniformCostModel::WeightGradGemmCount(const sched::OpId&) const {
+  MEPIPE_CHECK_GE(wgrad_gemms_, 1);
+  return wgrad_gemms_;
+}
+
+}  // namespace mepipe::sim

@@ -1,0 +1,63 @@
+// The cost interface the execution engine charges schedules against.
+// Implementations map ops to durations and memory footprints; the
+// production model (core/training_cost.h) derives them from the
+// transformer FLOPs model, the operator-efficiency curves, and the
+// cluster's links. A uniform model is provided for tests and analytic
+// cross-checks.
+#ifndef MEPIPE_SIM_COST_MODEL_H_
+#define MEPIPE_SIM_COST_MODEL_H_
+
+#include "common/units.h"
+#include "sched/op.h"
+
+namespace mepipe::sim {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // Duration of one compute op (F, B, W, or a single W GEMM).
+  virtual Seconds ComputeTime(const sched::OpId& op) const = 0;
+
+  // Duration of the inter-stage transfer of `producer`'s output
+  // (activations for F, activation gradients for B).
+  virtual Seconds TransferTime(const sched::OpId& producer) const = 0;
+
+  // Activation bytes retained when this forward completes.
+  virtual Bytes ActivationBytes(const sched::OpId& forward) const = 0;
+
+  // Activation-gradient bytes retained between a split backward and its
+  // weight-gradient computation.
+  virtual Bytes ActGradBytes(const sched::OpId& backward) const = 0;
+
+  // Number of individual GEMMs the weight-gradient computation of this
+  // (micro, slice, chunk) decomposes into (§5). Must be >= 1.
+  virtual int WeightGradGemmCount(const sched::OpId& wgrad) const = 0;
+};
+
+// Uniform costs: F = `f`, B = `b`, W = `w` seconds, transfers = `transfer`
+// seconds, one activation unit per forward. Used by tests to compare the
+// engine against Table 3's closed forms (which assume balanced stages and
+// free communication).
+class UniformCostModel : public CostModel {
+ public:
+  UniformCostModel(Seconds f, Seconds b, Seconds w, Seconds transfer, Bytes act_bytes = 1,
+                   Bytes act_grad_bytes = 0, int wgrad_gemms = 1)
+      : f_(f), b_(b), w_(w), transfer_(transfer), act_bytes_(act_bytes),
+        act_grad_bytes_(act_grad_bytes), wgrad_gemms_(wgrad_gemms) {}
+
+  Seconds ComputeTime(const sched::OpId& op) const override;
+  Seconds TransferTime(const sched::OpId& producer) const override;
+  Bytes ActivationBytes(const sched::OpId& forward) const override;
+  Bytes ActGradBytes(const sched::OpId& backward) const override;
+  int WeightGradGemmCount(const sched::OpId& wgrad) const override;
+
+ private:
+  Seconds f_, b_, w_, transfer_;
+  Bytes act_bytes_, act_grad_bytes_;
+  int wgrad_gemms_;
+};
+
+}  // namespace mepipe::sim
+
+#endif  // MEPIPE_SIM_COST_MODEL_H_

@@ -1,0 +1,332 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace mepipe::sim {
+namespace {
+
+using sched::Dep;
+using sched::OpId;
+using sched::OpKind;
+
+constexpr double kEps = 1e-12;
+
+// A deferred weight-gradient work item, optionally split into GEMMs.
+struct WgradItem {
+  OpId op;               // the kWeightGrad identity
+  Seconds available = 0; // its B's completion time
+  int next_gemm = 0;
+  int gemm_count = 1;    // 1 when executed as a whole-W task
+};
+
+struct MemEvent {
+  Seconds time = 0;
+  Bytes delta = 0;
+};
+
+class Engine {
+ public:
+  Engine(const sched::Schedule& schedule, const CostModel& costs, const EngineOptions& options)
+      : schedule_(schedule),
+        problem_(schedule.problem),
+        costs_(costs),
+        options_(options),
+        cursor_(static_cast<std::size_t>(problem_.stages), 0),
+        clock_(static_cast<std::size_t>(problem_.stages), 0.0),
+        wqueue_(static_cast<std::size_t>(problem_.stages)),
+        mem_events_(static_cast<std::size_t>(problem_.stages)),
+        current_bytes_(static_cast<std::size_t>(problem_.stages), 0),
+        busy_(static_cast<std::size_t>(problem_.stages), 0.0) {}
+
+  SimResult Run();
+
+ private:
+  // Arrival time of `producer`'s output at the consuming stage, applying
+  // per-directed-link serialization. Memoized (each producer feeds one
+  // consumer).
+  Seconds TransferArrival(const OpId& producer) {
+    if (auto it = transfer_arrival_.find(producer); it != transfer_arrival_.end()) {
+      return it->second;
+    }
+    const auto done_it = done_.find(producer);
+    MEPIPE_CHECK(done_it != done_.end());
+    const int from = problem_.stage_of_chunk(producer.chunk);
+    const int to = producer.kind == OpKind::kForward
+                       ? problem_.stage_of_chunk(producer.chunk + 1)
+                       : problem_.stage_of_chunk(producer.chunk - 1);
+    double& link_free = link_free_[{from, to}];
+    const Seconds start = std::max(done_it->second, link_free);
+    const Seconds arrival = start + costs_.TransferTime(producer);
+    link_free = arrival;
+    timeline_.push_back({from, producer, start, arrival, /*is_transfer=*/true});
+    transfer_arrival_.emplace(producer, arrival);
+    return arrival;
+  }
+
+  Seconds ReadyTime(const OpId& op) {
+    Seconds ready = 0.0;
+    for (const Dep& dep : sched::DependenciesOf(problem_, op)) {
+      const auto it = done_.find(dep.op);
+      MEPIPE_CHECK(it != done_.end());
+      ready = std::max(ready, dep.cross_stage ? TransferArrival(dep.op) : it->second);
+    }
+    return ready;
+  }
+
+  bool DepsDone(const OpId& op) const {
+    for (const Dep& dep : sched::DependenciesOf(problem_, op)) {
+      if (!done_.contains(dep.op)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void RecordCompute(int stage, const OpId& op, Seconds start, Seconds end) {
+    timeline_.push_back({stage, op, start, end, /*is_transfer=*/false});
+    busy_[static_cast<std::size_t>(stage)] += end - start;
+  }
+
+  void AddMem(int stage, Seconds time, Bytes delta) {
+    mem_events_[static_cast<std::size_t>(stage)].push_back({time, delta});
+    current_bytes_[static_cast<std::size_t>(stage)] += delta;
+  }
+
+  // Releases the activation (and act-grad) footprint of (micro, slice,
+  // chunk) at `time` on `stage`.
+  void ReleaseSlice(int stage, const OpId& op, Seconds time, bool release_act_grad) {
+    const OpId forward{OpKind::kForward, op.micro, op.slice, op.chunk};
+    AddMem(stage, time, -costs_.ActivationBytes(forward));
+    if (release_act_grad) {
+      const OpId backward{OpKind::kBackward, op.micro, op.slice, op.chunk};
+      AddMem(stage, time, -costs_.ActGradBytes(backward));
+    }
+  }
+
+  // Executes W items from the stage's queue into the idle window
+  // [clock, until). Never overshoots `until`.
+  void FillWgrad(int stage, Seconds until) {
+    if (options_.wgrad_mode == WgradMode::kImmediate) {
+      return;
+    }
+    auto& queue = wqueue_[static_cast<std::size_t>(stage)];
+    double& clock = clock_[static_cast<std::size_t>(stage)];
+    while (!queue.empty()) {
+      WgradItem& item = queue.front();
+      if (item.available > clock + kEps) {
+        break;
+      }
+      const OpId gemm_op{OpKind::kWeightGradGemm, item.op.micro, item.op.slice, item.op.chunk,
+                         item.next_gemm};
+      const OpId exec_op = item.gemm_count > 1 ? gemm_op : item.op;
+      const Seconds duration = costs_.ComputeTime(exec_op);
+      if (clock + duration > until + kEps) {
+        break;  // does not fit in the bubble
+      }
+      RecordCompute(stage, exec_op, clock, clock + duration);
+      clock += duration;
+      if (++item.next_gemm >= item.gemm_count) {
+        done_.emplace(item.op, clock);
+        ReleaseSlice(stage, item.op, clock, /*release_act_grad=*/true);
+        queue.pop_front();
+      }
+    }
+  }
+
+  // Frees memory by draining deferred W items until `incoming` more bytes
+  // fit within the stage's activation budget (no-op when unbudgeted).
+  void DrainForBudget(int stage, Bytes incoming) {
+    if (options_.activation_budget.empty()) {
+      return;
+    }
+    const Bytes budget = options_.activation_budget[static_cast<std::size_t>(stage)];
+    if (budget <= 0) {
+      return;
+    }
+    auto& queue = wqueue_[static_cast<std::size_t>(stage)];
+    while (!queue.empty() &&
+           current_bytes_[static_cast<std::size_t>(stage)] + incoming > budget) {
+      DrainWgradItem(stage, queue.front());
+      queue.pop_front();
+    }
+  }
+
+  // Runs a W item (whole or remaining GEMMs) to completion immediately.
+  void DrainWgradItem(int stage, WgradItem& item) {
+    double& clock = clock_[static_cast<std::size_t>(stage)];
+    clock = std::max(clock, item.available);
+    if (item.gemm_count <= 1) {
+      const Seconds duration = costs_.ComputeTime(item.op);
+      RecordCompute(stage, item.op, clock, clock + duration);
+      clock += duration;
+    } else {
+      for (; item.next_gemm < item.gemm_count; ++item.next_gemm) {
+        const OpId gemm_op{OpKind::kWeightGradGemm, item.op.micro, item.op.slice, item.op.chunk,
+                           item.next_gemm};
+        const Seconds duration = costs_.ComputeTime(gemm_op);
+        RecordCompute(stage, gemm_op, clock, clock + duration);
+        clock += duration;
+      }
+    }
+    done_.emplace(item.op, clock);
+    ReleaseSlice(stage, item.op, clock, /*release_act_grad=*/true);
+  }
+
+  const sched::Schedule& schedule_;
+  const sched::PipelineProblem& problem_;
+  const CostModel& costs_;
+  EngineOptions options_;
+
+  std::unordered_map<OpId, Seconds, sched::OpIdHash> done_;
+  std::unordered_map<OpId, Seconds, sched::OpIdHash> transfer_arrival_;
+  std::map<std::pair<int, int>, double> link_free_;
+  std::vector<std::size_t> cursor_;
+  std::vector<double> clock_;
+  std::vector<std::deque<WgradItem>> wqueue_;
+  std::vector<std::vector<MemEvent>> mem_events_;
+  std::vector<Bytes> current_bytes_;
+  std::vector<Seconds> busy_;
+  std::vector<OpSpan> timeline_;
+};
+
+SimResult Engine::Run() {
+  sched::ValidateSchedule(schedule_);
+
+  std::size_t remaining = 0;
+  for (const auto& ops : schedule_.stage_ops) {
+    remaining += ops.size();
+  }
+
+  while (remaining > 0) {
+    bool progress = false;
+    for (int stage = 0; stage < problem_.stages; ++stage) {
+      auto& cursor = cursor_[static_cast<std::size_t>(stage)];
+      const auto& ops = schedule_.stage_ops[static_cast<std::size_t>(stage)];
+      double& clock = clock_[static_cast<std::size_t>(stage)];
+      while (cursor < ops.size()) {
+        const OpId& op = ops[cursor];
+        if (!DepsDone(op)) {
+          break;
+        }
+        const Seconds ready = ReadyTime(op);
+        if (ready > clock) {
+          FillWgrad(stage, ready);
+        }
+        if (op.kind == OpKind::kForward) {
+          DrainForBudget(stage, costs_.ActivationBytes(op));
+        } else if (op.kind == OpKind::kBackward && problem_.split_backward) {
+          DrainForBudget(stage, costs_.ActGradBytes(op));
+        }
+        const Seconds start = std::max(clock, ready);
+        const Seconds end = start + costs_.ComputeTime(op);
+        RecordCompute(stage, op, start, end);
+        clock = end;
+        done_.emplace(op, end);
+
+        switch (op.kind) {
+          case OpKind::kForward:
+            AddMem(stage, end, costs_.ActivationBytes(op));
+            break;
+          case OpKind::kBackward:
+            if (!problem_.split_backward) {
+              ReleaseSlice(stage, op, end, /*release_act_grad=*/false);
+            } else {
+              AddMem(stage, end, costs_.ActGradBytes(op));
+              if (schedule_.deferred_wgrad) {
+                const OpId w{OpKind::kWeightGrad, op.micro, op.slice, op.chunk};
+                WgradItem item{w, end, 0,
+                               options_.wgrad_mode == WgradMode::kFillGemms
+                                   ? costs_.WeightGradGemmCount(w)
+                                   : 1};
+                if (options_.wgrad_mode == WgradMode::kImmediate) {
+                  DrainWgradItem(stage, item);
+                } else {
+                  wqueue_[static_cast<std::size_t>(stage)].push_back(item);
+                }
+              }
+            }
+            break;
+          case OpKind::kWeightGrad:
+            // Statically placed W (non-deferred split schedules).
+            ReleaseSlice(stage, op, end, /*release_act_grad=*/true);
+            break;
+          case OpKind::kWeightGradGemm:
+            MEPIPE_CHECK(false) << "per-GEMM ops cannot appear in static orders";
+            break;
+        }
+        ++cursor;
+        --remaining;
+        progress = true;
+      }
+    }
+    MEPIPE_CHECK(progress) << "engine wedged with " << remaining
+                           << " ops left — schedule validation should have caught this";
+  }
+
+  // Drain any weight-gradient work still queued (zero-bubble tail).
+  for (int stage = 0; stage < problem_.stages; ++stage) {
+    auto& queue = wqueue_[static_cast<std::size_t>(stage)];
+    while (!queue.empty()) {
+      DrainWgradItem(stage, queue.front());
+      queue.pop_front();
+    }
+  }
+
+  SimResult result;
+  for (const OpSpan& span : timeline_) {
+    if (!span.is_transfer) {
+      result.makespan = std::max(result.makespan, span.end);
+    }
+  }
+  result.stages.resize(static_cast<std::size_t>(problem_.stages));
+  double bubble_sum = 0;
+  for (int stage = 0; stage < problem_.stages; ++stage) {
+    StageMetrics& metrics = result.stages[static_cast<std::size_t>(stage)];
+    metrics.busy = busy_[static_cast<std::size_t>(stage)];
+    metrics.bubble_ratio =
+        result.makespan > 0 ? 1.0 - metrics.busy / result.makespan : 0.0;
+    bubble_sum += metrics.bubble_ratio;
+
+    auto& events = mem_events_[static_cast<std::size_t>(stage)];
+    std::stable_sort(events.begin(), events.end(),
+                     [](const MemEvent& a, const MemEvent& b) { return a.time < b.time; });
+    if (options_.record_memory_timeline && result.memory_timeline.empty()) {
+      result.memory_timeline.resize(static_cast<std::size_t>(problem_.stages));
+    }
+    Bytes current = 0;
+    for (const MemEvent& event : events) {
+      current += event.delta;
+      metrics.peak_activation = std::max(metrics.peak_activation, current);
+      if (options_.record_memory_timeline) {
+        auto& series = result.memory_timeline[static_cast<std::size_t>(stage)];
+        if (!series.empty() && series.back().time == event.time) {
+          series.back().bytes = current;  // coalesce simultaneous deltas
+        } else {
+          series.push_back({event.time, current});
+        }
+      }
+    }
+    result.peak_activation = std::max(result.peak_activation, metrics.peak_activation);
+  }
+  result.bubble_ratio = problem_.stages > 0 ? bubble_sum / problem_.stages : 0.0;
+  result.timeline = std::move(timeline_);
+  std::sort(result.timeline.begin(), result.timeline.end(),
+            [](const OpSpan& a, const OpSpan& b) {
+              return a.start < b.start || (a.start == b.start && a.stage < b.stage);
+            });
+  return result;
+}
+
+}  // namespace
+
+SimResult Simulate(const sched::Schedule& schedule, const CostModel& costs,
+                   const EngineOptions& options) {
+  return Engine(schedule, costs, options).Run();
+}
+
+}  // namespace mepipe::sim

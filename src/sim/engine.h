@@ -1,0 +1,81 @@
+// The discrete-event execution engine.
+//
+// Executes a static Schedule against a CostModel: every stage runs its
+// program order, waiting on same-stage completions and cross-stage
+// transfers (serialized per directed stage-pair link). Deferred
+// weight-gradient work is slotted into the waits — the runtime half of
+// the paper's fine-grained weight-gradient technique (§5). The engine
+// tracks activation (+ activation-gradient) memory so that peak
+// consumption and bubbles are *measured*, not asserted.
+#ifndef MEPIPE_SIM_ENGINE_H_
+#define MEPIPE_SIM_ENGINE_H_
+
+#include <vector>
+
+#include "common/units.h"
+#include "sched/schedule.h"
+#include "sim/cost_model.h"
+
+namespace mepipe::sim {
+
+// How deferred weight-gradient ops are executed.
+enum class WgradMode {
+  kImmediate,  // W runs right after its producing B (the Fig. 11 baseline)
+  kFillWhole,  // whole-W tasks fill bubbles; remainder drains at the end (ZB)
+  kFillGemms,  // per-GEMM tasks fill bubbles (MEPipe fine-grained, Fig. 12)
+};
+
+struct EngineOptions {
+  WgradMode wgrad_mode = WgradMode::kFillGemms;
+  // Per-stage activation-memory budget (bytes). Deferring weight
+  // gradients retains activations and activation gradients; before an op
+  // that allocates would overflow the budget, the stage drains deferred W
+  // work to free memory first — the paper's rule that forwards/backwards
+  // proceed "as soon as there is enough memory" (§5, Figure 7b), and the
+  // mechanism that keeps zero-bubble-style schedules at 1F1B-class
+  // memory instead of deferring every W to the tail.
+  // Empty = unlimited (memory then grows with the micro count).
+  std::vector<Bytes> activation_budget;
+  // Record the per-stage activation-memory series over time (enables
+  // Figure-1-style memory plots; costs memory proportional to op count).
+  bool record_memory_timeline = false;
+};
+
+// One point of a stage's activation-memory series.
+struct MemoryPoint {
+  Seconds time = 0;
+  Bytes bytes = 0;  // resident activation (+act-grad) bytes after `time`
+};
+
+struct OpSpan {
+  int stage = 0;
+  sched::OpId op;
+  Seconds start = 0;
+  Seconds end = 0;
+  bool is_transfer = false;
+};
+
+struct StageMetrics {
+  Seconds busy = 0;             // sum of compute-op durations
+  Bytes peak_activation = 0;    // activations + retained act-grads
+  double bubble_ratio = 0;      // 1 - busy / makespan
+};
+
+struct SimResult {
+  Seconds makespan = 0;
+  double bubble_ratio = 0;      // mean of per-stage bubble ratios
+  Bytes peak_activation = 0;    // max over stages
+  std::vector<StageMetrics> stages;
+  std::vector<OpSpan> timeline;  // compute spans + transfers
+  // Per-stage memory series (only when record_memory_timeline is set).
+  std::vector<std::vector<MemoryPoint>> memory_timeline;
+};
+
+// Runs the schedule to completion. The schedule must validate; passing an
+// invalid schedule throws CheckError.
+SimResult Simulate(const sched::Schedule& schedule, const CostModel& costs,
+                   const EngineOptions& options = {});
+
+}  // namespace mepipe::sim
+
+#endif  // MEPIPE_SIM_ENGINE_H_

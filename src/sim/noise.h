@@ -1,0 +1,60 @@
+// Measurement-noise wrapper for cost models.
+//
+// Real iterations jitter (kernel scheduling, NCCL, host preemption); the
+// paper therefore runs 100 iterations and averages the last 10 (§7.1).
+// NoisyCostModel perturbs every compute/transfer duration with seeded
+// lognormal noise so that experiment harnesses can reproduce the same
+// measure-many-iterations protocol and report dispersion.
+#ifndef MEPIPE_SIM_NOISE_H_
+#define MEPIPE_SIM_NOISE_H_
+
+#include <cmath>
+#include <random>
+
+#include "sim/cost_model.h"
+
+namespace mepipe::sim {
+
+class NoisyCostModel : public CostModel {
+ public:
+  // `sigma` is the lognormal shape parameter (~relative std-dev; 0.03 ≈
+  // 3% duration jitter). Each instance is an independent "iteration":
+  // reseed (or construct anew) per iteration to draw fresh noise.
+  NoisyCostModel(const CostModel& base, double sigma, std::uint64_t seed)
+      : base_(base), sigma_(sigma), seed_(seed) {}
+
+  Seconds ComputeTime(const sched::OpId& op) const override {
+    return base_.ComputeTime(op) * Multiplier(op, /*salt=*/0x9e3779b9);
+  }
+  Seconds TransferTime(const sched::OpId& producer) const override {
+    return base_.TransferTime(producer) * Multiplier(producer, /*salt=*/0x85ebca6b);
+  }
+  Bytes ActivationBytes(const sched::OpId& forward) const override {
+    return base_.ActivationBytes(forward);
+  }
+  Bytes ActGradBytes(const sched::OpId& backward) const override {
+    return base_.ActGradBytes(backward);
+  }
+  int WeightGradGemmCount(const sched::OpId& wgrad) const override {
+    return base_.WeightGradGemmCount(wgrad);
+  }
+
+ private:
+  // Deterministic per-op multiplier: the same op always draws the same
+  // noise within one iteration (ops may be priced repeatedly).
+  double Multiplier(const sched::OpId& op, std::uint64_t salt) const {
+    std::uint64_t key = seed_ ^ salt;
+    key = key * 0x100000001b3ULL ^ sched::OpIdHash{}(op);
+    std::mt19937_64 rng(key);
+    std::normal_distribution<double> normal(0.0, sigma_);
+    return std::exp(normal(rng));
+  }
+
+  const CostModel& base_;
+  double sigma_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mepipe::sim
+
+#endif  // MEPIPE_SIM_NOISE_H_

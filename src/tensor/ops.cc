@@ -1,0 +1,226 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace mepipe::tensor {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MEPIPE_CHECK_EQ(a.rank(), 2);
+  MEPIPE_CHECK_EQ(b.rank(), 2);
+  MEPIPE_CHECK_EQ(a.dim(1), b.dim(0));
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float av = a.at(i, l);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (std::int64_t j = 0; j < n; ++j) {
+        c.at(i, j) += av * b.at(l, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTa(const Tensor& a, const Tensor& b) {
+  MEPIPE_CHECK_EQ(a.rank(), 2);
+  MEPIPE_CHECK_EQ(b.rank(), 2);
+  MEPIPE_CHECK_EQ(a.dim(0), b.dim(0));
+  const std::int64_t k = a.dim(0);
+  const std::int64_t m = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t l = 0; l < k; ++l) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = a.at(l, i);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (std::int64_t j = 0; j < n; ++j) {
+        c.at(i, j) += av * b.at(l, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTb(const Tensor& a, const Tensor& b) {
+  MEPIPE_CHECK_EQ(a.rank(), 2);
+  MEPIPE_CHECK_EQ(b.rank(), 2);
+  MEPIPE_CHECK_EQ(a.dim(1), b.dim(1));
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(0);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (std::int64_t l = 0; l < k; ++l) {
+        sum += a.at(i, l) * b.at(j, l);
+      }
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Tensor Silu(const Tensor& x) {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.at(i);
+    y.at(i) = v / (1.0f + std::exp(-v));
+  }
+  return y;
+}
+
+Tensor SiluBackward(const Tensor& x, const Tensor& dy) {
+  MEPIPE_CHECK(x.shape() == dy.shape());
+  Tensor dx = x;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    const float v = x.at(i);
+    const float sig = 1.0f / (1.0f + std::exp(-v));
+    const float d = sig * (1.0f + v * (1.0f - sig));
+    dx.at(i) = dy.at(i) * d;
+  }
+  return dx;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  MEPIPE_CHECK(a.shape() == b.shape());
+  Tensor c = a;
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    c.at(i) *= b.at(i);
+  }
+  return c;
+}
+
+RmsNormResult RmsNorm(const Tensor& x, const Tensor& w, float eps) {
+  MEPIPE_CHECK_EQ(x.rank(), 2);
+  const std::int64_t m = x.dim(0);
+  const std::int64_t h = x.dim(1);
+  MEPIPE_CHECK_EQ(w.numel(), h);
+  RmsNormResult out{Tensor({m, h}), Tensor({m})};
+  for (std::int64_t i = 0; i < m; ++i) {
+    double sum_sq = 0;
+    for (std::int64_t j = 0; j < h; ++j) {
+      sum_sq += static_cast<double>(x.at(i, j)) * x.at(i, j);
+    }
+    const float inv = 1.0f / std::sqrt(static_cast<float>(sum_sq / static_cast<double>(h)) + eps);
+    out.inv_rms.at(i) = inv;
+    for (std::int64_t j = 0; j < h; ++j) {
+      out.y.at(i, j) = x.at(i, j) * inv * w.at(j);
+    }
+  }
+  return out;
+}
+
+RmsNormGrads RmsNormBackward(const Tensor& x, const Tensor& w, const Tensor& inv_rms,
+                             const Tensor& dy, float /*eps*/) {
+  const std::int64_t m = x.dim(0);
+  const std::int64_t h = x.dim(1);
+  RmsNormGrads out{Tensor({m, h}), Tensor({h})};
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float inv = inv_rms.at(i);
+    // dL/dw_j += dy_ij * x_ij * inv.
+    double dot = 0;  // Σ_j dy_ij * w_j * x_ij
+    for (std::int64_t j = 0; j < h; ++j) {
+      out.dw.at(j) += dy.at(i, j) * x.at(i, j) * inv;
+      dot += static_cast<double>(dy.at(i, j)) * w.at(j) * x.at(i, j);
+    }
+    const float scale = static_cast<float>(dot) * inv * inv * inv / static_cast<float>(h);
+    for (std::int64_t j = 0; j < h; ++j) {
+      out.dx.at(i, j) = dy.at(i, j) * w.at(j) * inv - x.at(i, j) * scale;
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& scores) {
+  MEPIPE_CHECK_EQ(scores.rank(), 2);
+  const std::int64_t m = scores.dim(0);
+  const std::int64_t n = scores.dim(1);
+  Tensor probs({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    float max_v = scores.at(i, 0);
+    for (std::int64_t j = 1; j < n; ++j) {
+      max_v = std::max(max_v, scores.at(i, j));
+    }
+    double sum = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float e = std::exp(scores.at(i, j) - max_v);
+      probs.at(i, j) = e;
+      sum += e;
+    }
+    const float inv = 1.0f / static_cast<float>(sum);
+    for (std::int64_t j = 0; j < n; ++j) {
+      probs.at(i, j) *= inv;
+    }
+  }
+  return probs;
+}
+
+Tensor SoftmaxRowsBackward(const Tensor& probs, const Tensor& dprobs) {
+  MEPIPE_CHECK(probs.shape() == dprobs.shape());
+  const std::int64_t m = probs.dim(0);
+  const std::int64_t n = probs.dim(1);
+  Tensor dscores({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    double dot = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      dot += static_cast<double>(probs.at(i, j)) * dprobs.at(i, j);
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      dscores.at(i, j) = probs.at(i, j) * (dprobs.at(i, j) - static_cast<float>(dot));
+    }
+  }
+  return dscores;
+}
+
+Tensor Embed(const Tensor& table, const std::vector<std::int64_t>& ids) {
+  MEPIPE_CHECK_EQ(table.rank(), 2);
+  const std::int64_t h = table.dim(1);
+  Tensor out({static_cast<std::int64_t>(ids.size()), h});
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    MEPIPE_CHECK_GE(ids[i], 0);
+    MEPIPE_CHECK_LT(ids[i], table.dim(0));
+    for (std::int64_t j = 0; j < h; ++j) {
+      out.at(static_cast<std::int64_t>(i), j) = table.at(ids[i], j);
+    }
+  }
+  return out;
+}
+
+void EmbedBackward(const std::vector<std::int64_t>& ids, const Tensor& dy, Tensor& dtable) {
+  MEPIPE_CHECK_EQ(dy.dim(0), static_cast<std::int64_t>(ids.size()));
+  MEPIPE_CHECK_EQ(dy.dim(1), dtable.dim(1));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::int64_t j = 0; j < dy.dim(1); ++j) {
+      dtable.at(ids[i], j) += dy.at(static_cast<std::int64_t>(i), j);
+    }
+  }
+}
+
+CrossEntropyResult CrossEntropy(const Tensor& logits, const std::vector<std::int64_t>& targets) {
+  MEPIPE_CHECK_EQ(logits.dim(0), static_cast<std::int64_t>(targets.size()));
+  const Tensor probs = SoftmaxRows(logits);
+  CrossEntropyResult out;
+  out.dlogits = probs;
+  const std::int64_t m = logits.dim(0);
+  const float inv_m = 1.0f / static_cast<float>(m);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t target = targets[static_cast<std::size_t>(i)];
+    MEPIPE_CHECK_GE(target, 0);
+    MEPIPE_CHECK_LT(target, logits.dim(1));
+    out.loss -= std::log(std::max(1e-20, static_cast<double>(probs.at(i, target))));
+    out.dlogits.at(i, target) -= 1.0f;
+  }
+  out.loss /= static_cast<double>(m);
+  out.dlogits.Scale(inv_m);
+  return out;
+}
+
+}  // namespace mepipe::tensor

@@ -1,0 +1,60 @@
+// Dense math primitives for the reference transformer: matmuls (with
+// the transposed variants backward passes need), RMSNorm, SiLU, row-wise
+// softmax, embedding lookup, and cross-entropy — each with its backward.
+// All plain loops over float32; correctness is the only goal.
+#ifndef MEPIPE_TENSOR_OPS_H_
+#define MEPIPE_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mepipe::tensor {
+
+// C[m,n] = A[m,k] · B[k,n]
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// C[m,n] = A[k,m]ᵀ · B[k,n]   (dW = Xᵀ·dY)
+Tensor MatMulTa(const Tensor& a, const Tensor& b);
+// C[m,n] = A[m,k] · B[n,k]ᵀ   (dX = dY·Wᵀ)
+Tensor MatMulTb(const Tensor& a, const Tensor& b);
+
+// y = x ⊙ sigmoid(x) (SiLU), elementwise; and its backward.
+Tensor Silu(const Tensor& x);
+Tensor SiluBackward(const Tensor& x, const Tensor& dy);
+
+// z = a ⊙ b elementwise.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+// RMSNorm over the last dimension of x[m,h] with learned scale w[h].
+struct RmsNormResult {
+  Tensor y;        // [m,h]
+  Tensor inv_rms;  // [m] saved for backward
+};
+RmsNormResult RmsNorm(const Tensor& x, const Tensor& w, float eps = 1e-5f);
+struct RmsNormGrads {
+  Tensor dx;  // [m,h]
+  Tensor dw;  // [h]
+};
+RmsNormGrads RmsNormBackward(const Tensor& x, const Tensor& w, const Tensor& inv_rms,
+                             const Tensor& dy, float eps = 1e-5f);
+
+// Row-wise softmax of scores[m,n]; backward given saved probabilities.
+Tensor SoftmaxRows(const Tensor& scores);
+Tensor SoftmaxRowsBackward(const Tensor& probs, const Tensor& dprobs);
+
+// Embedding lookup: table[V,h], ids[m] → [m,h]; backward scatters.
+Tensor Embed(const Tensor& table, const std::vector<std::int64_t>& ids);
+void EmbedBackward(const std::vector<std::int64_t>& ids, const Tensor& dy, Tensor& dtable);
+
+// Mean cross-entropy of logits[m,V] against targets[m] (token ids);
+// also returns dlogits for the mean loss.
+struct CrossEntropyResult {
+  double loss = 0;
+  Tensor dlogits;  // [m,V]
+};
+CrossEntropyResult CrossEntropy(const Tensor& logits, const std::vector<std::int64_t>& targets);
+
+}  // namespace mepipe::tensor
+
+#endif  // MEPIPE_TENSOR_OPS_H_

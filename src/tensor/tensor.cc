@@ -1,0 +1,80 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mepipe::tensor {
+namespace {
+
+std::int64_t NumelOf(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) {
+    MEPIPE_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(NumelOf(shape_)), 0.0f) {}
+
+Tensor Tensor::Zeros(std::vector<std::int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Randn(std::vector<std::int64_t> shape, std::mt19937& rng, float scale) {
+  Tensor out(std::move(shape));
+  std::normal_distribution<float> dist(0.0f, scale);
+  for (float& v : out.data_) {
+    v = dist(rng);
+  }
+  return out;
+}
+
+Tensor Tensor::RowSlice(std::int64_t begin, std::int64_t end) const {
+  MEPIPE_CHECK_EQ(rank(), 2);
+  MEPIPE_CHECK_GE(begin, 0);
+  MEPIPE_CHECK_LE(end, dim(0));
+  MEPIPE_CHECK_LE(begin, end);
+  const std::int64_t cols = dim(1);
+  Tensor out({end - begin, cols});
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * cols),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * cols), out.data_.begin());
+  return out;
+}
+
+void Tensor::AppendRows(const Tensor& rows) {
+  MEPIPE_CHECK_EQ(rank(), 2);
+  MEPIPE_CHECK_EQ(rows.rank(), 2);
+  MEPIPE_CHECK_EQ(dim(1), rows.dim(1));
+  data_.insert(data_.end(), rows.data_.begin(), rows.data_.end());
+  shape_[0] += rows.dim(0);
+}
+
+void Tensor::Add(const Tensor& other) { Axpy(1.0f, other); }
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  MEPIPE_CHECK(shape_ == other.shape_) << "shape mismatch in Axpy";
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::Scale(float value) {
+  for (float& v : data_) {
+    v *= value;
+  }
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  MEPIPE_CHECK(a.shape_ == b.shape_) << "shape mismatch in MaxAbsDiff";
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace mepipe::tensor

@@ -1,0 +1,69 @@
+// A minimal dense float tensor. Exists so the reference transformer
+// (src/ref) can demonstrate *numerically* that slice-level pipeline
+// execution — forward with a K/V cache, backward in reverse slice order
+// with dK/dV accumulators, weight gradients deferred per GEMM — computes
+// exactly the gradients of whole-sequence execution. Performance is a
+// non-goal (the performance substrate is the simulator).
+#ifndef MEPIPE_TENSOR_TENSOR_H_
+#define MEPIPE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mepipe::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  static Tensor Zeros(std::vector<std::int64_t> shape);
+  // Gaussian init, scaled like typical transformer init (std = `scale`).
+  static Tensor Randn(std::vector<std::int64_t> shape, std::mt19937& rng, float scale);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // 2-D accessors (most of the reference model is [rows, cols]).
+  float& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * dim(1) + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * dim(1) + c)];
+  }
+  float& at(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float at(std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  // Rows [begin, end) of a 2-D tensor, copied.
+  Tensor RowSlice(std::int64_t begin, std::int64_t end) const;
+
+  // Appends the rows of `rows` (same column count) to this 2-D tensor.
+  void AppendRows(const Tensor& rows);
+
+  // this += other (same shape).
+  void Add(const Tensor& other);
+  // this += alpha * other.
+  void Axpy(float alpha, const Tensor& other);
+  void Fill(float value);
+  void Scale(float value);
+
+  // Max |a - b| over all elements; shapes must match.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mepipe::tensor
+
+#endif  // MEPIPE_TENSOR_TENSOR_H_

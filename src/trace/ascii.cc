@@ -1,0 +1,76 @@
+#include "trace/ascii.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/format.h"
+
+namespace mepipe::trace {
+namespace {
+
+char ForwardCell(int micro) { return static_cast<char>('0' + micro % 10); }
+char BackwardCell(int micro) { return static_cast<char>('a' + micro % 26); }
+
+}  // namespace
+
+std::string RenderScheduleOrders(const sched::Schedule& schedule) {
+  std::string out = "schedule: " + schedule.method + "\n";
+  const bool show_chunk = schedule.problem.virtual_chunks > 1;
+  for (int stage = 0; stage < schedule.problem.stages; ++stage) {
+    out += StrFormat("stage %d |", stage);
+    for (const sched::OpId& op : schedule.stage_ops[static_cast<std::size_t>(stage)]) {
+      std::string token = StrFormat(" %s%d.%d", ToString(op.kind), op.micro, op.slice);
+      if (show_chunk) {
+        token += StrFormat("@%d", op.chunk / schedule.problem.stages);
+      }
+      out += token;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderTimeline(const sim::SimResult& result, int stages, int columns) {
+  MEPIPE_CHECK_GT(columns, 0);
+  MEPIPE_CHECK_GT(stages, 0);
+  if (result.makespan <= 0) {
+    return "(empty timeline)\n";
+  }
+  std::vector<std::string> rows(static_cast<std::size_t>(stages),
+                                std::string(static_cast<std::size_t>(columns), ' '));
+  const double scale = static_cast<double>(columns) / result.makespan;
+  for (const sim::OpSpan& span : result.timeline) {
+    if (span.is_transfer || span.stage < 0 || span.stage >= stages) {
+      continue;
+    }
+    char cell = ' ';
+    switch (span.op.kind) {
+      case sched::OpKind::kForward:
+        cell = ForwardCell(span.op.micro);
+        break;
+      case sched::OpKind::kBackward:
+        cell = BackwardCell(span.op.micro);
+        break;
+      case sched::OpKind::kWeightGrad:
+      case sched::OpKind::kWeightGradGemm:
+        cell = '.';
+        break;
+    }
+    int begin = static_cast<int>(span.start * scale);
+    int end = static_cast<int>(span.end * scale);
+    begin = std::clamp(begin, 0, columns - 1);
+    end = std::clamp(end, begin + 1, columns);
+    for (int c = begin; c < end; ++c) {
+      rows[static_cast<std::size_t>(span.stage)][static_cast<std::size_t>(c)] = cell;
+    }
+  }
+  std::string out;
+  for (int stage = 0; stage < stages; ++stage) {
+    out += StrFormat("stage %d |", stage) + rows[static_cast<std::size_t>(stage)] + "|\n";
+  }
+  out += StrFormat("legend: digits = F (micro id), letters = B, '.' = W; makespan %s\n",
+                   FormatSeconds(result.makespan).c_str());
+  return out;
+}
+
+}  // namespace mepipe::trace

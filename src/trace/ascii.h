@@ -1,0 +1,27 @@
+// ASCII renderers for pipeline schedules and simulated timelines — the
+// textual analogue of the paper's Figures 2-7 and 11-12.
+#ifndef MEPIPE_TRACE_ASCII_H_
+#define MEPIPE_TRACE_ASCII_H_
+
+#include <string>
+
+#include "sched/schedule.h"
+#include "sim/engine.h"
+
+namespace mepipe::trace {
+
+// Renders the program order of each stage as a compact token stream, e.g.
+//   stage 0 | F0.0 F0.1 F1.0 B0.1 F1.1 B0.0 ...
+// Tokens are K<micro>.<slice> (chunk shown as K<micro>.<slice>@<chunk>
+// when v > 1).
+std::string RenderScheduleOrders(const sched::Schedule& schedule);
+
+// Renders a simulated timeline as one row per stage, quantizing time into
+// `columns` character cells: F cells are the micro-batch digit, B cells
+// letters, W cells '·', idle ' '. Gives the classic pipeline-diagram view
+// of bubbles (Figures 2-7, 11, 12).
+std::string RenderTimeline(const sim::SimResult& result, int stages, int columns = 120);
+
+}  // namespace mepipe::trace
+
+#endif  // MEPIPE_TRACE_ASCII_H_

@@ -1,0 +1,35 @@
+#include "trace/chrome_trace.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "common/format.h"
+
+namespace mepipe::trace {
+
+std::string ToChromeTraceJson(const sim::SimResult& result) {
+  std::string out = "[\n";
+  bool first = true;
+  for (const sim::OpSpan& span : result.timeline) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += StrFormat(
+        "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": %d, \"tid\": %d, "
+        "\"ts\": %.3f, \"dur\": %.3f}",
+        ToString(span.op).c_str(), span.is_transfer ? 1 : 0, span.stage,
+        ToMicroseconds(span.start), ToMicroseconds(span.end - span.start));
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void WriteChromeTrace(const sim::SimResult& result, const std::string& path) {
+  std::ofstream file(path);
+  MEPIPE_CHECK(file.good()) << "cannot open " << path;
+  file << ToChromeTraceJson(result);
+  MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
+}
+
+}  // namespace mepipe::trace

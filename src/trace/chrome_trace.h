@@ -1,0 +1,23 @@
+// Chrome-trace (about://tracing / Perfetto) JSON export of simulated
+// timelines, mirroring the profiler component of the paper's
+// implementation (§6: "a profiler that measures the computation time").
+#ifndef MEPIPE_TRACE_CHROME_TRACE_H_
+#define MEPIPE_TRACE_CHROME_TRACE_H_
+
+#include <string>
+
+#include "sim/engine.h"
+
+namespace mepipe::trace {
+
+// Returns the timeline as a Chrome trace-event JSON document. Compute ops
+// appear on per-stage tracks (pid=0, tid=stage); transfers on a parallel
+// track group (pid=1).
+std::string ToChromeTraceJson(const sim::SimResult& result);
+
+// Writes the JSON to `path`. Throws CheckError on I/O failure.
+void WriteChromeTrace(const sim::SimResult& result, const std::string& path);
+
+}  // namespace mepipe::trace
+
+#endif  // MEPIPE_TRACE_CHROME_TRACE_H_

@@ -1,0 +1,59 @@
+#include "trace/csv.h"
+
+#include <fstream>
+
+#include "common/check.h"
+
+namespace mepipe::trace {
+namespace {
+
+std::string EscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  MEPIPE_CHECK_EQ(row.size(), header_.size()) << "CSV row arity mismatch";
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += EscapeField(row[i]);
+    }
+    out += '\n';
+  };
+  append(header_);
+  for (const auto& row : rows_) {
+    append(row);
+  }
+  return out;
+}
+
+void CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  MEPIPE_CHECK(file.good()) << "cannot open " << path;
+  file << ToString();
+  MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
+}
+
+}  // namespace mepipe::trace

@@ -1,0 +1,28 @@
+// Minimal CSV writer for bench outputs (feeds the paper-figure plotting
+// pipeline; every bench also prints a human-readable table).
+#ifndef MEPIPE_TRACE_CSV_H_
+#define MEPIPE_TRACE_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace mepipe::trace {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // RFC-4180-style serialization (quotes fields containing , " or \n).
+  std::string ToString() const;
+  void WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mepipe::trace
+
+#endif  // MEPIPE_TRACE_CSV_H_

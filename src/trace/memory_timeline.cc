@@ -1,0 +1,67 @@
+#include "trace/memory_timeline.h"
+#include <fstream>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/format.h"
+#include "trace/csv.h"
+
+namespace mepipe::trace {
+
+std::string MemoryTimelineCsv(const sim::SimResult& result) {
+  MEPIPE_CHECK(!result.memory_timeline.empty())
+      << "run the engine with record_memory_timeline=true";
+  CsvWriter csv({"stage", "time_s", "bytes"});
+  for (std::size_t stage = 0; stage < result.memory_timeline.size(); ++stage) {
+    for (const sim::MemoryPoint& point : result.memory_timeline[stage]) {
+      csv.AddRow({std::to_string(stage), StrFormat("%.6f", point.time),
+                  std::to_string(point.bytes)});
+    }
+  }
+  return csv.ToString();
+}
+
+void WriteMemoryTimelineCsv(const sim::SimResult& result, const std::string& path) {
+  const std::string text = MemoryTimelineCsv(result);
+  std::ofstream file(path);
+  MEPIPE_CHECK(file.good()) << "cannot open " << path;
+  file << text;
+  MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
+}
+
+std::string RenderMemorySparklines(const sim::SimResult& result, int columns) {
+  MEPIPE_CHECK(!result.memory_timeline.empty())
+      << "run the engine with record_memory_timeline=true";
+  MEPIPE_CHECK_GT(columns, 0);
+  if (result.makespan <= 0 || result.peak_activation <= 0) {
+    return "(no memory activity)\n";
+  }
+  static constexpr char kLevels[] = " .:-=+*%#";
+  constexpr int kNumLevels = static_cast<int>(sizeof(kLevels) - 2);
+  std::string out;
+  for (std::size_t stage = 0; stage < result.memory_timeline.size(); ++stage) {
+    std::string row(static_cast<std::size_t>(columns), ' ');
+    const auto& series = result.memory_timeline[stage];
+    std::size_t cursor = 0;
+    Bytes current = 0;
+    for (int c = 0; c < columns; ++c) {
+      const Seconds cell_time =
+          result.makespan * (static_cast<double>(c) + 0.5) / static_cast<double>(columns);
+      while (cursor < series.size() && series[cursor].time <= cell_time) {
+        current = series[cursor].bytes;
+        ++cursor;
+      }
+      const double fraction =
+          static_cast<double>(current) / static_cast<double>(result.peak_activation);
+      const int level = std::clamp(static_cast<int>(fraction * kNumLevels + 0.5), 0,
+                                   kNumLevels);
+      row[static_cast<std::size_t>(c)] = kLevels[level];
+    }
+    out += StrFormat("stage %zu |", stage) + row + "| peak " +
+           FormatBytes(result.stages[stage].peak_activation) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mepipe::trace

@@ -1,0 +1,24 @@
+// Export and rendering of per-stage activation-memory series (engine
+// runs with record_memory_timeline) — the data behind Figure-1-style
+// memory plots.
+#ifndef MEPIPE_TRACE_MEMORY_TIMELINE_H_
+#define MEPIPE_TRACE_MEMORY_TIMELINE_H_
+
+#include <string>
+
+#include "sim/engine.h"
+
+namespace mepipe::trace {
+
+// CSV with columns stage,time_s,bytes — one row per change point.
+// Throws CheckError when the result carries no memory timeline.
+std::string MemoryTimelineCsv(const sim::SimResult& result);
+void WriteMemoryTimelineCsv(const sim::SimResult& result, const std::string& path);
+
+// One sparkline row per stage: resident activation memory over time,
+// quantized into `columns` cells of ' ' (empty) through '#' (peak).
+std::string RenderMemorySparklines(const sim::SimResult& result, int columns = 100);
+
+}  // namespace mepipe::trace
+
+#endif  // MEPIPE_TRACE_MEMORY_TIMELINE_H_

@@ -1,0 +1,93 @@
+// Tests for the §9 deployment-economics models (core/deployment).
+#include "core/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "hw/cluster.h"
+
+namespace mepipe::core {
+namespace {
+
+TEST(Reliability, PaperClaimUnderFivePercentAt1000Gpus) {
+  // §9: with memory-based checkpointing recovering in minutes and MTBF
+  // ~12 h per 1000 GPUs, failure cost < 5% for a thousand RTX 4090s.
+  const double overhead = FailureOverheadFraction(1000);
+  EXPECT_LT(overhead, 0.05);
+  EXPECT_GT(overhead, 0.001);
+}
+
+TEST(Reliability, OverheadScalesWithClusterSize) {
+  const double small = FailureOverheadFraction(64);
+  const double large = FailureOverheadFraction(4096);
+  EXPECT_LT(small, large);
+  // At 64 GPUs failures are rare: overhead is almost entirely the fixed
+  // checkpoint-writing fraction (10 s per 10-min interval ≈ 1.7%).
+  const ReliabilityOptions defaults;
+  const double checkpoint_floor =
+      defaults.checkpoint_write_cost / defaults.checkpoint_interval;
+  EXPECT_LT(small, checkpoint_floor + 0.002);
+}
+
+TEST(Reliability, FasterRecoveryHelps) {
+  ReliabilityOptions slow;
+  slow.recovery_time = 30.0 * 60.0;  // disk-based checkpointing
+  const double with_slow = FailureOverheadFraction(1000, slow);
+  const double with_fast = FailureOverheadFraction(1000);
+  EXPECT_GT(with_slow, with_fast);
+}
+
+TEST(Reliability, RejectsBadInput) {
+  EXPECT_THROW(FailureOverheadFraction(0), CheckError);
+}
+
+TEST(OperatingCost, ScalesLinearlyInTime) {
+  const auto cluster = hw::Rtx4090Cluster();
+  const double one_hour = OperatingCostUsd(cluster, 3600.0);
+  const double two_hours = OperatingCostUsd(cluster, 7200.0);
+  EXPECT_NEAR(two_hours, 2.0 * one_hour, 1e-9);
+  EXPECT_GT(one_hour, 1.0);   // 64 GPUs at ~450 W are > 10 kW
+  EXPECT_LT(one_hour, 50.0);  // but well under $50/h at $0.1/kWh
+}
+
+TEST(OperatingCost, Rtx4090ClusterDrawsMorePowerPerThroughput) {
+  // §9: two 4090s ≈ one A100 in compute, so the 4090 fleet burns more
+  // watts for the same work. Our clusters (64×4090 vs 32×A100) are
+  // throughput-matched by construction (Table 9).
+  const double rtx = OperatingCostUsd(hw::Rtx4090Cluster(), 3600.0);
+  const double a100 = OperatingCostUsd(hw::A100Cluster(), 3600.0);
+  EXPECT_GT(rtx, a100);
+}
+
+TEST(CostParity, DecadesAsInPaper) {
+  // §9: "approximately 24 years for A100 clusters to achieve cost
+  // parity". Our fleet/power constants land in the same decades-long
+  // range — the acquisition gap dominates.
+  const double years = CostParityYears(hw::Rtx4090Cluster(), hw::A100Cluster());
+  EXPECT_GT(years, 10.0);
+  EXPECT_LT(years, 60.0);
+  EXPECT_TRUE(std::isfinite(years));
+}
+
+TEST(CostParity, InfiniteWhenCheaperAlsoUsesLessPower) {
+  // A hypothetical frugal cluster that is cheaper *and* cooler never
+  // reaches parity.
+  hw::ClusterSpec frugal = hw::Rtx4090Cluster();
+  frugal.gpu.board_power_w = 100;
+  frugal.nodes = 2;
+  const double years = CostParityYears(frugal, hw::A100Cluster());
+  EXPECT_TRUE(std::isinf(years));
+}
+
+TEST(TotalCost, AcquisitionDominatesShortHorizons) {
+  const auto rtx = hw::Rtx4090Cluster();
+  const double one_year = TotalCostUsd(rtx, 1.0);
+  const double acquisition = rtx.nodes * rtx.gpu.server_price_usd;
+  EXPECT_GT(one_year, acquisition);
+  EXPECT_LT(one_year, 2.0 * acquisition);
+}
+
+}  // namespace
+}  // namespace mepipe::core

@@ -1,0 +1,171 @@
+// Tests for the discrete-event execution engine (sim/engine) using
+// uniform costs, where the classic pipeline formulas are exact.
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/baselines.h"
+#include "sched/generator.h"
+#include "sim/cost_model.h"
+
+namespace mepipe::sim {
+namespace {
+
+using sched::OpKind;
+
+TEST(Engine, GPipeMakespanMatchesFormula) {
+  const int p = 4;
+  const int n = 6;
+  const auto schedule = sched::GPipeSchedule(p, n);
+  const UniformCostModel costs(/*f=*/1.0, /*b=*/2.0, /*w=*/0.0, /*transfer=*/0.0);
+  const SimResult result = Simulate(schedule, costs);
+  // (n + p - 1) forward slots + (n + p - 1) backward slots.
+  EXPECT_DOUBLE_EQ(result.makespan, (n + p - 1) * 3.0);
+  EXPECT_NEAR(result.bubble_ratio, static_cast<double>(p - 1) / (n + p - 1), 1e-12);
+}
+
+TEST(Engine, OneFOneBMakespanMatchesFormula) {
+  const int p = 4;
+  const int n = 8;
+  const auto schedule = sched::OneFOneBSchedule(p, n);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.0);
+  const SimResult result = Simulate(schedule, costs);
+  EXPECT_DOUBLE_EQ(result.makespan, (n + p - 1) * 3.0);
+  EXPECT_NEAR(result.bubble_ratio, static_cast<double>(p - 1) / (n + p - 1), 1e-12);
+}
+
+TEST(Engine, OneFOneBPeakMemoryIsWarmupDepth) {
+  const int p = 4;
+  const int n = 8;
+  const auto schedule = sched::OneFOneBSchedule(p, n);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.0, /*act_bytes=*/10);
+  const SimResult result = Simulate(schedule, costs);
+  // Stage i retains p - i forwards at peak.
+  for (int stage = 0; stage < p; ++stage) {
+    EXPECT_EQ(result.stages[static_cast<std::size_t>(stage)].peak_activation,
+              10 * (p - stage))
+        << "stage " << stage;
+  }
+  EXPECT_EQ(result.peak_activation, 10 * p);
+}
+
+TEST(Engine, GPipePeakMemoryRetainsAllMicros) {
+  const int p = 3;
+  const int n = 5;
+  const auto schedule = sched::GPipeSchedule(p, n);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.0, /*act_bytes=*/7);
+  const SimResult result = Simulate(schedule, costs);
+  EXPECT_EQ(result.peak_activation, 7 * n);
+}
+
+TEST(Engine, TransfersDelayDownstreamStages) {
+  const auto schedule = sched::GPipeSchedule(2, 1);
+  const UniformCostModel with_transfer(1.0, 2.0, 0.0, /*transfer=*/0.5);
+  const UniformCostModel without_transfer(1.0, 2.0, 0.0, 0.0);
+  const Seconds slow = Simulate(schedule, with_transfer).makespan;
+  const Seconds fast = Simulate(schedule, without_transfer).makespan;
+  // One forward transfer + one backward transfer on the critical path.
+  EXPECT_DOUBLE_EQ(slow, fast + 1.0);
+}
+
+TEST(Engine, TimelineCoversEveryComputeOp) {
+  const auto schedule = sched::OneFOneBSchedule(3, 4);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.1);
+  const SimResult result = Simulate(schedule, costs);
+  int compute_spans = 0;
+  for (const OpSpan& span : result.timeline) {
+    if (!span.is_transfer) {
+      ++compute_spans;
+      EXPECT_LT(span.start, span.end);
+    }
+  }
+  EXPECT_EQ(compute_spans, 3 * 4 * 2);
+}
+
+// --- split backward / weight-gradient handling ------------------------------
+
+TEST(Engine, DeferredWgradAllExecuted) {
+  const auto schedule = sched::Zb1pSchedule(4, 6);
+  const UniformCostModel costs(1.0, 1.0, 1.0, 0.0);
+  EngineOptions options;
+  options.wgrad_mode = WgradMode::kFillWhole;
+  const SimResult result = Simulate(schedule, costs, options);
+  int w_spans = 0;
+  for (const OpSpan& span : result.timeline) {
+    if (!span.is_transfer && span.op.kind == OpKind::kWeightGrad) {
+      ++w_spans;
+    }
+  }
+  EXPECT_EQ(w_spans, 4 * 6);  // one whole-W per (stage, micro)
+}
+
+TEST(Engine, FineGrainedSplitsIntoGemms) {
+  const auto schedule = sched::Zb1pSchedule(2, 3);
+  const UniformCostModel costs(1.0, 1.0, 1.0, 0.0, 1, 0, /*wgrad_gemms=*/5);
+  EngineOptions options;
+  options.wgrad_mode = WgradMode::kFillGemms;
+  const SimResult result = Simulate(schedule, costs, options);
+  int gemm_spans = 0;
+  for (const OpSpan& span : result.timeline) {
+    if (!span.is_transfer && span.op.kind == OpKind::kWeightGradGemm) {
+      ++gemm_spans;
+    }
+  }
+  EXPECT_EQ(gemm_spans, 2 * 3 * 5);
+}
+
+TEST(Engine, ZeroBubbleBeatsImmediateWgradOnTail) {
+  // With W deferred into bubbles, the iteration must not be slower than
+  // executing W inline right after each B.
+  const auto schedule = sched::Zb1pSchedule(4, 8);
+  const UniformCostModel costs(1.0, 1.0, 1.0, 0.05);
+  EngineOptions fill;
+  fill.wgrad_mode = WgradMode::kFillWhole;
+  EngineOptions immediate;
+  immediate.wgrad_mode = WgradMode::kImmediate;
+  const Seconds filled = Simulate(schedule, costs, fill).makespan;
+  const Seconds inline_w = Simulate(schedule, costs, immediate).makespan;
+  EXPECT_LE(filled, inline_w + 1e-9);
+}
+
+TEST(Engine, SplitBackwardRetainsActivationUntilW) {
+  // Split schedules hold activations + act-grads between B and W, so the
+  // peak must exceed the non-split equivalent.
+  const int p = 2;
+  const int n = 4;
+  const auto split = sched::Zb1pSchedule(p, n);
+  const auto fused = sched::OneFOneBSchedule(p, n);
+  const UniformCostModel split_costs(1.0, 1.0, 1.0, 0.0, /*act=*/10, /*act_grad=*/4);
+  const UniformCostModel fused_costs(1.0, 2.0, 0.0, 0.0, /*act=*/10);
+  EngineOptions options;
+  options.wgrad_mode = WgradMode::kFillWhole;
+  const Bytes split_peak = Simulate(split, split_costs, options).peak_activation;
+  const Bytes fused_peak = Simulate(fused, fused_costs).peak_activation;
+  EXPECT_GT(split_peak, fused_peak);
+}
+
+TEST(Engine, MemoryReturnsToZero) {
+  // Total allocated == total released across the iteration.
+  const auto schedule = sched::Zb1pSchedule(3, 5);
+  const UniformCostModel costs(1.0, 1.0, 1.0, 0.1, 8, 3, 4);
+  EngineOptions options;
+  options.wgrad_mode = WgradMode::kFillGemms;
+  const SimResult result = Simulate(schedule, costs, options);
+  // Indirect check: peak is positive and bounded by n * (act + grad) per stage.
+  EXPECT_GT(result.peak_activation, 0);
+  EXPECT_LE(result.peak_activation, 5 * (8 + 3));
+}
+
+TEST(Engine, BusyTimeAccountsAllWork) {
+  const int p = 2;
+  const int n = 3;
+  const auto schedule = sched::OneFOneBSchedule(p, n);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.0);
+  const SimResult result = Simulate(schedule, costs);
+  for (const auto& stage : result.stages) {
+    EXPECT_DOUBLE_EQ(stage.busy, n * 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace mepipe::sim

@@ -1,0 +1,89 @@
+// Tests for the §7.1 measurement-protocol harness (core/experiment).
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe::core {
+namespace {
+
+Strategy PaperMepipe13B() {
+  Strategy s;
+  s.method = Method::kSvpp;
+  s.pp = 8;
+  s.dp = 8;
+  s.spp = 4;
+  return s;
+}
+
+TEST(Experiment, TailStatisticsArePlausible) {
+  ExperimentOptions options;
+  options.iterations = 20;
+  options.tail = 5;
+  const ExperimentReport report =
+      RunExperiment(model::Llama13B(), PaperMepipe13B(), hw::Rtx4090Cluster(), 64, options);
+  ASSERT_TRUE(report.feasible) << report.note;
+  EXPECT_EQ(report.iterations, 20);
+  EXPECT_EQ(report.all_iterations.size(), 20u);
+  EXPECT_GT(report.mean_iteration, 0.0);
+  EXPECT_GT(report.stddev_iteration, 0.0);
+  EXPECT_LE(report.min_iteration, report.mean_iteration);
+  EXPECT_GE(report.max_iteration, report.mean_iteration);
+  // Jitter of ~3% per op averages out at iteration scale.
+  EXPECT_LT(report.stddev_iteration / report.mean_iteration, 0.05);
+}
+
+TEST(Experiment, MeanTracksDeterministicRun) {
+  ExperimentOptions options;
+  options.iterations = 12;
+  options.tail = 4;
+  const auto report =
+      RunExperiment(model::Llama13B(), PaperMepipe13B(), hw::Rtx4090Cluster(), 64, options);
+  const auto deterministic =
+      SimulateIteration(model::Llama13B(), PaperMepipe13B(), hw::Rtx4090Cluster(), 64);
+  ASSERT_TRUE(report.feasible);
+  EXPECT_NEAR(report.mean_iteration, deterministic.iteration_time,
+              deterministic.iteration_time * 0.05);
+}
+
+TEST(Experiment, Deterministic) {
+  ExperimentOptions options;
+  options.iterations = 6;
+  options.tail = 3;
+  options.seed = 77;
+  const auto a =
+      RunExperiment(model::Llama13B(), PaperMepipe13B(), hw::Rtx4090Cluster(), 64, options);
+  const auto b =
+      RunExperiment(model::Llama13B(), PaperMepipe13B(), hw::Rtx4090Cluster(), 64, options);
+  EXPECT_DOUBLE_EQ(a.mean_iteration, b.mean_iteration);
+  EXPECT_DOUBLE_EQ(a.stddev_iteration, b.stddev_iteration);
+}
+
+TEST(Experiment, InfeasibleStrategyShortCircuits) {
+  Strategy bad = PaperMepipe13B();
+  bad.pp = 2;
+  bad.dp = 32;
+  bad.spp = 1;
+  ExperimentOptions options;
+  options.iterations = 50;
+  const auto report =
+      RunExperiment(model::Llama13B(), bad, hw::Rtx4090Cluster(), 64, options);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_TRUE(report.all_iterations.empty());
+  EXPECT_FALSE(report.note.empty());
+}
+
+TEST(Experiment, RejectsBadProtocol) {
+  ExperimentOptions options;
+  options.iterations = 5;
+  options.tail = 10;
+  EXPECT_THROW(RunExperiment(model::Llama13B(), PaperMepipe13B(), hw::Rtx4090Cluster(), 64,
+                             options),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace mepipe::core

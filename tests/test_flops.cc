@@ -1,0 +1,117 @@
+// Tests for the per-slice FLOPs model (model/flops).
+#include "model/flops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "model/transformer.h"
+
+namespace mepipe::model {
+namespace {
+
+TEST(Slices, UniformPartitionExact) {
+  const auto spans = UniformSlices(4096, 4);
+  ASSERT_EQ(spans.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[static_cast<std::size_t>(i)].tokens, 1024);
+    EXPECT_EQ(spans[static_cast<std::size_t>(i)].start, 1024 * i);
+  }
+}
+
+TEST(Slices, RemainderGoesToEarlySlices) {
+  const auto spans = UniformSlices(10, 3);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].tokens, 4);
+  EXPECT_EQ(spans[1].tokens, 3);
+  EXPECT_EQ(spans[2].tokens, 3);
+  EXPECT_EQ(spans[2].end(), 10);
+}
+
+TEST(Slices, RejectsBadArguments) {
+  EXPECT_THROW(UniformSlices(4, 0), CheckError);
+  EXPECT_THROW(UniformSlices(2, 4), CheckError);
+}
+
+TEST(Flops, SliceGemmIsContextIndependent) {
+  const auto config = Llama13B();
+  const LayerFlops early = ForwardLayerFlops(config, {0, 1024});
+  const LayerFlops late = ForwardLayerFlops(config, {3072, 1024});
+  EXPECT_DOUBLE_EQ(early.gemm, late.gemm);
+  // Attention grows with context offset — the slice imbalance of §5.
+  EXPECT_GT(late.attention, early.attention * 3);
+}
+
+TEST(Flops, SlicesSumToWhole) {
+  const auto config = Llama13B();
+  const LayerFlops whole = ForwardLayerFlops(config, {0, 4096});
+  double gemm = 0;
+  double attention = 0;
+  for (const SliceSpan& span : UniformSlices(4096, 8)) {
+    const LayerFlops f = ForwardLayerFlops(config, span);
+    gemm += f.gemm;
+    attention += f.attention;
+  }
+  EXPECT_NEAR(gemm, whole.gemm, whole.gemm * 1e-12);
+  EXPECT_NEAR(attention, whole.attention, whole.attention * 1e-9);
+}
+
+TEST(Flops, AttentionShareIsSmallAt4k) {
+  // §4.4: attention score < 10% of total computation for 7B at L=4096.
+  const auto config = Llama7B();
+  const LayerFlops whole = ForwardLayerFlops(config, {0, 4096});
+  EXPECT_LT(whole.attention / whole.total(), 0.10);
+}
+
+TEST(Flops, WeightGradIsBalancedAcrossSlices) {
+  const auto config = Llama13B();
+  const Flops w0 = WeightGradLayerFlops(config, {0, 512});
+  const Flops w7 = WeightGradLayerFlops(config, {3584, 512});
+  EXPECT_DOUBLE_EQ(w0, w7);
+}
+
+TEST(Flops, BackwardExceedsForward) {
+  const auto config = Llama13B();
+  const SliceSpan span{0, 4096};
+  EXPECT_GT(BackwardLayerFlops(config, span) + WeightGradLayerFlops(config, span),
+            ForwardLayerFlops(config, span).total());
+}
+
+TEST(Flops, WeightGradGemmsSumToLayerGemm) {
+  const auto config = Llama13B();
+  const std::vector<Flops> gemms = WeightGradGemms(config, 1024);
+  EXPECT_EQ(gemms.size(), 7u);
+  double total = 0;
+  for (const Flops f : gemms) {
+    EXPECT_GT(f, 0);
+    total += f;
+  }
+  EXPECT_NEAR(total, WeightGradLayerFlops(config, {0, 1024}), total * 1e-12);
+}
+
+TEST(Flops, TrainingFlopsMatchesSixPT) {
+  // Whole-iteration model FLOPs ≈ 6 · params · tokens (+ attention).
+  const auto config = Llama13B();
+  const std::int64_t tokens = 128 * 4096;
+  const double six_pt = 6.0 * static_cast<double>(config.total_params()) *
+                        static_cast<double>(tokens);
+  const double actual = TrainingFlops(config, tokens);
+  EXPECT_GT(actual, 0.95 * six_pt);
+  EXPECT_LT(actual, 1.25 * six_pt);
+}
+
+TEST(Flops, MfuMatchesPaperArithmetic) {
+  // §7.6: Llama 13B, GBS=128, 5852 ms on 64 GPUs ⇒ ~116 TFLOPS ⇒ 35% MFU.
+  const auto config = Llama13B();
+  const double mfu =
+      ModelFlopsUtilization(config, 128 * 4096, 5.852, 64, 330e12);
+  EXPECT_NEAR(mfu, 0.35, 0.04);
+}
+
+TEST(Flops, EmbeddingIsNegligible) {
+  const auto config = Llama13B();
+  EXPECT_LT(ForwardEmbeddingFlops(config, 4096),
+            ForwardHeadFlops(config, 4096) / 1000.0);
+}
+
+}  // namespace
+}  // namespace mepipe::model

@@ -1,0 +1,97 @@
+// Tests for the §4.5 memory model / SVPP variant selection
+// (core/memory_model).
+#include "core/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe::core {
+namespace {
+
+struct Fixture {
+  model::TransformerConfig config = model::Llama13B();
+  hw::ClusterSpec cluster = hw::Rtx4090Cluster();
+
+  VariantDecision Decide(int pp, int dp, int spp, int vp = 1) {
+    Strategy strategy;
+    strategy.method = Method::kSvpp;
+    strategy.pp = pp;
+    strategy.dp = dp;
+    strategy.spp = spp;
+    strategy.vp = vp;
+    sched::PipelineProblem problem;
+    problem.stages = pp;
+    problem.virtual_chunks = vp;
+    problem.slices = spp;
+    problem.micros = 4;
+    problem.split_backward = true;
+    TrainingCostModel costs(config, strategy, cluster, problem);
+    SvppOptions svpp;
+    svpp.stages = pp;
+    svpp.virtual_chunks = vp;
+    svpp.slices = spp;
+    svpp.micros = 4;
+    return ChooseSvppVariant(costs, svpp, cluster.gpu);
+  }
+};
+
+TEST(MemoryModel, MoreSlicesAffordMoreInflight) {
+  Fixture fx;
+  const VariantDecision s2 = fx.Decide(8, 8, 2);
+  const VariantDecision s8 = fx.Decide(8, 8, 8);
+  ASSERT_TRUE(s2.feasible);
+  ASSERT_TRUE(s8.feasible);
+  // Slicing shrinks the per-forward unit, so more forwards fit (until the
+  // ceiling clamps).
+  EXPECT_LT(s8.per_forward_bytes, s2.per_forward_bytes);
+  EXPECT_GE(s8.f, s8.f > 0 ? MinInflight({8, 1, 8, 4}) : 0);
+}
+
+TEST(MemoryModel, UnslicedThirteenBIsMemoryStarved) {
+  // §7.2: without slicing, 13B on a 24 GB card cannot reach the
+  // lowest-bubble variant (this is why DAPPLE needs CP and MEPipe SPP).
+  Fixture fx;
+  const VariantDecision d = fx.Decide(8, 8, 1);
+  SvppOptions svpp;
+  svpp.stages = 8;
+  svpp.slices = 1;
+  if (d.feasible) {
+    EXPECT_LT(d.f, Table3Inflight(svpp));
+  }
+}
+
+TEST(MemoryModel, BudgetArithmetic) {
+  Fixture fx;
+  const VariantDecision d = fx.Decide(8, 8, 4);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.activation_budget, fx.cluster.gpu.usable_memory() - d.static_bytes);
+  EXPECT_GT(d.per_forward_bytes, 0);
+  // f never exceeds what the budget can hold.
+  EXPECT_LE(static_cast<Bytes>(d.f) * d.per_forward_bytes, d.activation_budget);
+}
+
+TEST(MemoryModel, InfeasibleWhenStaticAloneOverflows) {
+  // pp=2 leaves half of 13B's parameters on one stage: static alone
+  // exceeds 24 GB.
+  Fixture fx;
+  const VariantDecision d = fx.Decide(2, 32, 4);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_FALSE(d.reason.empty());
+}
+
+TEST(MemoryModel, CeilingClampsOnBigGpus) {
+  // On an 80 GB A100 the budget is huge; f clamps at the ceiling.
+  Fixture fx;
+  fx.cluster = hw::A100Cluster();
+  const VariantDecision d = fx.Decide(8, 4, 4);
+  ASSERT_TRUE(d.feasible);
+  SvppOptions svpp;
+  svpp.stages = 8;
+  svpp.slices = 4;
+  EXPECT_EQ(d.f, MaxUsefulInflight(svpp));
+}
+
+}  // namespace
+}  // namespace mepipe::core

@@ -1,0 +1,80 @@
+// Tests for the measurement-noise wrapper (sim/noise).
+#include "sim/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/baselines.h"
+#include "sim/engine.h"
+
+namespace mepipe::sim {
+namespace {
+
+using sched::OpId;
+using sched::OpKind;
+
+TEST(Noise, DeterministicWithinIteration) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  const NoisyCostModel noisy(base, 0.05, 42);
+  const OpId op{OpKind::kForward, 1, 0, 2};
+  EXPECT_DOUBLE_EQ(noisy.ComputeTime(op), noisy.ComputeTime(op));
+}
+
+TEST(Noise, DifferentSeedsDiffer) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  const NoisyCostModel a(base, 0.05, 1);
+  const NoisyCostModel b(base, 0.05, 2);
+  const OpId op{OpKind::kForward, 0, 0, 0};
+  EXPECT_NE(a.ComputeTime(op), b.ComputeTime(op));
+}
+
+TEST(Noise, ZeroSigmaIsTransparent) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  const NoisyCostModel noisy(base, 0.0, 7);
+  EXPECT_DOUBLE_EQ(noisy.ComputeTime({OpKind::kForward, 0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(noisy.TransferTime({OpKind::kForward, 0, 0, 0}), 0.1);
+}
+
+TEST(Noise, MemoryQuantitiesUntouched) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1, 11, 5, 3);
+  const NoisyCostModel noisy(base, 0.2, 7);
+  EXPECT_EQ(noisy.ActivationBytes({OpKind::kForward, 0, 0, 0}), 11);
+  EXPECT_EQ(noisy.ActGradBytes({OpKind::kBackward, 0, 0, 0}), 5);
+  EXPECT_EQ(noisy.WeightGradGemmCount({OpKind::kWeightGrad, 0, 0, 0}), 3);
+}
+
+TEST(Noise, JitterIsBounded) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  const NoisyCostModel noisy(base, 0.03, 99);
+  for (int m = 0; m < 50; ++m) {
+    const double t = noisy.ComputeTime({OpKind::kForward, m, 0, 0});
+    EXPECT_GT(t, 0.8);
+    EXPECT_LT(t, 1.25);
+  }
+}
+
+TEST(Noise, IterationTimeDispersionIsSmall) {
+  // The paper's protocol: many iterations, report the average. Makespan
+  // dispersion across seeds should be on the order of sigma.
+  const auto schedule = sched::OneFOneBSchedule(4, 8);
+  const UniformCostModel base(1.0, 2.0, 0.0, 0.05);
+  const Seconds clean = Simulate(schedule, base).makespan;
+  double sum = 0;
+  double sum_sq = 0;
+  const int iterations = 20;
+  for (int i = 0; i < iterations; ++i) {
+    const NoisyCostModel noisy(base, 0.03, static_cast<std::uint64_t>(i + 1));
+    const Seconds t = Simulate(schedule, noisy).makespan;
+    sum += t;
+    sum_sq += t * t;
+  }
+  const double mean = sum / iterations;
+  const double stddev = std::sqrt(std::max(0.0, sum_sq / iterations - mean * mean));
+  EXPECT_NEAR(mean, clean, clean * 0.05);
+  EXPECT_LT(stddev / mean, 0.05);
+  EXPECT_GT(stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace mepipe::sim

@@ -1,0 +1,164 @@
+// Integration tests: strategy grid search (core/planner) against the
+// paper's §7.2 findings.
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe::core {
+namespace {
+
+TEST(Planner, FindsFeasibleStrategiesForAllMainMethods) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  for (Method m : {Method::kDapple, Method::kVpp, Method::kZb1p, Method::kSvpp}) {
+    const PlannerResult result = SearchBestStrategy(m, config, cluster, 64);
+    ASSERT_TRUE(result.best.has_value()) << ToString(m);
+    EXPECT_TRUE(result.best->feasible);
+    EXPECT_FALSE(result.evaluated.empty());
+  }
+}
+
+TEST(Planner, MepipeWinsOnLlama13B) {
+  // The headline: MEPipe beats every baseline at every global batch size
+  // (Figure 8).
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  for (int gbs : {32, 64, 128}) {
+    const auto mepipe = SearchBestStrategy(Method::kSvpp, config, cluster, gbs);
+    ASSERT_TRUE(mepipe.best.has_value());
+    for (Method m : {Method::kDapple, Method::kVpp, Method::kZb1p, Method::kZbv}) {
+      const auto other = SearchBestStrategy(m, config, cluster, gbs);
+      if (other.best) {
+        EXPECT_LT(mepipe.best->iteration_time, other.best->iteration_time)
+            << ToString(m) << " gbs=" << gbs;
+      }
+    }
+  }
+}
+
+TEST(Planner, MepipePicksPaperConfigAt128) {
+  // Table 5: MEPipe (8, 4, 1) at GBS=128 — pp=8, slice-level spp, vp=1.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const auto result = SearchBestStrategy(Method::kSvpp, config, cluster, 128);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.best->strategy.pp, 8);
+  EXPECT_EQ(result.best->strategy.vp, 1);
+  EXPECT_GE(result.best->strategy.spp, 4);
+  EXPECT_FALSE(result.best->strategy.recompute);
+}
+
+TEST(Planner, VppNeedsRecomputationOn13B) {
+  // §7.2: VPP's extra warmup forwards overflow 24 GB without recompute.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const auto result = SearchBestStrategy(Method::kVpp, config, cluster, 64);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.best->strategy.recompute);
+  EXPECT_EQ(result.best->strategy.pp, 4);  // 40 units / (p·v=8) — max p is 4
+}
+
+TEST(Planner, RespectsMinDp) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions options;
+  options.min_dp = 2;
+  const auto result = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  for (const auto& e : result.evaluated) {
+    EXPECT_GE(e.strategy.dp, 2);
+  }
+}
+
+TEST(Planner, EvaluatedTimelinesAreDropped) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const auto result = SearchBestStrategy(Method::kSvpp, config, cluster, 32);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_FALSE(result.best->sim.timeline.empty());  // winner re-simulated
+  for (const auto& e : result.evaluated) {
+    EXPECT_TRUE(e.sim.timeline.empty());
+  }
+}
+
+TEST(Planner, SpeedupGrowsAsBatchShrinks) {
+  // Figure 8's trend: 1.36× at GBS=128 → 1.86× at GBS=32 (scaled
+  // clusters have fewer micro-batches, so bubbles dominate and
+  // slice-level scheduling pays off more).
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  auto speedup = [&](int gbs) {
+    const auto mepipe = SearchBestStrategy(Method::kSvpp, config, cluster, gbs);
+    double best_other = 1e30;
+    for (Method m : {Method::kDapple, Method::kZb1p}) {
+      const auto other = SearchBestStrategy(m, config, cluster, gbs);
+      if (other.best) {
+        best_other = std::min(best_other, other.best->iteration_time);
+      }
+    }
+    return best_other / mepipe.best->iteration_time;
+  };
+  const double s32 = speedup(32);
+  const double s128 = speedup(128);
+  EXPECT_GT(s32, 1.0);
+  EXPECT_GT(s128, 1.0);
+  EXPECT_GT(s32, s128);
+}
+
+TEST(Planner, PrunedSearchFindsSameWinnerWithFewerSimulations) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions full;
+  PlannerOptions pruned;
+  pruned.prune = true;
+  for (Method m : {Method::kDapple, Method::kSvpp}) {
+    const auto a = SearchBestStrategy(m, config, cluster, 64, full);
+    const auto b = SearchBestStrategy(m, config, cluster, 64, pruned);
+    ASSERT_TRUE(a.best.has_value());
+    ASSERT_TRUE(b.best.has_value());
+    EXPECT_EQ(a.best->strategy.ToString(), b.best->strategy.ToString()) << ToString(m);
+    EXPECT_NEAR(a.best->iteration_time, b.best->iteration_time, 1e-9);
+    EXPECT_GT(b.pruned, 0) << ToString(m);
+    EXPECT_LT(b.simulated, a.simulated) << ToString(m);
+    EXPECT_EQ(a.evaluated.size(), b.evaluated.size());
+  }
+}
+
+TEST(Planner, A100ClusterFindsNvlinkTensorParallelConfig) {
+  // The Table 9 reference side: on the A100 cluster (NVLink), opening up
+  // tensor parallelism yields a high-utilization Megatron-style config.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::A100Cluster();
+  PlannerOptions options;
+  options.tp_candidates = {1, 2, 4, 8};
+  options.min_dp = 1;
+  const auto result = SearchBestStrategy(Method::kVpp, config, cluster, 128, options);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_GT(result.best->mfu, 0.5);
+  EXPECT_LT(result.best->mfu, 0.95);
+  EXPECT_LE(ToMilliseconds(result.best->iteration_time), 8000);
+}
+
+TEST(Planner, DeterministicAcrossRuns) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const auto a = SearchBestStrategy(Method::kSvpp, config, cluster, 64);
+  const auto b = SearchBestStrategy(Method::kSvpp, config, cluster, 64);
+  ASSERT_TRUE(a.best && b.best);
+  EXPECT_DOUBLE_EQ(a.best->iteration_time, b.best->iteration_time);
+  EXPECT_EQ(a.best->strategy.ToString(), b.best->strategy.ToString());
+}
+
+TEST(Planner, SearchMethodsCoversAll) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const auto results = SearchMethods({Method::kDapple, Method::kSvpp}, config, cluster, 64);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].best.has_value());
+  EXPECT_TRUE(results[1].best.has_value());
+}
+
+}  // namespace
+}  // namespace mepipe::core

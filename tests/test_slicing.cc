@@ -1,0 +1,137 @@
+// Tests for non-uniform (TeraPipe-style balanced) slicing
+// (model/slicing).
+#include "model/slicing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "model/transformer.h"
+
+namespace mepipe::model {
+namespace {
+
+void ExpectCoverage(const std::vector<SliceSpan>& spans, std::int64_t seq_len) {
+  std::int64_t cursor = 0;
+  for (const SliceSpan& span : spans) {
+    EXPECT_EQ(span.start, cursor);
+    EXPECT_GT(span.tokens, 0);
+    cursor = span.end();
+  }
+  EXPECT_EQ(cursor, seq_len);
+}
+
+TEST(BalancedSlices, CoversSequenceContiguously) {
+  const auto config = Llama13B();
+  for (int s : {1, 2, 3, 4, 8, 16}) {
+    const auto spans = BalancedSlices(config, 4096, s);
+    ASSERT_EQ(spans.size(), static_cast<std::size_t>(s));
+    ExpectCoverage(spans, 4096);
+  }
+}
+
+TEST(BalancedSlices, EarlierSlicesAreLonger) {
+  // Later slices attend over more context, so a balanced partition gives
+  // them fewer tokens.
+  const auto config = Llama13B();
+  const auto spans = BalancedSlices(config, 4096, 4);
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+    EXPECT_GE(spans[i].tokens, spans[i + 1].tokens) << i;
+  }
+  EXPECT_GT(spans.front().tokens, spans.back().tokens);
+}
+
+TEST(BalancedSlices, BeatsUniformOnImbalance) {
+  const auto config = Llama13B();
+  for (std::int64_t seq_len : {4096LL, 32768LL, 131072LL}) {
+    const auto uniform = UniformSlices(seq_len, 8);
+    const auto balanced = BalancedSlices(config, seq_len, 8);
+    EXPECT_LT(SliceImbalance(config, balanced), SliceImbalance(config, uniform))
+        << "L=" << seq_len;
+    EXPECT_LT(SliceImbalance(config, balanced), 1.02) << "L=" << seq_len;
+  }
+}
+
+TEST(BalancedSlices, ImbalanceGrowsWithContextForUniform) {
+  // §5: at 4k the attention share is small (mild imbalance); at 128k the
+  // last uniform slice dominates.
+  const auto config = Llama13B();
+  const double at_4k = SliceImbalance(config, UniformSlices(4096, 8));
+  const double at_128k = SliceImbalance(config, UniformSlices(131072, 8));
+  EXPECT_GT(at_128k, at_4k);
+  EXPECT_GT(at_128k, 1.4);
+  EXPECT_LT(at_4k, 1.15);
+}
+
+TEST(BalancedSlices, SingleSliceIsWholeSequence) {
+  const auto config = Llama7B();
+  const auto spans = BalancedSlices(config, 4096, 1);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (SliceSpan{0, 4096}));
+}
+
+TEST(BalancedSlices, RejectsBadArguments) {
+  const auto config = Llama7B();
+  EXPECT_THROW(BalancedSlices(config, 4, 0), CheckError);
+  EXPECT_THROW(BalancedSlices(config, 2, 4), CheckError);
+}
+
+TEST(AlignSlices, RoundsInteriorBoundaries) {
+  const auto config = Llama13B();
+  const auto spans = AlignSlices(BalancedSlices(config, 4096, 4), 128);
+  ExpectCoverage(spans, 4096);
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].end() % 128, 0) << i;
+  }
+}
+
+TEST(AlignSlices, PreservesSingleSliceAndUnitAlignment) {
+  const auto config = Llama13B();
+  const auto one = AlignSlices(BalancedSlices(config, 4096, 1), 128);
+  EXPECT_EQ(one.size(), 1u);
+  const auto raw = BalancedSlices(config, 4097, 3);
+  EXPECT_EQ(AlignSlices(raw, 1), raw);
+}
+
+TEST(AlignSlices, NeverEmptiesASlice) {
+  const auto config = Llama13B();
+  // Aggressive alignment on a short sequence.
+  const auto spans = AlignSlices(BalancedSlices(config, 1024, 8), 128);
+  ExpectCoverage(spans, 1024);
+  for (const SliceSpan& span : spans) {
+    EXPECT_GE(span.tokens, 128);
+  }
+}
+
+TEST(SliceImbalance, UniformOnBalancedCostIsOne) {
+  // With one slice the ratio is trivially 1.
+  const auto config = Llama13B();
+  EXPECT_DOUBLE_EQ(SliceImbalance(config, {{0, 4096}}), 1.0);
+}
+
+// Property sweep: balanced slicing stays contiguous, ordered, and
+// near-optimal across sequence lengths and slice counts.
+class BalancedSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {};
+
+TEST_P(BalancedSweep, ValidAndBalanced) {
+  const auto [seq_len, slices] = GetParam();
+  const auto config = Llama7B();
+  const auto spans = BalancedSlices(config, seq_len, slices);
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(slices));
+  ExpectCoverage(spans, seq_len);
+  EXPECT_LT(SliceImbalance(config, spans), 1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BalancedSweep,
+    ::testing::Values(std::tuple{1024LL, 2LL}, std::tuple{4096LL, 4LL},
+                      std::tuple{4096LL, 16LL}, std::tuple{8192LL, 8LL},
+                      std::tuple{65536LL, 8LL}, std::tuple{131072LL, 16LL},
+                      std::tuple{1000LL, 3LL}, std::tuple{37LL, 5LL}),
+    [](const auto& info) {
+      return "L" + std::to_string(std::get<0>(info.param)) + "s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mepipe::model

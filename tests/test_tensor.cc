@@ -1,0 +1,239 @@
+// Tests for the minimal tensor library (tensor/tensor, tensor/ops),
+// including finite-difference checks of every backward op.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace mepipe::tensor {
+namespace {
+
+TEST(Tensor, ZerosAndFill) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.at(1, 2), 0.0f);
+  t.Fill(2.5f);
+  EXPECT_EQ(t.at(0, 0), 2.5f);
+  t.Scale(2.0f);
+  EXPECT_EQ(t.at(1, 1), 5.0f);
+}
+
+TEST(Tensor, RandnIsSeeded) {
+  std::mt19937 rng1(7);
+  std::mt19937 rng2(7);
+  const Tensor a = Tensor::Randn({4, 4}, rng1, 1.0f);
+  const Tensor b = Tensor::Randn({4, 4}, rng2, 1.0f);
+  EXPECT_EQ(Tensor::MaxAbsDiff(a, b), 0.0f);
+}
+
+TEST(Tensor, RowSliceAndAppend) {
+  Tensor t({3, 2});
+  for (std::int64_t i = 0; i < 3; ++i) {
+    t.at(i, 0) = static_cast<float>(i);
+    t.at(i, 1) = static_cast<float>(10 + i);
+  }
+  const Tensor mid = t.RowSlice(1, 3);
+  EXPECT_EQ(mid.dim(0), 2);
+  EXPECT_EQ(mid.at(0, 1), 11.0f);
+  Tensor grown({0, 2});
+  grown.AppendRows(t.RowSlice(0, 1));
+  grown.AppendRows(t.RowSlice(1, 3));
+  EXPECT_EQ(grown.dim(0), 3);
+  EXPECT_EQ(Tensor::MaxAbsDiff(grown, t), 0.0f);
+}
+
+TEST(Tensor, AxpyAndAdd) {
+  Tensor a({2});
+  a.Fill(1.0f);
+  Tensor b({2});
+  b.Fill(3.0f);
+  a.Axpy(2.0f, b);
+  EXPECT_EQ(a.at(0), 7.0f);
+  EXPECT_THROW(a.Add(Tensor({3})), CheckError);
+}
+
+TEST(Ops, MatMulAgainstHand) {
+  Tensor a({2, 2});
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Tensor b({2, 2});
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Ops, TransposedVariantsAgree) {
+  std::mt19937 rng(3);
+  const Tensor a = Tensor::Randn({4, 3}, rng, 1.0f);
+  const Tensor b = Tensor::Randn({4, 5}, rng, 1.0f);
+  // MatMulTa(a, b) == aᵀ·b.
+  Tensor at({3, 4});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      at.at(j, i) = a.at(i, j);
+    }
+  }
+  EXPECT_LT(Tensor::MaxAbsDiff(MatMulTa(a, b), MatMul(at, b)), 1e-5f);
+  // MatMulTb(x, w) == x·wᵀ.
+  const Tensor x = Tensor::Randn({2, 5}, rng, 1.0f);
+  const Tensor w = Tensor::Randn({3, 5}, rng, 1.0f);
+  Tensor wt({5, 3});
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      wt.at(j, i) = w.at(i, j);
+    }
+  }
+  EXPECT_LT(Tensor::MaxAbsDiff(MatMulTb(x, w), MatMul(x, wt)), 1e-5f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  std::mt19937 rng(5);
+  const Tensor scores = Tensor::Randn({3, 7}, rng, 2.0f);
+  const Tensor probs = SoftmaxRows(scores);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    double sum = 0;
+    for (std::int64_t j = 0; j < 7; ++j) {
+      EXPECT_GE(probs.at(i, j), 0.0f);
+      sum += probs.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, EmbedRoundTrip) {
+  std::mt19937 rng(9);
+  const Tensor table = Tensor::Randn({10, 4}, rng, 1.0f);
+  const std::vector<std::int64_t> ids = {3, 7, 3};
+  const Tensor out = Embed(table, ids);
+  EXPECT_EQ(out.at(0, 2), table.at(3, 2));
+  EXPECT_EQ(out.at(1, 0), table.at(7, 0));
+  Tensor dtable = Tensor::Zeros({10, 4});
+  Tensor dy({3, 4});
+  dy.Fill(1.0f);
+  EmbedBackward(ids, dy, dtable);
+  EXPECT_EQ(dtable.at(3, 0), 2.0f);  // id 3 appears twice
+  EXPECT_EQ(dtable.at(7, 0), 1.0f);
+  EXPECT_EQ(dtable.at(0, 0), 0.0f);
+}
+
+TEST(Ops, CrossEntropyOfUniformLogits) {
+  Tensor logits({2, 4});
+  const auto result = CrossEntropy(logits, {1, 2});
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-5);
+  // dlogits rows sum to zero.
+  for (std::int64_t i = 0; i < 2; ++i) {
+    double sum = 0;
+    for (std::int64_t j = 0; j < 4; ++j) {
+      sum += result.dlogits.at(i, j);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+// --- finite-difference checks -------------------------------------------------
+
+// Central-difference derivative of a scalar function of one tensor entry.
+template <typename LossFn>
+double NumericalGrad(Tensor& x, std::int64_t index, LossFn loss, float eps = 1e-3f) {
+  const float saved = x.at(index);
+  x.at(index) = saved + eps;
+  const double hi = loss();
+  x.at(index) = saved - eps;
+  const double lo = loss();
+  x.at(index) = saved;
+  return (hi - lo) / (2.0 * eps);
+}
+
+TEST(FiniteDiff, Silu) {
+  std::mt19937 rng(11);
+  Tensor x = Tensor::Randn({3, 3}, rng, 1.0f);
+  Tensor dy = Tensor::Randn({3, 3}, rng, 1.0f);
+  const Tensor dx = SiluBackward(x, dy);
+  auto loss = [&] {
+    const Tensor y = Silu(x);
+    double sum = 0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      sum += static_cast<double>(y.at(i)) * dy.at(i);
+    }
+    return sum;
+  };
+  for (std::int64_t i : {0, 4, 8}) {
+    EXPECT_NEAR(dx.at(i), NumericalGrad(x, i, loss), 2e-3) << i;
+  }
+}
+
+TEST(FiniteDiff, RmsNorm) {
+  std::mt19937 rng(13);
+  Tensor x = Tensor::Randn({2, 6}, rng, 1.0f);
+  Tensor w = Tensor::Randn({6}, rng, 0.5f);
+  w.at(0) += 1.0f;
+  Tensor dy = Tensor::Randn({2, 6}, rng, 1.0f);
+  const auto fwd = RmsNorm(x, w);
+  const auto grads = RmsNormBackward(x, w, fwd.inv_rms, dy);
+  auto loss = [&] {
+    const Tensor y = RmsNorm(x, w).y;
+    double sum = 0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      sum += static_cast<double>(y.at(i)) * dy.at(i);
+    }
+    return sum;
+  };
+  for (std::int64_t i : {0, 5, 7, 11}) {
+    EXPECT_NEAR(grads.dx.at(i), NumericalGrad(x, i, loss), 3e-3) << "dx " << i;
+  }
+  auto loss_w = [&] {
+    const Tensor y = RmsNorm(x, w).y;
+    double sum = 0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      sum += static_cast<double>(y.at(i)) * dy.at(i);
+    }
+    return sum;
+  };
+  for (std::int64_t i : {0, 3}) {
+    EXPECT_NEAR(grads.dw.at(i), NumericalGrad(w, i, loss_w), 3e-3) << "dw " << i;
+  }
+}
+
+TEST(FiniteDiff, SoftmaxRows) {
+  std::mt19937 rng(17);
+  Tensor scores = Tensor::Randn({2, 5}, rng, 1.0f);
+  Tensor dprobs = Tensor::Randn({2, 5}, rng, 1.0f);
+  const Tensor probs = SoftmaxRows(scores);
+  const Tensor dscores = SoftmaxRowsBackward(probs, dprobs);
+  auto loss = [&] {
+    const Tensor p = SoftmaxRows(scores);
+    double sum = 0;
+    for (std::int64_t i = 0; i < p.numel(); ++i) {
+      sum += static_cast<double>(p.at(i)) * dprobs.at(i);
+    }
+    return sum;
+  };
+  for (std::int64_t i : {0, 4, 9}) {
+    EXPECT_NEAR(dscores.at(i), NumericalGrad(scores, i, loss), 2e-3) << i;
+  }
+}
+
+TEST(FiniteDiff, CrossEntropy) {
+  std::mt19937 rng(19);
+  Tensor logits = Tensor::Randn({3, 5}, rng, 1.0f);
+  const std::vector<std::int64_t> targets = {1, 4, 0};
+  const auto result = CrossEntropy(logits, targets);
+  auto loss = [&] { return CrossEntropy(logits, targets).loss; };
+  for (std::int64_t i : {0, 7, 14}) {
+    EXPECT_NEAR(result.dlogits.at(i), NumericalGrad(logits, i, loss), 2e-3) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mepipe::tensor

@@ -1,0 +1,102 @@
+// Tests for the trace renderers (trace/ascii, trace/chrome_trace,
+// trace/csv).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+#include "sched/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "trace/ascii.h"
+#include "trace/chrome_trace.h"
+#include "trace/csv.h"
+
+namespace mepipe::trace {
+namespace {
+
+sim::SimResult SampleRun() {
+  const auto schedule = sched::OneFOneBSchedule(3, 4);
+  const sim::UniformCostModel costs(1.0, 2.0, 0.0, 0.1);
+  return Simulate(schedule, costs);
+}
+
+TEST(Ascii, RenderScheduleOrdersListsEveryStage) {
+  const auto schedule = sched::OneFOneBSchedule(3, 2);
+  const std::string text = RenderScheduleOrders(schedule);
+  EXPECT_NE(text.find("stage 0 |"), std::string::npos);
+  EXPECT_NE(text.find("stage 2 |"), std::string::npos);
+  EXPECT_NE(text.find("F0.0"), std::string::npos);
+  EXPECT_NE(text.find("B1.0"), std::string::npos);
+}
+
+TEST(Ascii, ChunkAnnotationOnlyWhenVirtual) {
+  const auto plain = RenderScheduleOrders(sched::OneFOneBSchedule(2, 2));
+  EXPECT_EQ(plain.find('@'), std::string::npos);
+  const auto vpp = RenderScheduleOrders(sched::VppSchedule(2, 2, 2));
+  EXPECT_NE(vpp.find("@1"), std::string::npos);
+}
+
+TEST(Ascii, TimelineRowsAndLegend) {
+  const std::string text = RenderTimeline(SampleRun(), 3, 60);
+  EXPECT_NE(text.find("stage 0 |"), std::string::npos);
+  EXPECT_NE(text.find("legend:"), std::string::npos);
+  // Forward cells are digits, backward cells letters.
+  EXPECT_NE(text.find('0'), std::string::npos);
+  EXPECT_NE(text.find('a'), std::string::npos);
+}
+
+TEST(Ascii, EmptyTimeline) {
+  sim::SimResult empty;
+  EXPECT_EQ(RenderTimeline(empty, 2, 40), "(empty timeline)\n");
+}
+
+TEST(ChromeTrace, ValidJsonShape) {
+  const std::string json = ToChromeTraceJson(SampleRun());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);  // transfer track
+  // Balanced braces on every line; crude but effective.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ChromeTrace, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/mepipe_trace.json";
+  WriteChromeTrace(SampleRun(), path);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string first_line;
+  std::getline(file, first_line);
+  EXPECT_EQ(first_line, "[");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RoundTrip) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"with,comma", "with\"quote"});
+  const std::string text = csv.ToString();
+  EXPECT_EQ(text, "a,b\n1,2\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, RejectsRaggedRow) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.AddRow({"only-one"}), CheckError);
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/mepipe_table.csv";
+  CsvWriter csv({"x"});
+  csv.AddRow({"42"});
+  csv.WriteFile(path);
+  std::ifstream file(path);
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "x");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mepipe::trace

@@ -1,0 +1,188 @@
+// Tests for the production cost model (core/training_cost).
+#include "core/training_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe::core {
+namespace {
+
+using sched::OpId;
+using sched::OpKind;
+
+struct Fixture {
+  model::TransformerConfig config = model::Llama13B();
+  hw::ClusterSpec cluster = hw::Rtx4090Cluster();
+
+  sched::PipelineProblem Problem(const Strategy& s, int micros = 4) {
+    sched::PipelineProblem problem;
+    problem.stages = s.pp;
+    problem.virtual_chunks = s.vp;
+    problem.slices = s.spp;
+    problem.micros = micros;
+    problem.split_backward =
+        s.method == Method::kSvpp || s.method == Method::kZb1p || s.method == Method::kZbv;
+    return problem;
+  }
+
+  Strategy Mepipe(int pp, int dp, int spp) {
+    Strategy s;
+    s.method = Method::kSvpp;
+    s.pp = pp;
+    s.dp = dp;
+    s.spp = spp;
+    return s;
+  }
+};
+
+TEST(TrainingCost, LaterSlicesCostMoreForward) {
+  Fixture fx;
+  const Strategy s = fx.Mepipe(8, 8, 4);
+  TrainingCostModel costs(fx.config, s, fx.cluster, fx.Problem(s));
+  const Seconds first = costs.ComputeTime({OpKind::kForward, 0, 0, 1});
+  const Seconds last = costs.ComputeTime({OpKind::kForward, 0, 3, 1});
+  EXPECT_GT(last, first);  // causal-attention imbalance (§5)
+}
+
+TEST(TrainingCost, WeightGradBalancedAcrossSlices) {
+  Fixture fx;
+  const Strategy s = fx.Mepipe(8, 8, 4);
+  TrainingCostModel costs(fx.config, s, fx.cluster, fx.Problem(s));
+  EXPECT_DOUBLE_EQ(costs.ComputeTime({OpKind::kWeightGrad, 0, 0, 1}),
+                   costs.ComputeTime({OpKind::kWeightGrad, 0, 3, 1}));
+}
+
+TEST(TrainingCost, GemmsPartitionTheWholeW) {
+  Fixture fx;
+  const Strategy s = fx.Mepipe(8, 8, 4);
+  TrainingCostModel costs(fx.config, s, fx.cluster, fx.Problem(s));
+  const OpId w{OpKind::kWeightGrad, 0, 1, 2};
+  const int count = costs.WeightGradGemmCount(w);
+  EXPECT_EQ(count, 5 * 7);  // 5 layers per chunk × 7 GEMMs
+  Seconds total = 0;
+  for (int k = 0; k < count; ++k) {
+    total += costs.ComputeTime({OpKind::kWeightGradGemm, 0, 1, 2, k});
+  }
+  // Sum of GEMMs ≈ whole W (modulo per-launch overhead).
+  EXPECT_NEAR(total, costs.ComputeTime(w), costs.ComputeTime(w) * 0.15);
+}
+
+TEST(TrainingCost, HeadChunkHasExtraGemm) {
+  Fixture fx;
+  const Strategy s = fx.Mepipe(8, 8, 4);
+  TrainingCostModel costs(fx.config, s, fx.cluster, fx.Problem(s));
+  EXPECT_EQ(costs.WeightGradGemmCount({OpKind::kWeightGrad, 0, 0, 7}), 4 * 7 + 1);
+}
+
+TEST(TrainingCost, TransfersScaleWithSliceTokens) {
+  Fixture fx;
+  const Strategy s = fx.Mepipe(8, 8, 4);
+  TrainingCostModel costs(fx.config, s, fx.cluster, fx.Problem(s));
+  const Seconds t = costs.TransferTime({OpKind::kForward, 0, 0, 1});
+  EXPECT_GT(t, 0);
+
+  const Strategy s8 = fx.Mepipe(8, 8, 8);
+  TrainingCostModel costs8(fx.config, s8, fx.cluster, fx.Problem(s8));
+  EXPECT_LT(costs8.TransferTime({OpKind::kForward, 0, 0, 1}), t);
+}
+
+TEST(TrainingCost, RecomputeShrinksActivationsAndSlowsBackward) {
+  Fixture fx;
+  Strategy plain;
+  plain.method = Method::kDapple;
+  plain.pp = 8;
+  plain.dp = 8;
+  Strategy recomputed = plain;
+  recomputed.recompute = true;
+  TrainingCostModel a(fx.config, plain, fx.cluster, fx.Problem(plain));
+  TrainingCostModel b(fx.config, recomputed, fx.cluster, fx.Problem(recomputed));
+  EXPECT_LT(b.ActivationBytes({OpKind::kForward, 0, 0, 1}),
+            a.ActivationBytes({OpKind::kForward, 0, 0, 1}) / 5);
+  EXPECT_GT(b.ComputeTime({OpKind::kBackward, 0, 0, 1}),
+            a.ComputeTime({OpKind::kBackward, 0, 0, 1}));
+}
+
+TEST(TrainingCost, CpAddsCommToForward) {
+  Fixture fx;
+  Strategy nocp;
+  nocp.method = Method::kDapple;
+  nocp.pp = 8;
+  nocp.dp = 8;
+  Strategy cp = nocp;
+  cp.dp = 4;
+  cp.cp = 2;
+  TrainingCostModel a(fx.config, nocp, fx.cluster, fx.Problem(nocp));
+  TrainingCostModel b(fx.config, cp, fx.cluster, fx.Problem(cp));
+  // CP halves tokens per rank but adds per-layer KV exchange; compare the
+  // per-token cost.
+  const Seconds full = a.ComputeTime({OpKind::kForward, 0, 0, 1});
+  const Seconds half = b.ComputeTime({OpKind::kForward, 0, 0, 1});
+  EXPECT_GT(half * 2, full);  // 2 half-forwards cost more than 1 full
+}
+
+TEST(TrainingCost, StaticMemoryDropsWithPp) {
+  Fixture fx;
+  const Strategy p8 = fx.Mepipe(8, 8, 4);
+  const Strategy p4 = fx.Mepipe(4, 16, 4);
+  TrainingCostModel a(fx.config, p8, fx.cluster, fx.Problem(p8));
+  TrainingCostModel b(fx.config, p4, fx.cluster, fx.Problem(p4));
+  EXPECT_LT(a.MaxStaticMemory(), b.MaxStaticMemory());
+}
+
+TEST(TrainingCost, DpSyncGrowsWithParamBytes) {
+  Fixture fx;
+  const Strategy p8 = fx.Mepipe(8, 8, 4);
+  const Strategy p4 = fx.Mepipe(4, 16, 4);
+  TrainingCostModel a(fx.config, p8, fx.cluster, fx.Problem(p8));
+  TrainingCostModel b(fx.config, p4, fx.cluster, fx.Problem(p4));
+  EXPECT_GT(b.DpSyncTime(), 0.0);
+  EXPECT_GT(b.DpSyncTime(), a.DpSyncTime() * 0.9);
+}
+
+TEST(TrainingCost, RejectsUnsupportedCombinations) {
+  Fixture fx;
+  Strategy bad = fx.Mepipe(8, 8, 4);
+  bad.cp = 2;  // cp and spp together
+  EXPECT_THROW(TrainingCostModel(fx.config, bad, fx.cluster, fx.Problem(bad)), CheckError);
+
+  Strategy indivisible = fx.Mepipe(16, 4, 4);
+  indivisible.vp = 2;  // 40 units % 32 chunks != 0
+  EXPECT_THROW(
+      TrainingCostModel(fx.config, indivisible, fx.cluster, fx.Problem(indivisible)),
+      CheckError);
+}
+
+TEST(TrainingCost, TpDividesComputeAndParams) {
+  Fixture fx;
+  fx.cluster = hw::A100Cluster();
+  Strategy tp1;
+  tp1.method = Method::kDapple;
+  tp1.pp = 4;
+  tp1.dp = 8;
+  Strategy tp8 = tp1;
+  tp8.dp = 1;
+  tp8.tp = 8;
+  TrainingCostModel a(fx.config, tp1, fx.cluster, fx.Problem(tp1));
+  TrainingCostModel b(fx.config, tp8, fx.cluster, fx.Problem(tp8));
+  EXPECT_LT(b.MaxStaticMemory(), a.MaxStaticMemory());
+  EXPECT_LT(b.ActivationBytes({OpKind::kForward, 0, 0, 1}),
+            a.ActivationBytes({OpKind::kForward, 0, 0, 1}));
+}
+
+TEST(TrainingCost, StrategyToString) {
+  Fixture fx;
+  Strategy s = fx.Mepipe(8, 8, 4);
+  EXPECT_EQ(s.ToString(), "MEPipe(pp=8,dp=8,spp=4)");
+  s.recompute = true;
+  s.method = Method::kDapple;
+  s.spp = 1;
+  s.cp = 2;
+  s.dp = 4;
+  EXPECT_EQ(s.ToString(), "DAPPLE(pp=8,dp=4,cp=2,recomp)");
+}
+
+}  // namespace
+}  // namespace mepipe::core

@@ -1,0 +1,72 @@
+// Tests for the transformer model descriptions (model/transformer).
+#include "model/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace mepipe::model {
+namespace {
+
+TEST(Transformer, PresetsMatchPaperTable4) {
+  const TransformerConfig c7 = Llama7B();
+  EXPECT_EQ(c7.hidden, 4096);
+  EXPECT_EQ(c7.layers, 30);
+  const TransformerConfig c13 = Llama13B();
+  EXPECT_EQ(c13.hidden, 5120);
+  EXPECT_EQ(c13.layers, 38);
+  const TransformerConfig c34 = Llama34B();
+  EXPECT_EQ(c34.hidden, 8192);
+  EXPECT_EQ(c34.layers, 46);
+  for (const auto& c : {c7, c13, c34}) {
+    EXPECT_EQ(c.seq_len, 4096);
+    EXPECT_EQ(c.vocab, 32000);
+  }
+}
+
+TEST(Transformer, PartitionUnitsIncludeEmbeddingAndHead) {
+  // §7.1: embedding + head count as partition units ⇒ 32 / 40 / 48.
+  EXPECT_EQ(Llama7B().partition_units(), 32);
+  EXPECT_EQ(Llama13B().partition_units(), 40);
+  EXPECT_EQ(Llama34B().partition_units(), 48);
+}
+
+TEST(Transformer, ParameterCountsAreInTheRightBallpark) {
+  // The "7B"/"13B"/"34B" names refer to the full models; ours have two
+  // fewer layers, so expect slightly below the nominal count.
+  const double p7 = static_cast<double>(Llama7B().total_params());
+  EXPECT_GT(p7, 5.8e9);
+  EXPECT_LT(p7, 7.0e9);
+  const double p13 = static_cast<double>(Llama13B().total_params());
+  EXPECT_GT(p13, 11.5e9);
+  EXPECT_LT(p13, 13.2e9);
+  const double p34 = static_cast<double>(Llama34B().total_params());
+  EXPECT_GT(p34, 29e9);
+  EXPECT_LT(p34, 34.5e9);
+}
+
+TEST(Transformer, GroupedQueryAttentionShrinksKv) {
+  const TransformerConfig c34 = Llama34B();
+  EXPECT_EQ(c34.head_dim(), 128);
+  EXPECT_EQ(c34.kv_hidden(), 8 * 128);
+  EXPECT_LT(c34.kv_hidden(), c34.hidden);
+  // MHA models: kv width == hidden.
+  EXPECT_EQ(Llama13B().kv_hidden(), Llama13B().hidden);
+}
+
+TEST(Transformer, BySizeLookup) {
+  EXPECT_EQ(LlamaBySize("7B").name, "Llama-7B");
+  EXPECT_EQ(LlamaBySize("13B").name, "Llama-13B");
+  EXPECT_EQ(LlamaBySize("34B").name, "Llama-34B");
+  EXPECT_THROW(LlamaBySize("70B"), CheckError);
+}
+
+TEST(Transformer, TinyModelIsConsistent) {
+  const TransformerConfig tiny = TinyTestModel();
+  EXPECT_GT(tiny.total_params(), 0);
+  EXPECT_EQ(tiny.partition_units(), tiny.layers + 2);
+  EXPECT_EQ(tiny.hidden % tiny.heads, 0);
+}
+
+}  // namespace
+}  // namespace mepipe::model
