@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_memory_bubble.dir/bench_fig01_memory_bubble.cc.o"
+  "CMakeFiles/bench_fig01_memory_bubble.dir/bench_fig01_memory_bubble.cc.o.d"
+  "bench_fig01_memory_bubble"
+  "bench_fig01_memory_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_memory_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_e2e_gbs.dir/bench_fig08_e2e_gbs.cc.o"
+  "CMakeFiles/bench_fig08_e2e_gbs.dir/bench_fig08_e2e_gbs.cc.o.d"
+  "bench_fig08_e2e_gbs"
+  "bench_fig08_e2e_gbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_e2e_gbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_e2e_gbs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_measurement_protocol.dir/bench_measurement_protocol.cc.o"
+  "CMakeFiles/bench_measurement_protocol.dir/bench_measurement_protocol.cc.o.d"
+  "bench_measurement_protocol"
+  "bench_measurement_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_measurement_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_micro.dir/bench_scheduler_micro.cc.o"
+  "CMakeFiles/bench_scheduler_micro.dir/bench_scheduler_micro.cc.o.d"
+  "bench_scheduler_micro"
+  "bench_scheduler_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

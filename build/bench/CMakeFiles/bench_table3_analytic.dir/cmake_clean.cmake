@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_analytic.dir/bench_table3_analytic.cc.o"
+  "CMakeFiles/bench_table3_analytic.dir/bench_table3_analytic.cc.o.d"
+  "bench_table3_analytic"
+  "bench_table3_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

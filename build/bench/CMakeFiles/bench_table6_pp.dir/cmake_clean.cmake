@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_pp.dir/bench_table6_pp.cc.o"
+  "CMakeFiles/bench_table6_pp.dir/bench_table6_pp.cc.o.d"
+  "bench_table6_pp"
+  "bench_table6_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

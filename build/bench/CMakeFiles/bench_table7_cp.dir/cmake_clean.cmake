@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_cp.dir/bench_table7_cp.cc.o"
+  "CMakeFiles/bench_table7_cp.dir/bench_table7_cp.cc.o.d"
+  "bench_table7_cp"
+  "bench_table7_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_export.dir/profile_and_export.cpp.o"
+  "CMakeFiles/profile_and_export.dir/profile_and_export.cpp.o.d"
+  "profile_and_export"
+  "profile_and_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_gallery.dir/schedule_gallery.cpp.o"
+  "CMakeFiles/schedule_gallery.dir/schedule_gallery.cpp.o.d"
+  "schedule_gallery"
+  "schedule_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

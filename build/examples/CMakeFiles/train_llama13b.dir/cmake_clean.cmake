@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_llama13b.dir/train_llama13b.cpp.o"
+  "CMakeFiles/train_llama13b.dir/train_llama13b.cpp.o.d"
+  "train_llama13b"
+  "train_llama13b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_llama13b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_common.dir/check.cc.o"
+  "CMakeFiles/mepipe_common.dir/check.cc.o.d"
+  "CMakeFiles/mepipe_common.dir/format.cc.o"
+  "CMakeFiles/mepipe_common.dir/format.cc.o.d"
+  "CMakeFiles/mepipe_common.dir/units.cc.o"
+  "CMakeFiles/mepipe_common.dir/units.cc.o.d"
+  "libmepipe_common.a"
+  "libmepipe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cc" "src/core/CMakeFiles/mepipe_core.dir/analytic.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/analytic.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/mepipe_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/mepipe_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/iteration.cc" "src/core/CMakeFiles/mepipe_core.dir/iteration.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/iteration.cc.o.d"
+  "/root/repo/src/core/memory_model.cc" "src/core/CMakeFiles/mepipe_core.dir/memory_model.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/memory_model.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/mepipe_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/mepipe_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/svpp.cc" "src/core/CMakeFiles/mepipe_core.dir/svpp.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/svpp.cc.o.d"
+  "/root/repo/src/core/training_cost.cc" "src/core/CMakeFiles/mepipe_core.dir/training_cost.cc.o" "gcc" "src/core/CMakeFiles/mepipe_core.dir/training_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mepipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mepipe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mepipe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mepipe_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mepipe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_core.dir/analytic.cc.o"
+  "CMakeFiles/mepipe_core.dir/analytic.cc.o.d"
+  "CMakeFiles/mepipe_core.dir/deployment.cc.o"
+  "CMakeFiles/mepipe_core.dir/deployment.cc.o.d"
+  "CMakeFiles/mepipe_core.dir/experiment.cc.o"
+  "CMakeFiles/mepipe_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mepipe_core.dir/iteration.cc.o"
+  "CMakeFiles/mepipe_core.dir/iteration.cc.o.d"
+  "CMakeFiles/mepipe_core.dir/memory_model.cc.o"
+  "CMakeFiles/mepipe_core.dir/memory_model.cc.o.d"
+  "CMakeFiles/mepipe_core.dir/planner.cc.o"
+  "CMakeFiles/mepipe_core.dir/planner.cc.o.d"
+  "CMakeFiles/mepipe_core.dir/profiler.cc.o"
+  "CMakeFiles/mepipe_core.dir/profiler.cc.o.d"
+  "CMakeFiles/mepipe_core.dir/svpp.cc.o"
+  "CMakeFiles/mepipe_core.dir/svpp.cc.o.d"
+  "CMakeFiles/mepipe_core.dir/training_cost.cc.o"
+  "CMakeFiles/mepipe_core.dir/training_cost.cc.o.d"
+  "libmepipe_core.a"
+  "libmepipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cc" "src/hw/CMakeFiles/mepipe_hw.dir/cluster.cc.o" "gcc" "src/hw/CMakeFiles/mepipe_hw.dir/cluster.cc.o.d"
+  "/root/repo/src/hw/comm_model.cc" "src/hw/CMakeFiles/mepipe_hw.dir/comm_model.cc.o" "gcc" "src/hw/CMakeFiles/mepipe_hw.dir/comm_model.cc.o.d"
+  "/root/repo/src/hw/efficiency.cc" "src/hw/CMakeFiles/mepipe_hw.dir/efficiency.cc.o" "gcc" "src/hw/CMakeFiles/mepipe_hw.dir/efficiency.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/hw/CMakeFiles/mepipe_hw.dir/gpu.cc.o" "gcc" "src/hw/CMakeFiles/mepipe_hw.dir/gpu.cc.o.d"
+  "/root/repo/src/hw/interconnect.cc" "src/hw/CMakeFiles/mepipe_hw.dir/interconnect.cc.o" "gcc" "src/hw/CMakeFiles/mepipe_hw.dir/interconnect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mepipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mepipe_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_hw.dir/cluster.cc.o"
+  "CMakeFiles/mepipe_hw.dir/cluster.cc.o.d"
+  "CMakeFiles/mepipe_hw.dir/comm_model.cc.o"
+  "CMakeFiles/mepipe_hw.dir/comm_model.cc.o.d"
+  "CMakeFiles/mepipe_hw.dir/efficiency.cc.o"
+  "CMakeFiles/mepipe_hw.dir/efficiency.cc.o.d"
+  "CMakeFiles/mepipe_hw.dir/gpu.cc.o"
+  "CMakeFiles/mepipe_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/mepipe_hw.dir/interconnect.cc.o"
+  "CMakeFiles/mepipe_hw.dir/interconnect.cc.o.d"
+  "libmepipe_hw.a"
+  "libmepipe_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

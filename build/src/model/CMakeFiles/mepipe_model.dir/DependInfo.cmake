@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/flops.cc" "src/model/CMakeFiles/mepipe_model.dir/flops.cc.o" "gcc" "src/model/CMakeFiles/mepipe_model.dir/flops.cc.o.d"
+  "/root/repo/src/model/memory.cc" "src/model/CMakeFiles/mepipe_model.dir/memory.cc.o" "gcc" "src/model/CMakeFiles/mepipe_model.dir/memory.cc.o.d"
+  "/root/repo/src/model/slicing.cc" "src/model/CMakeFiles/mepipe_model.dir/slicing.cc.o" "gcc" "src/model/CMakeFiles/mepipe_model.dir/slicing.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/model/CMakeFiles/mepipe_model.dir/transformer.cc.o" "gcc" "src/model/CMakeFiles/mepipe_model.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mepipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_model.dir/flops.cc.o"
+  "CMakeFiles/mepipe_model.dir/flops.cc.o.d"
+  "CMakeFiles/mepipe_model.dir/memory.cc.o"
+  "CMakeFiles/mepipe_model.dir/memory.cc.o.d"
+  "CMakeFiles/mepipe_model.dir/slicing.cc.o"
+  "CMakeFiles/mepipe_model.dir/slicing.cc.o.d"
+  "CMakeFiles/mepipe_model.dir/transformer.cc.o"
+  "CMakeFiles/mepipe_model.dir/transformer.cc.o.d"
+  "libmepipe_model.a"
+  "libmepipe_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_ref.dir/ref_model.cc.o"
+  "CMakeFiles/mepipe_ref.dir/ref_model.cc.o.d"
+  "libmepipe_ref.a"
+  "libmepipe_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

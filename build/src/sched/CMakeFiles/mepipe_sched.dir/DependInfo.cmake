@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baselines.cc" "src/sched/CMakeFiles/mepipe_sched.dir/baselines.cc.o" "gcc" "src/sched/CMakeFiles/mepipe_sched.dir/baselines.cc.o.d"
+  "/root/repo/src/sched/dependency.cc" "src/sched/CMakeFiles/mepipe_sched.dir/dependency.cc.o" "gcc" "src/sched/CMakeFiles/mepipe_sched.dir/dependency.cc.o.d"
+  "/root/repo/src/sched/generator.cc" "src/sched/CMakeFiles/mepipe_sched.dir/generator.cc.o" "gcc" "src/sched/CMakeFiles/mepipe_sched.dir/generator.cc.o.d"
+  "/root/repo/src/sched/op.cc" "src/sched/CMakeFiles/mepipe_sched.dir/op.cc.o" "gcc" "src/sched/CMakeFiles/mepipe_sched.dir/op.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/sched/CMakeFiles/mepipe_sched.dir/schedule.cc.o" "gcc" "src/sched/CMakeFiles/mepipe_sched.dir/schedule.cc.o.d"
+  "/root/repo/src/sched/serialize.cc" "src/sched/CMakeFiles/mepipe_sched.dir/serialize.cc.o" "gcc" "src/sched/CMakeFiles/mepipe_sched.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mepipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

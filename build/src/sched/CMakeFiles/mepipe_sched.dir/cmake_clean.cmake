@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_sched.dir/baselines.cc.o"
+  "CMakeFiles/mepipe_sched.dir/baselines.cc.o.d"
+  "CMakeFiles/mepipe_sched.dir/dependency.cc.o"
+  "CMakeFiles/mepipe_sched.dir/dependency.cc.o.d"
+  "CMakeFiles/mepipe_sched.dir/generator.cc.o"
+  "CMakeFiles/mepipe_sched.dir/generator.cc.o.d"
+  "CMakeFiles/mepipe_sched.dir/op.cc.o"
+  "CMakeFiles/mepipe_sched.dir/op.cc.o.d"
+  "CMakeFiles/mepipe_sched.dir/schedule.cc.o"
+  "CMakeFiles/mepipe_sched.dir/schedule.cc.o.d"
+  "CMakeFiles/mepipe_sched.dir/serialize.cc.o"
+  "CMakeFiles/mepipe_sched.dir/serialize.cc.o.d"
+  "libmepipe_sched.a"
+  "libmepipe_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmepipe_sched.a"
+)

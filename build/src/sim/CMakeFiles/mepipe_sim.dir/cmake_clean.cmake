@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_sim.dir/cost_model.cc.o"
+  "CMakeFiles/mepipe_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/mepipe_sim.dir/engine.cc.o"
+  "CMakeFiles/mepipe_sim.dir/engine.cc.o.d"
+  "libmepipe_sim.a"
+  "libmepipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmepipe_sim.a"
+)

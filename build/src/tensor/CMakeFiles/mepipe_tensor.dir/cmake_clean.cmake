@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_tensor.dir/ops.cc.o"
+  "CMakeFiles/mepipe_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/mepipe_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mepipe_tensor.dir/tensor.cc.o.d"
+  "libmepipe_tensor.a"
+  "libmepipe_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ascii.cc" "src/trace/CMakeFiles/mepipe_trace.dir/ascii.cc.o" "gcc" "src/trace/CMakeFiles/mepipe_trace.dir/ascii.cc.o.d"
+  "/root/repo/src/trace/chrome_trace.cc" "src/trace/CMakeFiles/mepipe_trace.dir/chrome_trace.cc.o" "gcc" "src/trace/CMakeFiles/mepipe_trace.dir/chrome_trace.cc.o.d"
+  "/root/repo/src/trace/csv.cc" "src/trace/CMakeFiles/mepipe_trace.dir/csv.cc.o" "gcc" "src/trace/CMakeFiles/mepipe_trace.dir/csv.cc.o.d"
+  "/root/repo/src/trace/memory_timeline.cc" "src/trace/CMakeFiles/mepipe_trace.dir/memory_timeline.cc.o" "gcc" "src/trace/CMakeFiles/mepipe_trace.dir/memory_timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mepipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mepipe_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mepipe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mepipe_trace.dir/ascii.cc.o"
+  "CMakeFiles/mepipe_trace.dir/ascii.cc.o.d"
+  "CMakeFiles/mepipe_trace.dir/chrome_trace.cc.o"
+  "CMakeFiles/mepipe_trace.dir/chrome_trace.cc.o.d"
+  "CMakeFiles/mepipe_trace.dir/csv.cc.o"
+  "CMakeFiles/mepipe_trace.dir/csv.cc.o.d"
+  "CMakeFiles/mepipe_trace.dir/memory_timeline.cc.o"
+  "CMakeFiles/mepipe_trace.dir/memory_timeline.cc.o.d"
+  "libmepipe_trace.a"
+  "libmepipe_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mepipe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

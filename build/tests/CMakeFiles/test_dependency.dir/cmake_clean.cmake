@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependency.dir/test_dependency.cc.o"
+  "CMakeFiles/test_dependency.dir/test_dependency.cc.o.d"
+  "test_dependency"
+  "test_dependency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

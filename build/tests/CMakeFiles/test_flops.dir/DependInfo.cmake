@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_flops.cc" "tests/CMakeFiles/test_flops.dir/test_flops.cc.o" "gcc" "tests/CMakeFiles/test_flops.dir/test_flops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mepipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mepipe_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mepipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mepipe_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mepipe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/mepipe_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mepipe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mepipe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mepipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_timeline.dir/test_memory_timeline.cc.o"
+  "CMakeFiles/test_memory_timeline.dir/test_memory_timeline.cc.o.d"
+  "test_memory_timeline"
+  "test_memory_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_model.dir/test_ref_model.cc.o"
+  "CMakeFiles/test_ref_model.dir/test_ref_model.cc.o.d"
+  "test_ref_model"
+  "test_ref_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

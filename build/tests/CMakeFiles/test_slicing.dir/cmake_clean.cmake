@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slicing.dir/test_slicing.cc.o"
+  "CMakeFiles/test_slicing.dir/test_slicing.cc.o.d"
+  "test_slicing"
+  "test_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

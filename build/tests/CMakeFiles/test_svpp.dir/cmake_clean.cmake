@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svpp.dir/test_svpp.cc.o"
+  "CMakeFiles/test_svpp.dir/test_svpp.cc.o.d"
+  "test_svpp"
+  "test_svpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

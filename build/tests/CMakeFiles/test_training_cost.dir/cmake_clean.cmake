@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_training_cost.dir/test_training_cost.cc.o"
+  "CMakeFiles/test_training_cost.dir/test_training_cost.cc.o.d"
+  "test_training_cost"
+  "test_training_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_training_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
