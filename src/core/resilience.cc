@@ -1,0 +1,107 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mepipe::core {
+
+ResilienceMetrics SimulateTrainingRun(Seconds iteration_time,
+                                      const ResilienceOptions& options) {
+  MEPIPE_CHECK_GT(iteration_time, 0.0);
+  MEPIPE_CHECK_GT(options.gpus, 0);
+  const ReliabilityOptions& rel = options.reliability;
+  MEPIPE_CHECK_GT(rel.mtbf_per_1000_gpus, 0.0);
+  MEPIPE_CHECK_GT(rel.checkpoint_interval, 0.0);
+  MEPIPE_CHECK_GE(rel.recovery_time, 0.0);
+  MEPIPE_CHECK_GE(rel.checkpoint_write_cost, 0.0);
+
+  const Seconds target = options.target_useful_time > 0
+                             ? options.target_useful_time
+                             : static_cast<Seconds>(options.iterations) * iteration_time;
+  MEPIPE_CHECK_GT(target, 0.0) << "nothing to simulate";
+
+  const Seconds mtbf =
+      rel.mtbf_per_1000_gpus * 1000.0 / static_cast<double>(options.gpus);
+  SplitMixRng rng(options.seed);
+
+  ResilienceMetrics m;
+  m.iteration_time = iteration_time;
+
+  Seconds wall = 0;       // elapsed cluster time, stalls included
+  Seconds useful = 0;     // durable + tentative training progress
+  Seconds ckpt = 0;       // progress covered by the last checkpoint
+  Seconds next_fail = rng.NextExponential(mtbf);  // up-time to next failure
+
+  // The run fails to converge when the cluster MTBF is so short that no
+  // checkpoint interval ever completes; bound the restart count so such
+  // configurations surface as an error instead of a hung loop.
+  const double expected_failures = target / mtbf + 10.0;
+
+  while (useful < target) {
+    const Seconds to_ckpt = ckpt + rel.checkpoint_interval - useful;
+    const Seconds to_done = target - useful;
+    const Seconds run = std::min({to_ckpt, to_done, next_fail});
+    wall += run;
+    useful += run;
+    next_fail -= run;
+    if (next_fail <= 0.0) {
+      // Hardware failure: record it, roll progress back to the last
+      // checkpoint, stall for detection + restart; the lost work is then
+      // replayed as ordinary forward progress.
+      const Seconds lost = useful - ckpt;
+      if (m.failures.size() < options.max_failure_records) {
+        const auto iteration = static_cast<std::int64_t>(useful / iteration_time);
+        m.failures.push_back({wall, lost, rel.recovery_time, iteration,
+                              useful - static_cast<Seconds>(iteration) * iteration_time});
+      }
+      useful = ckpt;
+      m.lost_time += lost;
+      m.recovery_time += rel.recovery_time;
+      wall += rel.recovery_time;
+      ++m.restarts;
+      MEPIPE_CHECK_LT(m.restarts, 100.0 * expected_failures)
+          << "MTBF " << mtbf << "s is too short for the run to make durable "
+          << "progress past its " << rel.checkpoint_interval << "s checkpoint interval";
+      next_fail = rng.NextExponential(mtbf);
+    } else if (run == to_ckpt && useful < target) {
+      wall += rel.checkpoint_write_cost;
+      m.checkpoint_time += rel.checkpoint_write_cost;
+      ckpt = useful;
+      ++m.checkpoints_written;
+    }
+  }
+
+  m.wall_time = wall;
+  m.useful_time = useful;
+  m.iterations_completed = static_cast<std::int64_t>(useful / iteration_time);
+  m.goodput = wall > 0 ? useful / wall : 1.0;
+  m.overhead_fraction = 1.0 - m.goodput;
+  return m;
+}
+
+ResilienceMetrics SimulateTrainingRun(const sched::Schedule& schedule,
+                                      const sim::CostModel& costs,
+                                      const ResilienceOptions& options) {
+  sim::EngineOptions engine_options;
+  const sim::SimResult clean = sim::Simulate(schedule, costs, engine_options);
+  return SimulateTrainingRun(clean.makespan, options);
+}
+
+sim::FaultPlan FaultPlanForFailure(const FailureRecord& failure, Seconds iteration_time,
+                                   const ReliabilityOptions& reliability) {
+  MEPIPE_CHECK_GT(iteration_time, 0.0);
+  sim::FaultPlan plan;
+  // Iteration-local view: restart from the iteration start (the implicit
+  // t=0 checkpoint), stalled for the run-level detection + restart cost.
+  const Seconds offset =
+      std::clamp(failure.iteration_offset, 0.0, iteration_time);
+  plan.fail_stops.push_back({/*stage=*/0, offset,
+                             /*detection_delay=*/0.0,
+                             /*restart_time=*/reliability.recovery_time});
+  return plan;
+}
+
+}  // namespace mepipe::core

@@ -1,0 +1,93 @@
+// Multi-iteration training-run resilience simulator — §9's reliability
+// discussion reproduced by measurement instead of assertion.
+//
+// The analytic FailureOverheadFraction (core/deployment.h) asserts the
+// expected overhead of failures + checkpointing in closed form. This
+// runner makes the same quantity *emerge*: it measures one iteration on
+// the discrete-event engine, then steps a training run forward, drawing
+// Poisson hardware failures from the ReliabilityOptions MTBF, injecting
+// checkpoint-write pauses at the configured interval, and on each
+// failure rolling progress back to the last checkpoint (detection +
+// restart stall, then replay of the lost work). The measured
+// overhead_fraction cross-validates the closed form — and, unlike it,
+// the runner also reports goodput, lost seconds, and restart counts,
+// and can price individual faulted iterations on the engine via
+// FaultPlanForFailure.
+//
+// Fully deterministic under a fixed seed (splitmix64 sampling; no
+// standard-library distributions).
+#ifndef MEPIPE_CORE_RESILIENCE_H_
+#define MEPIPE_CORE_RESILIENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "core/deployment.h"
+#include "sched/schedule.h"
+#include "sim/engine.h"
+
+namespace mepipe::core {
+
+struct ResilienceOptions {
+  ReliabilityOptions reliability;
+  // Fleet size; the cluster MTBF scales as mtbf_per_1000_gpus * 1000/gpus.
+  int gpus = 1024;
+  // Length of the simulated run, as useful training progress: either an
+  // explicit duration, or (when 0) `iterations` times the iteration time.
+  Seconds target_useful_time = 0;
+  std::int64_t iterations = 10000;
+  std::uint64_t seed = 1;
+  // Cap on the per-failure records kept in ResilienceMetrics::failures
+  // (counters are always exact).
+  std::size_t max_failure_records = 1024;
+};
+
+// One fail-stop event of the simulated run.
+struct FailureRecord {
+  Seconds wall_time = 0;   // when the failure struck
+  Seconds lost_work = 0;   // useful progress rolled back to the checkpoint
+  Seconds stall = 0;       // detection + restart downtime
+  std::int64_t iteration = 0;      // iteration the failure interrupted
+  Seconds iteration_offset = 0;    // how far into that iteration it struck
+};
+
+struct ResilienceMetrics {
+  Seconds iteration_time = 0;      // one clean iteration (engine-measured)
+  Seconds wall_time = 0;           // total elapsed, stalls included
+  Seconds useful_time = 0;         // training progress delivered
+  Seconds lost_time = 0;           // work redone after rollbacks
+  Seconds checkpoint_time = 0;     // spent writing checkpoints
+  Seconds recovery_time = 0;       // detection + restart stalls
+  std::int64_t iterations_completed = 0;
+  int restarts = 0;
+  int checkpoints_written = 0;
+  double goodput = 0;              // useful_time / wall_time
+  // 1 - goodput: the measured analogue of FailureOverheadFraction.
+  double overhead_fraction = 0;
+  std::vector<FailureRecord> failures;  // first max_failure_records events
+};
+
+// Simulates a training run whose clean iteration takes `iteration_time`
+// seconds. Throws CheckError on non-positive iteration times or GPU
+// counts.
+ResilienceMetrics SimulateTrainingRun(Seconds iteration_time,
+                                      const ResilienceOptions& options = {});
+
+// Same, but measures the iteration time by executing `schedule` against
+// `costs` on the discrete-event engine first.
+ResilienceMetrics SimulateTrainingRun(const sched::Schedule& schedule,
+                                      const sim::CostModel& costs,
+                                      const ResilienceOptions& options = {});
+
+// Scripts the engine-level fault plan reproducing `failure` inside its
+// iteration: a fail-stop at the failure's offset into the iteration with
+// the record's detection + restart stall, restarting from the iteration
+// start. Feed to EngineOptions::fault_plan to see the failure disrupt an
+// actual timeline (trace export, schedule-sensitivity studies).
+sim::FaultPlan FaultPlanForFailure(const FailureRecord& failure, Seconds iteration_time,
+                                   const ReliabilityOptions& reliability);
+
+}  // namespace mepipe::core
+
+#endif  // MEPIPE_CORE_RESILIENCE_H_

@@ -3,10 +3,10 @@
 //   model/   — transformer configs, FLOPs, memory, slicing
 //   hw/      — GPUs, links, clusters, efficiency, collectives
 //   sched/   — ops, dependencies, schedules, baselines, serialization
-//   sim/     — discrete-event engine, cost models, noise
+//   sim/     — discrete-event engine, cost models, noise, fault injection
 //   core/    — SVPP, analytics, memory model, planner, profiler,
-//              deployment economics
-//   trace/   — ASCII timelines, Chrome traces, CSV
+//              deployment economics, resilience simulation
+//   trace/   — ASCII timelines, Chrome traces, CSV, fault overlays
 //   tensor/, ref/ — the numerical validation substrate
 #ifndef MEPIPE_MEPIPE_H_
 #define MEPIPE_MEPIPE_H_
@@ -18,6 +18,7 @@
 #include "core/memory_model.h"
 #include "core/planner.h"
 #include "core/profiler.h"
+#include "core/resilience.h"
 #include "core/svpp.h"
 #include "core/training_cost.h"
 #include "hw/cluster.h"
@@ -38,12 +39,14 @@
 #include "sched/serialize.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/noise.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "trace/ascii.h"
 #include "trace/chrome_trace.h"
 #include "trace/csv.h"
+#include "trace/fault_timeline.h"
 #include "trace/memory_timeline.h"
 
 #endif  // MEPIPE_MEPIPE_H_

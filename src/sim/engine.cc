@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -41,7 +42,21 @@ class Engine {
         wqueue_(static_cast<std::size_t>(problem_.stages)),
         mem_events_(static_cast<std::size_t>(problem_.stages)),
         current_bytes_(static_cast<std::size_t>(problem_.stages), 0),
-        busy_(static_cast<std::size_t>(problem_.stages), 0.0) {}
+        busy_(static_cast<std::size_t>(problem_.stages), 0.0),
+        overflow_count_(static_cast<std::size_t>(problem_.stages), 0),
+        overflow_bytes_(static_cast<std::size_t>(problem_.stages), 0) {
+    if (!options_.activation_budget.empty()) {
+      MEPIPE_CHECK_EQ(options_.activation_budget.size(),
+                      static_cast<std::size_t>(problem_.stages))
+          << "activation_budget must have one entry per stage";
+      for (Bytes budget : options_.activation_budget) {
+        MEPIPE_CHECK_GE(budget, 0) << "negative activation budget";
+      }
+    }
+    if (options_.fault_plan != nullptr) {
+      faulty_.emplace(costs, *options_.fault_plan, problem_.stages);
+    }
+  }
 
   SimResult Run();
 
@@ -60,8 +75,14 @@ class Engine {
                        ? problem_.stage_of_chunk(producer.chunk + 1)
                        : problem_.stage_of_chunk(producer.chunk - 1);
     double& link_free = link_free_[{from, to}];
-    const Seconds start = std::max(done_it->second, link_free);
-    const Seconds arrival = start + costs_.TransferTime(producer);
+    Seconds start = std::max(done_it->second, link_free);
+    Seconds arrival;
+    if (faulty_) {
+      start = faulty_->NextUpTime(start);
+      arrival = faulty_->TransferEndAt(from, to, producer, start);
+    } else {
+      arrival = start + costs_.TransferTime(producer);
+    }
     link_free = arrival;
     timeline_.push_back({from, producer, start, arrival, /*is_transfer=*/true});
     transfer_arrival_.emplace(producer, arrival);
@@ -86,6 +107,15 @@ class Engine {
     }
     return true;
   }
+
+  // Fault-aware pricing: where a compute op started at `start` finishes.
+  Seconds ComputeEnd(int stage, const OpId& op, Seconds start) const {
+    return faulty_ ? faulty_->ComputeEndAt(stage, op, start)
+                   : start + costs_.ComputeTime(op);
+  }
+
+  // First instant >= t the stage may start work (skips fail-stop downtime).
+  Seconds StartAt(Seconds t) const { return faulty_ ? faulty_->NextUpTime(t) : t; }
 
   void RecordCompute(int stage, const OpId& op, Seconds start, Seconds end) {
     timeline_.push_back({stage, op, start, end, /*is_transfer=*/false});
@@ -124,12 +154,13 @@ class Engine {
       const OpId gemm_op{OpKind::kWeightGradGemm, item.op.micro, item.op.slice, item.op.chunk,
                          item.next_gemm};
       const OpId exec_op = item.gemm_count > 1 ? gemm_op : item.op;
-      const Seconds duration = costs_.ComputeTime(exec_op);
-      if (clock + duration > until + kEps) {
+      const Seconds start = StartAt(clock);
+      const Seconds end = ComputeEnd(stage, exec_op, start);
+      if (end > until + kEps) {
         break;  // does not fit in the bubble
       }
-      RecordCompute(stage, exec_op, clock, clock + duration);
-      clock += duration;
+      RecordCompute(stage, exec_op, start, end);
+      clock = end;
       if (++item.next_gemm >= item.gemm_count) {
         done_.emplace(item.op, clock);
         ReleaseSlice(stage, item.op, clock, /*release_act_grad=*/true);
@@ -140,19 +171,32 @@ class Engine {
 
   // Frees memory by draining deferred W items until `incoming` more bytes
   // fit within the stage's activation budget (no-op when unbudgeted).
+  // When the queue runs dry with the stage still over budget, the
+  // allocation is admitted and the violation recorded — or, under
+  // strict_activation_budget, the engine throws.
   void DrainForBudget(int stage, Bytes incoming) {
     if (options_.activation_budget.empty()) {
       return;
     }
     const Bytes budget = options_.activation_budget[static_cast<std::size_t>(stage)];
     if (budget <= 0) {
-      return;
+      return;  // 0 = this stage is unbudgeted
     }
     auto& queue = wqueue_[static_cast<std::size_t>(stage)];
     while (!queue.empty() &&
            current_bytes_[static_cast<std::size_t>(stage)] + incoming > budget) {
       DrainWgradItem(stage, queue.front());
       queue.pop_front();
+    }
+    const Bytes resident = current_bytes_[static_cast<std::size_t>(stage)] + incoming;
+    if (resident > budget) {
+      const Bytes overflow = resident - budget;
+      MEPIPE_CHECK(!options_.strict_activation_budget)
+          << "stage " << stage << " exceeds its activation budget by " << overflow
+          << " bytes with no deferred W work left to drain";
+      ++overflow_count_[static_cast<std::size_t>(stage)];
+      overflow_bytes_[static_cast<std::size_t>(stage)] =
+          std::max(overflow_bytes_[static_cast<std::size_t>(stage)], overflow);
     }
   }
 
@@ -161,16 +205,18 @@ class Engine {
     double& clock = clock_[static_cast<std::size_t>(stage)];
     clock = std::max(clock, item.available);
     if (item.gemm_count <= 1) {
-      const Seconds duration = costs_.ComputeTime(item.op);
-      RecordCompute(stage, item.op, clock, clock + duration);
-      clock += duration;
+      const Seconds start = StartAt(clock);
+      const Seconds end = ComputeEnd(stage, item.op, start);
+      RecordCompute(stage, item.op, start, end);
+      clock = end;
     } else {
       for (; item.next_gemm < item.gemm_count; ++item.next_gemm) {
         const OpId gemm_op{OpKind::kWeightGradGemm, item.op.micro, item.op.slice, item.op.chunk,
                            item.next_gemm};
-        const Seconds duration = costs_.ComputeTime(gemm_op);
-        RecordCompute(stage, gemm_op, clock, clock + duration);
-        clock += duration;
+        const Seconds start = StartAt(clock);
+        const Seconds end = ComputeEnd(stage, gemm_op, start);
+        RecordCompute(stage, gemm_op, start, end);
+        clock = end;
       }
     }
     done_.emplace(item.op, clock);
@@ -191,7 +237,10 @@ class Engine {
   std::vector<std::vector<MemEvent>> mem_events_;
   std::vector<Bytes> current_bytes_;
   std::vector<Seconds> busy_;
+  std::vector<int> overflow_count_;
+  std::vector<Bytes> overflow_bytes_;
   std::vector<OpSpan> timeline_;
+  std::optional<FaultyCostModel> faulty_;
 };
 
 SimResult Engine::Run() {
@@ -222,8 +271,8 @@ SimResult Engine::Run() {
         } else if (op.kind == OpKind::kBackward && problem_.split_backward) {
           DrainForBudget(stage, costs_.ActGradBytes(op));
         }
-        const Seconds start = std::max(clock, ready);
-        const Seconds end = start + costs_.ComputeTime(op);
+        const Seconds start = StartAt(std::max(clock, ready));
+        const Seconds end = ComputeEnd(stage, op, start);
         RecordCompute(stage, op, start, end);
         clock = end;
         done_.emplace(op, end);
@@ -290,6 +339,9 @@ SimResult Engine::Run() {
     metrics.busy = busy_[static_cast<std::size_t>(stage)];
     metrics.bubble_ratio =
         result.makespan > 0 ? 1.0 - metrics.busy / result.makespan : 0.0;
+    metrics.budget_violations = overflow_count_[static_cast<std::size_t>(stage)];
+    metrics.budget_overflow_bytes = overflow_bytes_[static_cast<std::size_t>(stage)];
+    result.budget_violations += metrics.budget_violations;
     bubble_sum += metrics.bubble_ratio;
 
     auto& events = mem_events_[static_cast<std::size_t>(stage)];
@@ -314,6 +366,9 @@ SimResult Engine::Run() {
     result.peak_activation = std::max(result.peak_activation, metrics.peak_activation);
   }
   result.bubble_ratio = problem_.stages > 0 ? bubble_sum / problem_.stages : 0.0;
+  if (faulty_) {
+    result.fault_spans = faulty_->Spans();
+  }
   result.timeline = std::move(timeline_);
   std::sort(result.timeline.begin(), result.timeline.end(),
             [](const OpSpan& a, const OpSpan& b) {

@@ -15,6 +15,7 @@
 #include "common/units.h"
 #include "sched/schedule.h"
 #include "sim/cost_model.h"
+#include "sim/fault.h"
 
 namespace mepipe::sim {
 
@@ -34,11 +35,26 @@ struct EngineOptions {
   // proceed "as soon as there is enough memory" (§5, Figure 7b), and the
   // mechanism that keeps zero-bubble-style schedules at 1F1B-class
   // memory instead of deferring every W to the tail.
-  // Empty = unlimited (memory then grows with the micro count).
+  // Empty = unlimited; otherwise one entry per stage (a 0 entry means
+  // that stage is unbudgeted; negative entries throw CheckError). When
+  // the deferred-W queue runs dry before enough memory is freed, the op
+  // is admitted anyway and the violation is recorded in StageMetrics —
+  // or, with strict_activation_budget, the engine throws.
   std::vector<Bytes> activation_budget;
+  // Throw CheckError on an activation-budget violation instead of
+  // recording it (see activation_budget above).
+  bool strict_activation_budget = false;
   // Record the per-stage activation-memory series over time (enables
   // Figure-1-style memory plots; costs memory proportional to op count).
   bool record_memory_timeline = false;
+  // Scripted fault plan (sim/fault.h). When set, compute and transfer
+  // durations are priced time-aware through a FaultyCostModel wrapped
+  // around the engine's cost model: stragglers dilate stage compute,
+  // degraded links and retries stretch transfers, and fail-stop events
+  // suspend every stage for detection + restart + replay of the work
+  // lost since the plan's last checkpoint. The plan's windows are
+  // exported in SimResult::fault_spans. Must outlive the Simulate call.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 // One point of a stage's activation-memory series.
@@ -59,14 +75,21 @@ struct StageMetrics {
   Seconds busy = 0;             // sum of compute-op durations
   Bytes peak_activation = 0;    // activations + retained act-grads
   double bubble_ratio = 0;      // 1 - busy / makespan
+  // Activation-budget violations: ops admitted after the deferred-W
+  // queue ran dry with the stage still over budget.
+  int budget_violations = 0;
+  Bytes budget_overflow_bytes = 0;  // worst overshoot past the budget
 };
 
 struct SimResult {
   Seconds makespan = 0;
   double bubble_ratio = 0;      // mean of per-stage bubble ratios
   Bytes peak_activation = 0;    // max over stages
+  int budget_violations = 0;    // total over stages
   std::vector<StageMetrics> stages;
   std::vector<OpSpan> timeline;  // compute spans + transfers
+  // Fault windows applied to this run (only when fault_plan is set).
+  std::vector<FaultSpan> fault_spans;
   // Per-stage memory series (only when record_memory_timeline is set).
   std::vector<std::vector<MemoryPoint>> memory_timeline;
 };

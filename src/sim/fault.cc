@@ -1,0 +1,267 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/format.h"
+
+namespace mepipe::sim {
+namespace {
+
+// Sorted-window invariant checker shared by stragglers and link degrades.
+template <typename Event>
+void CheckDisjoint(std::vector<Event> events, const char* what) {
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.begin < b.begin; });
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    MEPIPE_CHECK_LE(events[i - 1].end, events[i].begin)
+        << "overlapping " << what << " windows at t=" << events[i].begin;
+  }
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return stragglers.empty() && link_degrades.empty() && transfer_retries.empty() &&
+         fail_stops.empty();
+}
+
+void FaultPlan::Validate(int stages) const {
+  for (const StragglerFault& s : stragglers) {
+    MEPIPE_CHECK(s.stage >= 0 && s.stage < stages) << "straggler stage " << s.stage;
+    MEPIPE_CHECK_LT(s.begin, s.end) << "straggler window";
+    MEPIPE_CHECK_GE(s.begin, 0.0);
+    MEPIPE_CHECK_GE(s.slowdown, 1.0) << "straggler slowdown must be >= 1";
+  }
+  for (int stage = 0; stage < stages; ++stage) {
+    std::vector<StragglerFault> mine;
+    for (const StragglerFault& s : stragglers) {
+      if (s.stage == stage) {
+        mine.push_back(s);
+      }
+    }
+    CheckDisjoint(std::move(mine), "straggler");
+  }
+  for (const LinkDegradeFault& d : link_degrades) {
+    MEPIPE_CHECK(d.from >= 0 && d.from < stages) << "degrade link from " << d.from;
+    MEPIPE_CHECK(d.to >= 0 && d.to < stages) << "degrade link to " << d.to;
+    MEPIPE_CHECK_NE(d.from, d.to);
+    MEPIPE_CHECK_LT(d.begin, d.end) << "degrade window";
+    MEPIPE_CHECK_GE(d.begin, 0.0);
+    MEPIPE_CHECK_GE(d.factor, 1.0) << "degrade factor must be >= 1";
+  }
+  for (const LinkDegradeFault& d : link_degrades) {
+    std::vector<LinkDegradeFault> mine;
+    for (const LinkDegradeFault& other : link_degrades) {
+      if (other.from == d.from && other.to == d.to) {
+        mine.push_back(other);
+      }
+    }
+    CheckDisjoint(std::move(mine), "link-degrade");
+  }
+  for (const TransferRetryFault& r : transfer_retries) {
+    MEPIPE_CHECK(r.from >= 0 && r.from < stages) << "retry link from " << r.from;
+    MEPIPE_CHECK(r.to >= 0 && r.to < stages) << "retry link to " << r.to;
+    MEPIPE_CHECK_LT(r.begin, r.end) << "retry window";
+    MEPIPE_CHECK_GE(r.begin, 0.0);
+    MEPIPE_CHECK_GE(r.retries, 1);
+    MEPIPE_CHECK_GE(r.backoff, 0.0);
+  }
+  for (const FailStopFault& f : fail_stops) {
+    MEPIPE_CHECK(f.stage >= 0 && f.stage < stages) << "fail-stop stage " << f.stage;
+    MEPIPE_CHECK_GE(f.time, 0.0);
+    MEPIPE_CHECK_GE(f.detection_delay, 0.0);
+    MEPIPE_CHECK_GE(f.restart_time, 0.0);
+  }
+  for (Seconds c : checkpoints) {
+    MEPIPE_CHECK_GE(c, 0.0) << "checkpoint time";
+  }
+}
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kTransferRetry: return "transfer-retry";
+    case FaultKind::kFailStop: return "fail-stop";
+  }
+  return "?";
+}
+
+FaultyCostModel::FaultyCostModel(const CostModel& base, const FaultPlan& plan, int stages)
+    : base_(base), plan_(plan) {
+  plan.Validate(stages);
+
+  stage_windows_.resize(static_cast<std::size_t>(stages));
+  for (const StragglerFault& s : plan.stragglers) {
+    stage_windows_[static_cast<std::size_t>(s.stage)].push_back(
+        {s.begin, s.end, s.slowdown});
+  }
+  for (auto& windows : stage_windows_) {
+    std::sort(windows.begin(), windows.end(),
+              [](const Window& a, const Window& b) { return a.begin < b.begin; });
+  }
+  for (const LinkDegradeFault& d : plan.link_degrades) {
+    auto it = std::find_if(link_windows_.begin(), link_windows_.end(),
+                           [&](const auto& entry) {
+                             return entry.first == std::pair<int, int>{d.from, d.to};
+                           });
+    if (it == link_windows_.end()) {
+      link_windows_.push_back({{d.from, d.to}, {}});
+      it = std::prev(link_windows_.end());
+    }
+    it->second.push_back({d.begin, d.end, d.factor});
+  }
+  for (auto& [link, windows] : link_windows_) {
+    std::sort(windows.begin(), windows.end(),
+              [](const Window& a, const Window& b) { return a.begin < b.begin; });
+  }
+
+  // Derive the global downtime windows. Fail-stop times are progress
+  // instants; each failure pushes everything after it by its own
+  // detection + restart + replay, so wall-clock begins accumulate the
+  // lengths of the earlier windows.
+  std::vector<Seconds> ckpts = plan.checkpoints;
+  ckpts.push_back(0.0);
+  std::sort(ckpts.begin(), ckpts.end());
+  std::vector<FailStopFault> fails = plan.fail_stops;
+  std::sort(fails.begin(), fails.end(),
+            [](const FailStopFault& a, const FailStopFault& b) { return a.time < b.time; });
+  Seconds offset = 0;
+  for (const FailStopFault& f : fails) {
+    Seconds last_ckpt = 0;
+    for (Seconds c : ckpts) {
+      if (c <= f.time) {
+        last_ckpt = c;
+      } else {
+        break;
+      }
+    }
+    const Seconds lost = f.time - last_ckpt;
+    const Seconds begin = f.time + offset;
+    const Seconds length = f.detection_delay + f.restart_time + lost;
+    downtimes_.push_back({begin, begin + length, f.stage, lost});
+    offset += length;
+  }
+}
+
+Seconds FaultyCostModel::ComputeTime(const sched::OpId& op) const {
+  return base_.ComputeTime(op);
+}
+Seconds FaultyCostModel::TransferTime(const sched::OpId& producer) const {
+  return base_.TransferTime(producer);
+}
+Bytes FaultyCostModel::ActivationBytes(const sched::OpId& forward) const {
+  return base_.ActivationBytes(forward);
+}
+Bytes FaultyCostModel::ActGradBytes(const sched::OpId& backward) const {
+  return base_.ActGradBytes(backward);
+}
+int FaultyCostModel::WeightGradGemmCount(const sched::OpId& wgrad) const {
+  return base_.WeightGradGemmCount(wgrad);
+}
+
+Seconds FaultyCostModel::NextUpTime(Seconds t) const {
+  for (const Downtime& d : downtimes_) {
+    if (t < d.begin) {
+      break;
+    }
+    if (t < d.end) {
+      t = d.end;
+    }
+  }
+  return t;
+}
+
+Seconds FaultyCostModel::AdvanceWork(const std::vector<Window>& windows, Seconds start,
+                                     Seconds work) const {
+  Seconds t = NextUpTime(start);
+  double remaining = work;
+  for (int guard = 0;; ++guard) {
+    MEPIPE_CHECK_LT(guard, 1 << 20) << "fault plan produced unbounded execution";
+    double dilation = 1.0;
+    Seconds boundary = std::numeric_limits<Seconds>::infinity();
+    for (const Window& w : windows) {
+      if (t < w.begin) {
+        boundary = w.begin;  // windows sorted: first upcoming one
+        break;
+      }
+      if (t < w.end) {
+        dilation = w.dilation;
+        boundary = w.end;
+        break;
+      }
+    }
+    for (const Downtime& d : downtimes_) {
+      if (t < d.begin) {
+        boundary = std::min(boundary, d.begin);
+        break;
+      }
+    }
+    const Seconds finish = t + remaining * dilation;
+    if (finish <= boundary) {
+      return finish;
+    }
+    remaining -= (boundary - t) / dilation;
+    t = NextUpTime(boundary);
+  }
+}
+
+Seconds FaultyCostModel::ComputeEndAt(int stage, const sched::OpId& op, Seconds start) const {
+  MEPIPE_CHECK(stage >= 0 && stage < static_cast<int>(stage_windows_.size()));
+  return AdvanceWork(stage_windows_[static_cast<std::size_t>(stage)], start,
+                     base_.ComputeTime(op));
+}
+
+Seconds FaultyCostModel::TransferEndAt(int from, int to, const sched::OpId& producer,
+                                       Seconds start) const {
+  static const std::vector<Window> kNoWindows;
+  const std::vector<Window>* windows = &kNoWindows;
+  for (const auto& [link, entry] : link_windows_) {
+    if (link == std::pair<int, int>{from, to}) {
+      windows = &entry;
+      break;
+    }
+  }
+  const Seconds duration = base_.TransferTime(producer);
+  Seconds t = NextUpTime(start);
+  for (const TransferRetryFault& r : plan_.transfer_retries) {
+    if (r.from != from || r.to != to || t < r.begin || t >= r.end) {
+      continue;
+    }
+    Seconds backoff = r.backoff;
+    for (int attempt = 0; attempt < r.retries; ++attempt) {
+      t = AdvanceWork(*windows, t, duration);  // the failed transmission
+      t = NextUpTime(t + backoff);             // wall-clock backoff wait
+      backoff *= 2;
+    }
+    break;  // one retry window governs a given entry instant
+  }
+  return AdvanceWork(*windows, t, duration);
+}
+
+std::vector<FaultSpan> FaultyCostModel::Spans() const {
+  std::vector<FaultSpan> spans;
+  for (const StragglerFault& s : plan_.stragglers) {
+    spans.push_back({FaultKind::kStraggler, s.stage, -1, -1, s.begin, s.end,
+                     StrFormat("stage %d x%.2f slower", s.stage, s.slowdown)});
+  }
+  for (const LinkDegradeFault& d : plan_.link_degrades) {
+    spans.push_back({FaultKind::kLinkDegrade, -1, d.from, d.to, d.begin, d.end,
+                     StrFormat("link %d->%d x%.2f slower", d.from, d.to, d.factor)});
+  }
+  for (const TransferRetryFault& r : plan_.transfer_retries) {
+    spans.push_back({FaultKind::kTransferRetry, -1, r.from, r.to, r.begin, r.end,
+                     StrFormat("link %d->%d %d retries", r.from, r.to, r.retries)});
+  }
+  for (const Downtime& d : downtimes_) {
+    spans.push_back({FaultKind::kFailStop, d.stage, -1, -1, d.begin, d.end,
+                     StrFormat("stage %d lost: replay %.1fs after restart", d.stage, d.lost)});
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const FaultSpan& a, const FaultSpan& b) { return a.begin < b.begin; });
+  return spans;
+}
+
+}  // namespace mepipe::sim

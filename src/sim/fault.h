@@ -1,0 +1,170 @@
+// Fault injection for the discrete-event engine.
+//
+// Real consumer-GPU clusters (§9) see stragglers, degraded links,
+// flaky transfers, and outright device loss. Instead of asserting their
+// cost in closed form, a scripted FaultPlan perturbs a schedule's
+// execution so the engine *measures* the degradation:
+//   - StragglerFault:     a stage computes `slowdown`× slower inside a
+//                         time window (thermal throttling, preemption);
+//   - LinkDegradeFault:   transfers on a directed stage link take
+//                         `factor`× longer inside a window;
+//   - TransferRetryFault: transfers entering a link inside a window are
+//                         retransmitted with exponential backoff;
+//   - FailStopFault:      a device is lost at time t. After a detection
+//                         delay the job restarts from the last plan
+//                         checkpoint and replays the lost work; the
+//                         whole pipeline is suspended for
+//                         detection + restart + replay.
+// All perturbations are pure functions of the plan — two runs of the
+// same plan produce identical timelines.
+#ifndef MEPIPE_SIM_FAULT_H_
+#define MEPIPE_SIM_FAULT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/cost_model.h"
+
+namespace mepipe::sim {
+
+// A stage computes `slowdown`× slower over [begin, end). Ops spanning a
+// boundary are integrated piecewise; slowdown must be >= 1.
+struct StragglerFault {
+  int stage = 0;
+  Seconds begin = 0;
+  Seconds end = 0;
+  double slowdown = 1.0;
+};
+
+// Transfers on the directed link from→to take `factor`× longer over
+// [begin, end) (bandwidth degradation); factor must be >= 1.
+struct LinkDegradeFault {
+  int from = 0;
+  int to = 0;
+  Seconds begin = 0;
+  Seconds end = 0;
+  double factor = 1.0;
+};
+
+// A transfer entering link from→to inside [begin, end) fails `retries`
+// times before succeeding; the k-th failed attempt is followed by a
+// backoff wait of `backoff`·2^k before retransmission.
+struct TransferRetryFault {
+  int from = 0;
+  int to = 0;
+  Seconds begin = 0;
+  Seconds end = 0;
+  int retries = 1;
+  Seconds backoff = 0;
+};
+
+// Fail-stop device loss on `stage` at progress time `time` (time already
+// excludes earlier failures' downtime). Work since the last checkpoint
+// at or before `time` (FaultPlan::checkpoints; t=0 is implicit) is lost;
+// the pipeline stalls for detection_delay + restart_time + lost work.
+struct FailStopFault {
+  int stage = 0;
+  Seconds time = 0;
+  Seconds detection_delay = 0;
+  Seconds restart_time = 0;
+};
+
+struct FaultPlan {
+  std::vector<StragglerFault> stragglers;
+  std::vector<LinkDegradeFault> link_degrades;
+  std::vector<TransferRetryFault> transfer_retries;
+  std::vector<FailStopFault> fail_stops;
+  // Progress-time instants at which a consistent checkpoint exists (the
+  // restart target of a fail-stop). t=0 always counts as one.
+  std::vector<Seconds> checkpoints;
+
+  bool empty() const;
+  // Throws CheckError on malformed plans: windows with end <= begin,
+  // slowdown/factor < 1, retries < 1, negative times, out-of-range
+  // stages, or overlapping straggler windows on one stage.
+  void Validate(int stages) const;
+};
+
+enum class FaultKind { kStraggler, kLinkDegrade, kTransferRetry, kFailStop };
+
+const char* ToString(FaultKind kind);
+
+// One fault window, exported in SimResult::fault_spans and by the
+// Chrome-trace / CSV exporters.
+struct FaultSpan {
+  FaultKind kind = FaultKind::kStraggler;
+  int stage = -1;  // affected stage (stragglers, fail-stops)
+  int from = -1;   // affected link (degrades, retries)
+  int to = -1;
+  Seconds begin = 0;
+  Seconds end = 0;
+  std::string label;
+};
+
+// Applies a FaultPlan to a base cost model.
+//
+// The plain CostModel interface delegates to `base` (fault-free
+// durations); the time-aware queries below price an op *started at a
+// given instant*, integrating straggler / link windows piecewise and
+// suspending across fail-stop downtime. The engine uses the time-aware
+// path when EngineOptions::fault_plan is set.
+//
+// Holds `base` and `plan` by reference: both must outlive this wrapper.
+class FaultyCostModel : public CostModel {
+ public:
+  // Validates the plan against `stages` (throws CheckError).
+  FaultyCostModel(const CostModel& base, const FaultPlan& plan, int stages);
+
+  // CostModel interface: the fault-free view.
+  Seconds ComputeTime(const sched::OpId& op) const override;
+  Seconds TransferTime(const sched::OpId& producer) const override;
+  Bytes ActivationBytes(const sched::OpId& forward) const override;
+  Bytes ActGradBytes(const sched::OpId& backward) const override;
+  int WeightGradGemmCount(const sched::OpId& wgrad) const override;
+
+  // First instant >= t at which the cluster is up (skips fail-stop
+  // downtime windows).
+  Seconds NextUpTime(Seconds t) const;
+
+  // End time of `op` started at `start` on `stage`: straggler windows
+  // dilate progress, downtime suspends it.
+  Seconds ComputeEndAt(int stage, const sched::OpId& op, Seconds start) const;
+
+  // End time of the transfer of `producer`'s output entering link
+  // from→to at `start`: degrade windows dilate it, a retry window at the
+  // entry instant forces failed attempts + backoff, downtime suspends
+  // transmission (backoff waits run on the wall clock).
+  Seconds TransferEndAt(int from, int to, const sched::OpId& producer, Seconds start) const;
+
+  // Every fault window of the plan as exportable spans; fail-stop spans
+  // cover the full derived downtime (detection + restart + replay).
+  std::vector<FaultSpan> Spans() const;
+
+ private:
+  struct Window {
+    Seconds begin = 0;
+    Seconds end = 0;
+    double dilation = 1.0;  // elapsed wall time per unit of work inside
+  };
+  struct Downtime {
+    Seconds begin = 0;
+    Seconds end = 0;
+    int stage = 0;
+    Seconds lost = 0;  // replayed work included in [begin, end)
+  };
+
+  // Advances `work` seconds of dilated progress from `start` through
+  // `windows` (sorted, per stage or link) and the global downtimes.
+  Seconds AdvanceWork(const std::vector<Window>& windows, Seconds start, Seconds work) const;
+
+  const CostModel& base_;
+  const FaultPlan& plan_;
+  std::vector<std::vector<Window>> stage_windows_;          // per stage
+  std::vector<std::pair<std::pair<int, int>, std::vector<Window>>> link_windows_;
+  std::vector<Downtime> downtimes_;                         // sorted, disjoint
+};
+
+}  // namespace mepipe::sim
+
+#endif  // MEPIPE_SIM_FAULT_H_

@@ -9,8 +9,9 @@
 #define MEPIPE_SIM_NOISE_H_
 
 #include <cmath>
-#include <random>
 
+#include "common/check.h"
+#include "common/rng.h"
 #include "sim/cost_model.h"
 
 namespace mepipe::sim {
@@ -18,10 +19,17 @@ namespace mepipe::sim {
 class NoisyCostModel : public CostModel {
  public:
   // `sigma` is the lognormal shape parameter (~relative std-dev; 0.03 ≈
-  // 3% duration jitter). Each instance is an independent "iteration":
-  // reseed (or construct anew) per iteration to draw fresh noise.
+  // 3% duration jitter); must be >= 0. Each instance is an independent
+  // "iteration": reseed (or construct anew) per iteration to draw fresh
+  // noise.
+  //
+  // Holds `base` by reference: the base model must outlive this wrapper.
+  // In particular, never construct one from a temporary —
+  //   NoisyCostModel bad(UniformCostModel(...), 0.03, 1);  // dangling!
   NoisyCostModel(const CostModel& base, double sigma, std::uint64_t seed)
-      : base_(base), sigma_(sigma), seed_(seed) {}
+      : base_(base), sigma_(sigma), seed_(seed) {
+    MEPIPE_CHECK_GE(sigma, 0.0) << "noise sigma must be non-negative";
+  }
 
   Seconds ComputeTime(const sched::OpId& op) const override {
     return base_.ComputeTime(op) * Multiplier(op, /*salt=*/0x9e3779b9);
@@ -41,13 +49,14 @@ class NoisyCostModel : public CostModel {
 
  private:
   // Deterministic per-op multiplier: the same op always draws the same
-  // noise within one iteration (ops may be priced repeatedly).
+  // noise within one iteration (ops may be priced repeatedly). A cheap
+  // splitmix64 hash mix replaces the former per-call std::mt19937_64
+  // construction — same determinism guarantee at a fraction of the cost,
+  // and independent of the standard library's distribution internals.
   double Multiplier(const sched::OpId& op, std::uint64_t salt) const {
     std::uint64_t key = seed_ ^ salt;
     key = key * 0x100000001b3ULL ^ sched::OpIdHash{}(op);
-    std::mt19937_64 rng(key);
-    std::normal_distribution<double> normal(0.0, sigma_);
-    return std::exp(normal(rng));
+    return std::exp(sigma_ * GaussianFromKey(key));
   }
 
   const CostModel& base_;

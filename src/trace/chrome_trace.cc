@@ -21,6 +21,20 @@ std::string ToChromeTraceJson(const sim::SimResult& result) {
         ToString(span.op).c_str(), span.is_transfer ? 1 : 0, span.stage,
         ToMicroseconds(span.start), ToMicroseconds(span.end - span.start));
   }
+  // Fault windows (engine runs with a fault plan) on their own track
+  // group: tid = affected stage, or the link's source stage.
+  for (const sim::FaultSpan& span : result.fault_spans) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    const int tid = span.stage >= 0 ? span.stage : span.from;
+    out += StrFormat(
+        "  {\"name\": \"%s: %s\", \"ph\": \"X\", \"pid\": 2, \"tid\": %d, "
+        "\"ts\": %.3f, \"dur\": %.3f}",
+        ToString(span.kind), span.label.c_str(), tid, ToMicroseconds(span.begin),
+        ToMicroseconds(span.end - span.begin));
+  }
   out += "\n]\n";
   return out;
 }

@@ -1,0 +1,37 @@
+#include "trace/fault_timeline.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "common/format.h"
+#include "trace/csv.h"
+
+namespace mepipe::trace {
+
+std::string FaultTimelineCsv(const sim::SimResult& result) {
+  CsvWriter csv({"kind", "stage", "from", "to", "begin_s", "end_s", "label"});
+  for (const sim::FaultSpan& span : result.fault_spans) {
+    csv.AddRow({ToString(span.kind), std::to_string(span.stage),
+                std::to_string(span.from), std::to_string(span.to),
+                StrFormat("%.6f", span.begin), StrFormat("%.6f", span.end), span.label});
+  }
+  return csv.ToString();
+}
+
+void WriteFaultTimelineCsv(const sim::SimResult& result, const std::string& path) {
+  std::ofstream file(path);
+  MEPIPE_CHECK(file.good()) << "cannot open " << path;
+  file << FaultTimelineCsv(result);
+  MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
+}
+
+std::string RenderFaultSpans(const sim::SimResult& result) {
+  std::string out;
+  for (const sim::FaultSpan& span : result.fault_spans) {
+    out += StrFormat("[%9.3fs, %9.3fs) %-14s %s\n", span.begin, span.end,
+                     ToString(span.kind), span.label.c_str());
+  }
+  return out;
+}
+
+}  // namespace mepipe::trace

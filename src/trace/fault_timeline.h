@@ -1,0 +1,24 @@
+// Export of the fault windows applied to a simulated run (engine runs
+// with EngineOptions::fault_plan) — the data behind failure/straggler
+// overlays on timeline plots.
+#ifndef MEPIPE_TRACE_FAULT_TIMELINE_H_
+#define MEPIPE_TRACE_FAULT_TIMELINE_H_
+
+#include <string>
+
+#include "sim/engine.h"
+
+namespace mepipe::trace {
+
+// CSV with columns kind,stage,from,to,begin_s,end_s,label — one row per
+// fault span, sorted by begin time. A result without fault spans yields
+// just the header.
+std::string FaultTimelineCsv(const sim::SimResult& result);
+void WriteFaultTimelineCsv(const sim::SimResult& result, const std::string& path);
+
+// One line per fault span, human-readable — pairs with RenderTimeline.
+std::string RenderFaultSpans(const sim::SimResult& result);
+
+}  // namespace mepipe::trace
+
+#endif  // MEPIPE_TRACE_FAULT_TIMELINE_H_

@@ -1,0 +1,206 @@
+// Tests for the fault-injection layer (sim/fault): plan validation, the
+// window-integration arithmetic, engine integration, determinism, and
+// the trace exporters.
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/svpp.h"
+#include "sched/baselines.h"
+#include "sim/engine.h"
+#include "trace/chrome_trace.h"
+#include "trace/fault_timeline.h"
+
+namespace mepipe::sim {
+namespace {
+
+using sched::OpId;
+using sched::OpKind;
+
+const OpId kForward0{OpKind::kForward, 0, 0, 0};
+
+TEST(FaultPlan, ValidatesWindows) {
+  FaultPlan plan;
+  plan.stragglers.push_back({0, 2.0, 1.0, 2.0});  // end < begin
+  EXPECT_THROW(plan.Validate(2), CheckError);
+
+  plan.stragglers = {{0, 0.0, 1.0, 0.5}};  // slowdown < 1
+  EXPECT_THROW(plan.Validate(2), CheckError);
+
+  plan.stragglers = {{5, 0.0, 1.0, 2.0}};  // stage out of range
+  EXPECT_THROW(plan.Validate(2), CheckError);
+
+  plan.stragglers = {{0, 0.0, 2.0, 2.0}, {0, 1.0, 3.0, 3.0}};  // overlap
+  EXPECT_THROW(plan.Validate(2), CheckError);
+
+  plan.stragglers = {{0, 0.0, 2.0, 2.0}, {0, 2.0, 3.0, 3.0}};  // touching is fine
+  EXPECT_NO_THROW(plan.Validate(2));
+
+  plan = {};
+  plan.transfer_retries.push_back({0, 1, 0.0, 1.0, 0, 0.1});  // retries < 1
+  EXPECT_THROW(plan.Validate(2), CheckError);
+}
+
+TEST(Fault, StragglerIntegratesAcrossWindowBoundary) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  FaultPlan plan;
+  plan.stragglers = {{0, 0.5, 1.5, 2.0}};
+  const FaultyCostModel faulty(base, plan, 2);
+  // 0.5s of work at full speed, the remaining 0.5s dilated 2x -> ends 1.5.
+  EXPECT_DOUBLE_EQ(faulty.ComputeEndAt(0, kForward0, 0.0), 1.5);
+  // Entirely outside the window: unperturbed.
+  EXPECT_DOUBLE_EQ(faulty.ComputeEndAt(0, kForward0, 10.0), 11.0);
+  // Other stages untouched.
+  EXPECT_DOUBLE_EQ(faulty.ComputeEndAt(1, kForward0, 0.0), 1.0);
+  // The fault-free CostModel view delegates to the base model.
+  EXPECT_DOUBLE_EQ(faulty.ComputeTime(kForward0), 1.0);
+}
+
+TEST(Fault, FailStopDowntimeAndCheckpoints) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  FaultPlan plan;
+  plan.fail_stops = {{1, 2.0, 1.0, 3.0}};
+  {
+    // No checkpoint: all 2.0s since t=0 are lost; downtime [2, 8).
+    const FaultyCostModel faulty(base, plan, 2);
+    EXPECT_DOUBLE_EQ(faulty.NextUpTime(3.0), 8.0);
+    EXPECT_DOUBLE_EQ(faulty.NextUpTime(8.0), 8.0);
+    // Op started at 1.5 does 0.5s, suspends for 6, finishes the rest.
+    EXPECT_DOUBLE_EQ(faulty.ComputeEndAt(0, kForward0, 1.5), 8.5);
+  }
+  {
+    // A checkpoint at 1.5 shrinks the replay to 0.5s; downtime [2, 6.5).
+    FaultPlan with_ckpt = plan;
+    with_ckpt.checkpoints = {1.5};
+    const FaultyCostModel faulty(base, with_ckpt, 2);
+    EXPECT_DOUBLE_EQ(faulty.NextUpTime(2.0), 6.5);
+  }
+}
+
+TEST(Fault, LaterFailStopsShiftByEarlierDowntime) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  FaultPlan plan;
+  plan.checkpoints = {2.0, 4.0};
+  plan.fail_stops = {{0, 3.0, 0.0, 1.0},   // lost 1 -> window [3, 5)
+                     {1, 5.0, 0.0, 1.0}};  // lost 1, shifted by 2 -> [7, 9)
+  const FaultyCostModel faulty(base, plan, 2);
+  EXPECT_DOUBLE_EQ(faulty.NextUpTime(3.5), 5.0);
+  EXPECT_DOUBLE_EQ(faulty.NextUpTime(7.5), 9.0);
+  const auto spans = faulty.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(spans[0].begin, 3.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 5.0);
+  EXPECT_DOUBLE_EQ(spans[1].begin, 7.0);
+  EXPECT_DOUBLE_EQ(spans[1].end, 9.0);
+}
+
+TEST(Fault, LinkDegradeStretchesTransfers) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  FaultPlan plan;
+  plan.link_degrades = {{0, 1, 0.0, 10.0, 3.0}};
+  const FaultyCostModel faulty(base, plan, 2);
+  EXPECT_NEAR(faulty.TransferEndAt(0, 1, kForward0, 0.0), 0.3, 1e-12);
+  // Opposite direction unaffected.
+  EXPECT_NEAR(faulty.TransferEndAt(1, 0, kForward0, 0.0), 0.1, 1e-12);
+  // Outside the window unaffected.
+  EXPECT_NEAR(faulty.TransferEndAt(0, 1, kForward0, 20.0), 20.1, 1e-12);
+}
+
+TEST(Fault, TransferRetryWithExponentialBackoff) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  FaultPlan plan;
+  plan.transfer_retries = {{0, 1, 0.0, 1.0, 2, 0.25}};
+  const FaultyCostModel faulty(base, plan, 2);
+  // attempt(0.1) + 0.25 + attempt(0.1) + 0.5 + success(0.1) = 1.05.
+  EXPECT_NEAR(faulty.TransferEndAt(0, 1, kForward0, 0.0), 1.05, 1e-12);
+  // Entering the link after the flaky window: clean send.
+  EXPECT_NEAR(faulty.TransferEndAt(0, 1, kForward0, 2.0), 2.1, 1e-12);
+}
+
+TEST(Fault, EngineMeasuresStragglerDegradation) {
+  // GPipe p=2 n=1, f=1 b=2: clean spans F0[0,1] F1[1,2] B1[2,4] B0[4,6].
+  const auto schedule = sched::GPipeSchedule(2, 1);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.0);
+  FaultPlan plan;
+  plan.stragglers = {{1, 1.0, 3.0, 2.0}};  // stage 1 halves through [1, 3)
+  EngineOptions options;
+  options.fault_plan = &plan;
+  const SimResult faulted = Simulate(schedule, costs, options);
+  // F1 dilates to [1,3), B1 runs clean [3,5), B0 [5,7).
+  EXPECT_DOUBLE_EQ(faulted.makespan, 7.0);
+  EXPECT_DOUBLE_EQ(Simulate(schedule, costs).makespan, 6.0);
+  ASSERT_EQ(faulted.fault_spans.size(), 1u);
+  EXPECT_EQ(faulted.fault_spans[0].kind, FaultKind::kStraggler);
+}
+
+TEST(Fault, EngineSuspendsAcrossFailStop) {
+  const auto schedule = sched::GPipeSchedule(2, 1);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.0);
+  FaultPlan plan;
+  plan.checkpoints = {1.0};
+  plan.fail_stops = {{1, 2.0, 0.5, 1.0}};  // lost 1.0 -> downtime [2, 4.5)
+  EngineOptions options;
+  options.fault_plan = &plan;
+  const SimResult result = Simulate(schedule, costs, options);
+  // B1 would start at 2 but the cluster is down until 4.5: [4.5, 6.5),
+  // then B0 [6.5, 8.5).
+  EXPECT_DOUBLE_EQ(result.makespan, 8.5);
+}
+
+TEST(Fault, DeterministicUnderIdenticalPlan) {
+  const auto schedule = core::GenerateSvpp(
+      {.stages = 4, .virtual_chunks = 1, .slices = 2, .micros = 8});
+  const UniformCostModel costs(1.0, 1.2, 0.8, 0.05, 16, 8, 3);
+  FaultPlan plan;
+  plan.stragglers = {{2, 3.0, 9.0, 1.7}};
+  plan.link_degrades = {{1, 2, 0.0, 20.0, 2.0}};
+  plan.transfer_retries = {{2, 3, 5.0, 15.0, 2, 0.1}};
+  plan.checkpoints = {10.0};
+  plan.fail_stops = {{3, 12.0, 0.5, 2.0}};
+  EngineOptions options;
+  options.fault_plan = &plan;
+  const SimResult a = Simulate(schedule, costs, options);
+  const SimResult b = Simulate(schedule, costs, options);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].op, b.timeline[i].op);
+    EXPECT_EQ(a.timeline[i].stage, b.timeline[i].stage);
+    EXPECT_DOUBLE_EQ(a.timeline[i].start, b.timeline[i].start);
+    EXPECT_DOUBLE_EQ(a.timeline[i].end, b.timeline[i].end);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.fault_spans.size(), b.fault_spans.size());
+  // Faults only ever slow a schedule down.
+  EXPECT_GE(a.makespan, Simulate(schedule, costs).makespan);
+}
+
+TEST(Fault, ExportersCarryFaultEvents) {
+  const auto schedule = sched::GPipeSchedule(2, 2);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.1);
+  FaultPlan plan;
+  plan.stragglers = {{0, 0.0, 2.0, 1.5}};
+  plan.fail_stops = {{1, 3.0, 0.0, 1.0}};
+  EngineOptions options;
+  options.fault_plan = &plan;
+  const SimResult result = Simulate(schedule, costs, options);
+
+  const std::string json = trace::ToChromeTraceJson(result);
+  EXPECT_NE(json.find("straggler"), std::string::npos);
+  EXPECT_NE(json.find("fail-stop"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+
+  const std::string csv = trace::FaultTimelineCsv(result);
+  EXPECT_NE(csv.find("kind,stage,from,to,begin_s,end_s,label"), std::string::npos);
+  EXPECT_NE(csv.find("straggler"), std::string::npos);
+  EXPECT_NE(csv.find("fail-stop"), std::string::npos);
+
+  EXPECT_FALSE(trace::RenderFaultSpans(result).empty());
+
+  // A result without faults exports cleanly too.
+  const SimResult clean = Simulate(schedule, costs);
+  EXPECT_EQ(trace::FaultTimelineCsv(clean).find("straggler"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mepipe::sim

@@ -1,0 +1,144 @@
+// Tests for the resilience training-run simulator (core/resilience):
+// accounting identities, determinism, and the cross-validation of the
+// measured failure-overhead fraction against the analytic closed form.
+#include "core/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "sched/baselines.h"
+#include "sim/cost_model.h"
+
+namespace mepipe::core {
+namespace {
+
+TEST(Resilience, FailureFreeRunPaysOnlyCheckpoints) {
+  ResilienceOptions options;
+  options.reliability.mtbf_per_1000_gpus = 1e18;  // effectively no failures
+  options.reliability.checkpoint_interval = 600.0;
+  options.reliability.checkpoint_write_cost = 10.0;
+  options.gpus = 1024;
+  options.iterations = 100;
+  const ResilienceMetrics m = SimulateTrainingRun(/*iteration_time=*/10.0, options);
+  EXPECT_EQ(m.restarts, 0);
+  EXPECT_DOUBLE_EQ(m.useful_time, 1000.0);
+  EXPECT_EQ(m.iterations_completed, 100);
+  // 1000s of progress crosses the 600s checkpoint interval once.
+  EXPECT_EQ(m.checkpoints_written, 1);
+  EXPECT_DOUBLE_EQ(m.wall_time, 1010.0);
+  EXPECT_NEAR(m.overhead_fraction, 10.0 / 1010.0, 1e-12);
+}
+
+TEST(Resilience, WallClockAccountingIdentity) {
+  ResilienceOptions options;
+  options.gpus = 4096;
+  options.target_useful_time = 200'000.0;
+  options.seed = 7;
+  const ResilienceMetrics m = SimulateTrainingRun(8.0, options);
+  EXPECT_GT(m.restarts, 0);
+  // Every wall second is progress, replayed loss, a checkpoint write, or
+  // a recovery stall.
+  EXPECT_NEAR(m.wall_time,
+              m.useful_time + m.lost_time + m.checkpoint_time + m.recovery_time,
+              1e-6 * m.wall_time);
+  EXPECT_DOUBLE_EQ(m.useful_time, 200'000.0);
+  EXPECT_GT(m.goodput, 0.0);
+  EXPECT_LT(m.goodput, 1.0);
+  EXPECT_NEAR(m.goodput + m.overhead_fraction, 1.0, 1e-12);
+  // Failure records carry consistent data.
+  ASSERT_FALSE(m.failures.empty());
+  for (const FailureRecord& f : m.failures) {
+    EXPECT_GE(f.lost_work, 0.0);
+    EXPECT_LE(f.lost_work, options.reliability.checkpoint_interval + 1e-9);
+    EXPECT_GE(f.iteration_offset, 0.0);
+    EXPECT_LE(f.iteration_offset, 8.0);
+  }
+}
+
+TEST(Resilience, DeterministicUnderSeed) {
+  ResilienceOptions options;
+  options.gpus = 4096;
+  options.target_useful_time = 100'000.0;
+  options.seed = 42;
+  const ResilienceMetrics a = SimulateTrainingRun(10.0, options);
+  const ResilienceMetrics b = SimulateTrainingRun(10.0, options);
+  EXPECT_DOUBLE_EQ(a.wall_time, b.wall_time);
+  EXPECT_DOUBLE_EQ(a.lost_time, b.lost_time);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.failures[i].wall_time, b.failures[i].wall_time);
+    EXPECT_DOUBLE_EQ(a.failures[i].lost_work, b.failures[i].lost_work);
+  }
+
+  options.seed = 43;
+  const ResilienceMetrics c = SimulateTrainingRun(10.0, options);
+  EXPECT_NE(a.wall_time, c.wall_time);
+}
+
+TEST(Resilience, MeasuredOverheadMatchesAnalyticClosedForm) {
+  // The §9 cross-validation: the Monte-Carlo overhead must agree with
+  // FailureOverheadFraction within 25% relative error at every fleet
+  // size the paper's discussion covers.
+  const ReliabilityOptions rel;  // paper defaults
+  for (int gpus : {64, 256, 1024, 4096}) {
+    const double analytic = FailureOverheadFraction(gpus, rel);
+    ResilienceOptions options;
+    options.reliability = rel;
+    options.gpus = gpus;
+    options.seed = 2025;
+    // Enough simulated training for a few hundred expected failures.
+    const Seconds mtbf = rel.mtbf_per_1000_gpus * 1000.0 / gpus;
+    options.target_useful_time = 300.0 * mtbf;
+    const ResilienceMetrics m = SimulateTrainingRun(/*iteration_time=*/10.0, options);
+    EXPECT_GT(m.restarts, 150) << gpus << " GPUs";
+    const double rel_error = std::abs(m.overhead_fraction - analytic) / analytic;
+    EXPECT_LT(rel_error, 0.25) << gpus << " GPUs: measured " << m.overhead_fraction
+                               << " vs analytic " << analytic;
+  }
+}
+
+TEST(Resilience, EngineMeasuredIterationTime) {
+  const auto schedule = sched::OneFOneBSchedule(4, 8);
+  const sim::UniformCostModel costs(1.0, 2.0, 0.0, 0.0);
+  ResilienceOptions options;
+  options.reliability.mtbf_per_1000_gpus = 1e18;
+  options.iterations = 10;
+  const ResilienceMetrics m = SimulateTrainingRun(schedule, costs, options);
+  // (n + p - 1) * (f + b) = 11 * 3.
+  EXPECT_DOUBLE_EQ(m.iteration_time, 33.0);
+  EXPECT_DOUBLE_EQ(m.useful_time, 330.0);
+}
+
+TEST(Resilience, FaultPlanForFailureScriptsTheFailStop) {
+  const ReliabilityOptions rel;
+  FailureRecord failure;
+  failure.iteration = 12;
+  failure.iteration_offset = 4.5;
+  failure.stall = rel.recovery_time;
+  const sim::FaultPlan plan = FaultPlanForFailure(failure, 10.0, rel);
+  ASSERT_EQ(plan.fail_stops.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.fail_stops[0].time, 4.5);
+  EXPECT_DOUBLE_EQ(plan.fail_stops[0].restart_time, rel.recovery_time);
+  EXPECT_NO_THROW(plan.Validate(1));
+}
+
+TEST(Resilience, RejectsDegenerateInputs) {
+  EXPECT_THROW(SimulateTrainingRun(0.0, {}), CheckError);
+  ResilienceOptions bad_gpus;
+  bad_gpus.gpus = 0;
+  EXPECT_THROW(SimulateTrainingRun(1.0, bad_gpus), CheckError);
+  // An MTBF far below the checkpoint interval can never make durable
+  // progress; the runner must diagnose this instead of hanging.
+  ResilienceOptions doomed;
+  doomed.gpus = 1000;
+  doomed.reliability.mtbf_per_1000_gpus = 1.0;  // 1s MTBF, 600s interval
+  doomed.target_useful_time = 10'000.0;
+  EXPECT_THROW(SimulateTrainingRun(10.0, doomed), CheckError);
+}
+
+}  // namespace
+}  // namespace mepipe::core
