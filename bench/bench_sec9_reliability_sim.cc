@@ -1,16 +1,14 @@
 // §9.1 reliability, reproduced by measurement instead of assertion: a
 // Poisson fault-injected training-run simulation (core/resilience) whose
 // failure-overhead fraction is cross-validated against the analytic
-// FailureOverheadFraction at every fleet size the discussion covers —
-// plus a schedule-sensitivity study showing how 1F1B and SVPP makespans
-// degrade under identical straggler plans (the consumer-GPU setting
-// where stragglers are the norm, not the exception).
+// FailureOverheadFraction at every fleet size the discussion covers.
+// (The straggler-sensitivity companion lives in
+// bench_straggler_mitigation.)
 #include <cmath>
 
 #include "bench/bench_util.h"
 #include "core/resilience.h"
 #include "core/svpp.h"
-#include "sched/baselines.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 
@@ -52,35 +50,9 @@ void EmitReliabilitySim() {
       "§9.1 — failure overhead: simulated (Poisson fault injection) vs analytic",
       "sec9_reliability_sim", rows);
   std::printf("paper's estimate at ~1000 GPUs: < 5%% — both columns should agree\n");
-
-  // Schedule sensitivity: the same mid-run straggler hits a 1F1B and an
-  // SVPP iteration of equal shape; zero-bubble-style schedules have less
-  // slack to hide the slow stage in, so they degrade differently.
-  const int p = 4;
-  const int n = 16;
-  const auto one_f_one_b = sched::OneFOneBSchedule(p, n);
-  const auto svpp = core::GenerateSvpp(
-      {.stages = p, .virtual_chunks = 1, .slices = 4, .micros = n});
-  const sim::UniformCostModel unit(1.0, 2.0, 1.0, 0.05);
-  const Seconds clean_1f1b = sim::Simulate(one_f_one_b, unit).makespan;
-  const Seconds clean_svpp = sim::Simulate(svpp, unit).makespan;
-
-  std::vector<std::vector<std::string>> sensitivity;
-  sensitivity.push_back({"slowdown", "window_s", "1f1b_degradation", "svpp_degradation"});
-  for (double slowdown : {1.25, 1.5, 2.0, 3.0}) {
-    sim::FaultPlan plan;
-    plan.stragglers = {{p / 2, 10.0, 30.0, slowdown}};  // identical for both
-    sim::EngineOptions options;
-    options.fault_plan = &plan;
-    const Seconds faulted_1f1b = sim::Simulate(one_f_one_b, unit, options).makespan;
-    const Seconds faulted_svpp = sim::Simulate(svpp, unit, options).makespan;
-    sensitivity.push_back({StrFormat("%.2f", slowdown), "[10,30)",
-                           bench::Pct(faulted_1f1b / clean_1f1b - 1.0),
-                           bench::Pct(faulted_svpp / clean_svpp - 1.0)});
-  }
-  bench::EmitTable(
-      "straggler sensitivity — identical fault plan, different schedules",
-      "straggler_sensitivity", sensitivity);
+  // The straggler-sensitivity table moved to bench_straggler_mitigation,
+  // which pairs each frozen-schedule degradation with its rebalanced
+  // counterpart.
 }
 
 void BM_ResilienceRun(benchmark::State& state) {

@@ -1,0 +1,122 @@
+// Straggler mitigation study: the same persistent straggler hits a 1F1B
+// and an SVPP iteration of equal shape, first on the frozen schedule
+// (the sensitivity half, previously in bench_sec9_reliability_sim) and
+// then with the rebalancing subsystem in the loop
+// (core::MitigateStragglers: estimate the per-stage slowdown, shed
+// layers off the slow stage, re-tune caps, regenerate the program
+// order, and re-simulate under the *same* fault plan).
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/rebalance.h"
+#include "core/svpp.h"
+#include "sched/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/fault.h"
+#include "trace/ascii.h"
+
+namespace mepipe {
+namespace {
+
+constexpr int kStages = 4;
+constexpr int kMicros = 16;
+constexpr int kUnitsPerChunk = 8;
+
+// A straggler on the middle stage for the whole iteration: the
+// persistent case is the one mitigation can plan around (a transient
+// window is a repair problem, not a rebalancing one).
+sim::FaultPlan PersistentStraggler(double slowdown) {
+  sim::FaultPlan plan;
+  plan.stragglers.push_back({kStages / 2, 0.0, 1e9, slowdown});
+  return plan;
+}
+
+core::MitigationReport Mitigate(const sched::Schedule& schedule, const sim::CostModel& costs,
+                                double slowdown) {
+  core::MitigationOptions options;
+  options.rebalance.units_per_chunk = kUnitsPerChunk;
+  return core::MitigateStragglers(schedule, costs, PersistentStraggler(slowdown), options);
+}
+
+void EmitStragglerMitigation() {
+  const auto one_f_one_b = sched::OneFOneBSchedule(kStages, kMicros);
+  const auto svpp = core::GenerateSvpp(
+      {.stages = kStages, .virtual_chunks = 1, .slices = 4, .micros = kMicros});
+  const sim::UniformCostModel fused_costs(1.0, 2.0, 0.0, 0.05);
+  const sim::UniformCostModel split_costs(1.0, 1.0, 1.0, 0.05);
+
+  // Sensitivity, now with the mitigated column next to each frozen one:
+  // how much of the degradation the rebalancer claws back at each
+  // dilation level.
+  std::vector<std::vector<std::string>> sensitivity;
+  sensitivity.push_back({"slowdown", "window_s", "1f1b_degradation", "1f1b_mitigated",
+                         "svpp_degradation", "svpp_mitigated"});
+  std::vector<std::vector<std::string>> mitigation;
+  mitigation.push_back({"method", "slowdown", "clean_s", "faulted_s", "mitigated_s",
+                        "improvement", "plan"});
+  for (double slowdown : {1.25, 1.5, 2.0, 3.0}) {
+    const auto r1 = Mitigate(one_f_one_b, fused_costs, slowdown);
+    const auto rs = Mitigate(svpp, split_costs, slowdown);
+    sensitivity.push_back({StrFormat("%.2f", slowdown), "[0,inf)",
+                           bench::Pct(r1.degradation() - 1.0),
+                           bench::Pct(r1.mitigated_degradation() - 1.0),
+                           bench::Pct(rs.degradation() - 1.0),
+                           bench::Pct(rs.mitigated_degradation() - 1.0)});
+    for (const core::MitigationReport* r : {&r1, &rs}) {
+      mitigation.push_back({r == &r1 ? "1F1B" : "SVPP", StrFormat("%.2f", slowdown),
+                            StrFormat("%.2f", r->clean_makespan),
+                            StrFormat("%.2f", r->faulted_makespan),
+                            StrFormat("%.2f", r->mitigated_makespan),
+                            StrFormat("%.2fx", r->improvement()), r->plan.Summary()});
+    }
+  }
+  bench::EmitTable(
+      "straggler sensitivity — identical fault plan, frozen vs rebalanced schedules",
+      "straggler_sensitivity", sensitivity);
+  bench::EmitTable("straggler mitigation — estimate, rebalance, re-simulate",
+                   "straggler_mitigation", mitigation);
+
+  // One representative timeline: the 2x SVPP case, with the per-stage
+  // rebalance annotations on each row.
+  const auto showcase = Mitigate(svpp, split_costs, 2.0);
+  std::printf("\nmitigated SVPP timeline under the 2.00x straggler (%s):\n%s",
+              showcase.plan.Summary().c_str(),
+              trace::RenderTimeline(showcase.mitigated, kStages, 100,
+                                    showcase.plan.StageLabels(svpp.problem))
+                  .c_str());
+}
+
+void BM_MitigateStragglers(benchmark::State& state) {
+  const auto svpp = core::GenerateSvpp(
+      {.stages = kStages, .virtual_chunks = 1, .slices = 4, .micros = kMicros});
+  const sim::UniformCostModel costs(1.0, 1.0, 1.0, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mitigate(svpp, costs, 2.0).mitigated_makespan);
+  }
+}
+BENCHMARK(BM_MitigateStragglers);
+
+void BM_Rebalance(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  sched::PipelineProblem problem;
+  problem.stages = stages;
+  problem.virtual_chunks = 1;
+  problem.slices = 4;
+  problem.micros = 2 * stages;
+  core::StageProfile profile;
+  profile.slowdown.assign(static_cast<std::size_t>(stages), 1.0);
+  profile.slowdown[static_cast<std::size_t>(stages / 2)] = 2.0;
+  core::RebalanceOptions options;
+  options.units_per_chunk = kUnitsPerChunk;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Rebalance(profile, problem, options).predicted_gain);
+  }
+}
+BENCHMARK(BM_Rebalance)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitStragglerMitigation)

@@ -1,12 +1,15 @@
 #include "core/iteration.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/format.h"
 #include "core/memory_model.h"
+#include "core/rebalance.h"
 #include "core/svpp.h"
 #include "model/flops.h"
+#include "model/slicing.h"
 #include "sched/baselines.h"
 #include "sim/noise.h"
 
@@ -155,28 +158,75 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
           std::max<Bytes>(0, cluster.gpu.usable_memory() - costs.StaticMemory(stage));
     }
   }
+  engine.fault_plan = options.fault_plan;
   sim::SimResult sim;
+  bool rebalanced = false;
+  Seconds unmitigated_pipeline_time = 0;
+  // Per-stage static-memory scaling of the adopted mitigation's layer
+  // re-partition (1.0 everywhere when nothing was adopted).
+  std::vector<double> static_scale(static_cast<std::size_t>(strategy.pp), 1.0);
+  auto execute = [&](const sim::CostModel& priced) {
+    sim = Simulate(schedule, priced, engine);
+    if (!options.rebalance_stragglers || options.fault_plan == nullptr ||
+        options.fault_plan->empty()) {
+      return;
+    }
+    MitigationOptions mitigation;
+    mitigation.engine = engine;
+    mitigation.rebalance.config = config;
+    mitigation.rebalance.seq_len = config.seq_len / strategy.cp;
+    mitigation.rebalance.slice_alignment = options.cost.slice_alignment;
+    mitigation.rebalance.units_per_chunk =
+        static_cast<int>(config.partition_units()) / problem.num_chunks();
+    if (problem.slices > 1) {
+      // Re-balance against the spans the cost model actually priced.
+      mitigation.rebalance.base_spans =
+          options.cost.balanced_slices
+              ? model::AlignSlices(model::BalancedSlices(config, mitigation.rebalance.seq_len,
+                                                         problem.slices),
+                                   std::max<std::int64_t>(1, options.cost.slice_alignment))
+              : model::UniformSlices(mitigation.rebalance.seq_len, problem.slices);
+    }
+    const MitigationReport report =
+        MitigateStragglers(schedule, priced, *options.fault_plan, mitigation);
+    if (report.mitigated_makespan < sim.makespan) {
+      unmitigated_pipeline_time = sim.makespan;
+      sim = report.mitigated;
+      schedule = report.mitigated_schedule;
+      for (int stage = 0; stage < strategy.pp; ++stage) {
+        static_scale[static_cast<std::size_t>(stage)] =
+            report.plan.stage_unit_ratio(problem, stage);
+      }
+      rebalanced = true;
+    }
+  };
   if (options.noise_sigma > 0) {
     const sim::NoisyCostModel noisy(costs, options.noise_sigma, options.noise_seed);
-    sim = Simulate(schedule, noisy, engine);
+    execute(noisy);
   } else {
-    sim = Simulate(schedule, costs, engine);
+    execute(costs);
   }
 
   IterationResult result;
   result.strategy = strategy;
   result.micros = micros;
   result.pipeline_time = sim.makespan;
+  result.rebalanced = rebalanced;
+  result.unmitigated_pipeline_time = rebalanced ? unmitigated_pipeline_time : sim.makespan;
   result.dp_sync_time = costs.DpSyncTime();
   result.iteration_time = sim.makespan + result.dp_sync_time + options.optimizer_step;
   result.bubble_ratio = sim.bubble_ratio;
   result.static_memory = costs.MaxStaticMemory();
   result.peak_activation = sim.peak_activation;
 
-  // Worst stage overall: static of that stage + its activation peak.
+  // Worst stage overall: static of that stage (scaled by the adopted
+  // re-partition's layer share) + its activation peak.
   Bytes peak = 0;
   for (int stage = 0; stage < strategy.pp; ++stage) {
-    peak = std::max(peak, costs.StaticMemory(stage) +
+    const Bytes stage_static = static_cast<Bytes>(
+        std::llround(static_cast<double>(costs.StaticMemory(stage)) *
+                     static_scale[static_cast<std::size_t>(stage)]));
+    peak = std::max(peak, stage_static +
                               sim.stages[static_cast<std::size_t>(stage)].peak_activation);
   }
   result.peak_memory = peak;

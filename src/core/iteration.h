@@ -32,6 +32,14 @@ struct IterationOptions {
   // "iteration" of the §7.1 measurement protocol (see core/experiment.h).
   double noise_sigma = 0;
   std::uint64_t noise_seed = 0;
+  // Scripted engine-level fault plan the iteration runs under (nullptr =
+  // clean run). Must outlive the call.
+  const sim::FaultPlan* fault_plan = nullptr;
+  // Straggler-aware rebalancing (core/rebalance): when the fault plan
+  // slows stages down, estimate the per-stage slowdown, re-partition
+  // layers / re-tune caps, and adopt the mitigated schedule when it
+  // beats the unmitigated one under the same plan.
+  bool rebalance_stragglers = false;
 };
 
 struct IterationResult {
@@ -41,6 +49,12 @@ struct IterationResult {
 
   int micros = 0;                // n per data-parallel replica
   Seconds pipeline_time = 0;     // schedule makespan
+  // Straggler mitigation (IterationOptions::rebalance_stragglers): true
+  // when a rebalanced schedule was adopted; unmitigated_pipeline_time is
+  // the makespan the original schedule measured under the same faults
+  // (== pipeline_time when nothing was adopted).
+  bool rebalanced = false;
+  Seconds unmitigated_pipeline_time = 0;
   Seconds dp_sync_time = 0;
   Seconds iteration_time = 0;    // makespan + DP sync + optimizer step
   double bubble_ratio = 0;

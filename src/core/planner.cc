@@ -95,6 +95,14 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
 
   IterationOptions eval_options = options.iteration;
   eval_options.keep_timeline = false;
+  if (options.fault_plan != nullptr) {
+    eval_options.fault_plan = options.fault_plan;
+  }
+  const bool faulted = eval_options.fault_plan != nullptr && !eval_options.fault_plan->empty();
+  // The compute-only lower bound assumes clean stage rates; under a
+  // fault plan it would prune configurations that are merely slow when
+  // dilated, so pruning is off.
+  const bool prune = options.prune && !faulted;
 
   for (int tp : options.tp_candidates) {
     for (int pp : options.pp_candidates) {
@@ -126,7 +134,7 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
             if (strategy.dp < options.min_dp) {
               continue;
             }
-            if (options.prune && out.best) {
+            if (prune && out.best) {
               const auto bound = IterationLowerBound(method, config, strategy, cluster,
                                                      global_batch, eval_options);
               if (bound && *bound >= out.best->iteration_time) {
@@ -141,6 +149,17 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
             IterationResult result =
                 SimulateIteration(config, strategy, cluster, global_batch, eval_options);
             ++out.simulated;
+            if (options.search_rebalanced && faulted && !eval_options.rebalance_stragglers) {
+              IterationOptions mitigated_options = eval_options;
+              mitigated_options.rebalance_stragglers = true;
+              IterationResult mitigated =
+                  SimulateIteration(config, strategy, cluster, global_batch, mitigated_options);
+              ++out.simulated;
+              if (mitigated.feasible &&
+                  (!result.feasible || mitigated.iteration_time < result.iteration_time)) {
+                result = std::move(mitigated);
+              }
+            }
             if (result.feasible) {
               if (!out.best || result.iteration_time < out.best->iteration_time) {
                 out.best = result;
@@ -155,8 +174,10 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
 
   // Re-simulate the winner with its timeline for downstream rendering.
   if (out.best) {
-    IterationOptions final_options = options.iteration;
+    IterationOptions final_options = eval_options;
     final_options.keep_timeline = true;
+    final_options.rebalance_stragglers =
+        eval_options.rebalance_stragglers || out.best->rebalanced;
     *out.best =
         SimulateIteration(config, out.best->strategy, cluster, global_batch, final_options);
     MEPIPE_CHECK(out.best->feasible);

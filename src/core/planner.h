@@ -25,8 +25,17 @@ struct PlannerOptions {
   // Cost-model-guided pruning (§9's "automated parallelization
   // frameworks" direction): skip configurations whose compute-only lower
   // bound already exceeds the best feasible time found so far. Same
-  // winner, fewer simulations.
+  // winner, fewer simulations. Automatically disabled when a fault plan
+  // is set — the bound assumes clean stage rates.
   bool prune = false;
+  // Evaluate every strategy under this engine-level fault plan (nullptr
+  // = clean; overrides iteration.fault_plan when set). Must outlive the
+  // search.
+  const sim::FaultPlan* fault_plan = nullptr;
+  // Also evaluate each strategy's straggler-rebalanced variant
+  // (core/rebalance) and keep the better of the two. Only meaningful
+  // together with a fault plan.
+  bool search_rebalanced = false;
 };
 
 struct PlannerResult {

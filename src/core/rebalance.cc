@@ -1,0 +1,507 @@
+#include "core/rebalance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/format.h"
+#include "sched/generator.h"
+
+namespace mepipe::core {
+namespace {
+
+// Guard for floor(T / s) at T values that are exact products U·s.
+constexpr double kFloorEps = 1e-9;
+
+std::string JoinInts(const std::vector<int>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+double SafeRatio(double numerator, double denominator) {
+  return denominator > 0 ? numerator / denominator : 1.0;
+}
+
+}  // namespace
+
+double StageProfile::max_slowdown() const {
+  double worst = 1.0;
+  for (const double s : slowdown) {
+    worst = std::max(worst, s);
+  }
+  return worst;
+}
+
+void StageProfile::Validate(int stages) const {
+  MEPIPE_CHECK_EQ(static_cast<int>(slowdown.size()), stages)
+      << "profile has " << slowdown.size() << " entries for " << stages << " stages";
+  for (const double s : slowdown) {
+    MEPIPE_CHECK(std::isfinite(s) && s >= 1.0)
+        << "stage slowdown must be finite and >= 1, got " << s;
+  }
+}
+
+StageProfile EstimateStageSlowdowns(const sim::SimResult& clean,
+                                    const sim::SimResult& faulted) {
+  MEPIPE_CHECK_EQ(clean.stages.size(), faulted.stages.size())
+      << "clean/faulted runs disagree on stage count";
+  MEPIPE_CHECK(!clean.stages.empty()) << "cannot estimate a profile from an empty run";
+  StageProfile profile;
+  profile.slowdown.reserve(clean.stages.size());
+  for (std::size_t i = 0; i < clean.stages.size(); ++i) {
+    const Seconds base = clean.stages[i].busy;
+    const Seconds dilated = faulted.stages[i].busy;
+    profile.slowdown.push_back(base > 0 ? std::max(1.0, dilated / base) : 1.0);
+  }
+  return profile;
+}
+
+StageProfile EstimateStageSlowdowns(const sim::FaultPlan& plan, int stages, Seconds horizon) {
+  MEPIPE_CHECK_GT(stages, 0);
+  MEPIPE_CHECK_GT(horizon, 0) << "profile horizon must be positive";
+  plan.Validate(stages);
+  StageProfile profile;
+  profile.slowdown.assign(static_cast<std::size_t>(stages), 1.0);
+  for (const sim::StragglerFault& fault : plan.stragglers) {
+    const Seconds begin = std::max<Seconds>(fault.begin, 0);
+    const Seconds end = std::min(fault.end, horizon);
+    if (end <= begin) {
+      continue;
+    }
+    profile.slowdown[static_cast<std::size_t>(fault.stage)] +=
+        (end - begin) / horizon * (fault.slowdown - 1.0);
+  }
+  return profile;
+}
+
+std::vector<int> PartitionUnitsBySpeed(int total_units, const std::vector<double>& slowdown,
+                                       int min_units) {
+  const int workers = static_cast<int>(slowdown.size());
+  MEPIPE_CHECK_GT(workers, 0);
+  MEPIPE_CHECK_GE(min_units, 1);
+  MEPIPE_CHECK_GE(total_units, workers * min_units)
+      << total_units << " units cannot give " << workers << " workers " << min_units << " each";
+  for (const double s : slowdown) {
+    MEPIPE_CHECK(std::isfinite(s) && s > 0) << "slowdown must be finite and positive, got " << s;
+  }
+
+  // Candidate bottlenecks are products U · s_i; feasibility of T is
+  // monotone, so binary search the smallest feasible candidate.
+  std::vector<double> candidates;
+  candidates.reserve(static_cast<std::size_t>(workers) *
+                     static_cast<std::size_t>(total_units - min_units + 1));
+  for (const double s : slowdown) {
+    for (int u = min_units; u <= total_units; ++u) {
+      candidates.push_back(u * s);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  auto units_at = [&](double bottleneck) {
+    std::vector<int> units(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      const double quota = bottleneck / slowdown[static_cast<std::size_t>(i)];
+      const int whole = static_cast<int>(std::floor(quota + kFloorEps));
+      units[static_cast<std::size_t>(i)] = std::clamp(whole, min_units, total_units);
+    }
+    return units;
+  };
+  auto feasible = [&](double bottleneck) {
+    std::int64_t capacity = 0;
+    for (int i = 0; i < workers; ++i) {
+      const double s = slowdown[static_cast<std::size_t>(i)];
+      if (min_units * s > bottleneck + kFloorEps) {
+        return false;  // the min allocation alone already exceeds T
+      }
+      capacity += static_cast<int>(std::floor(bottleneck / s + kFloorEps));
+    }
+    return capacity >= total_units;
+  };
+
+  std::size_t lo = 0;
+  std::size_t hi = candidates.size() - 1;
+  MEPIPE_CHECK(feasible(candidates[hi])) << "no feasible bottleneck (internal)";
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible(candidates[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  std::vector<int> units = units_at(candidates[lo]);
+  std::int64_t assigned = std::accumulate(units.begin(), units.end(), std::int64_t{0});
+  MEPIPE_CHECK_GE(assigned, total_units) << "floor capacity below total (internal)";
+  // Trim the surplus off the most-loaded workers: removing a unit there
+  // can only lower (never raise) the realized bottleneck.
+  while (assigned > total_units) {
+    int victim = -1;
+    double worst_load = -1.0;
+    for (int i = 0; i < workers; ++i) {
+      if (units[static_cast<std::size_t>(i)] <= min_units) {
+        continue;
+      }
+      const double load = units[static_cast<std::size_t>(i)] * slowdown[static_cast<std::size_t>(i)];
+      if (load > worst_load) {
+        worst_load = load;
+        victim = i;
+      }
+    }
+    MEPIPE_CHECK_GE(victim, 0) << "partition trim stuck (internal)";
+    --units[static_cast<std::size_t>(victim)];
+    --assigned;
+  }
+  return units;
+}
+
+double RebalancePlan::unit_ratio(int chunk) const {
+  if (old_units.empty() || chunk < 0 || chunk >= static_cast<int>(old_units.size())) {
+    return 1.0;
+  }
+  return SafeRatio(new_units[static_cast<std::size_t>(chunk)],
+                   old_units[static_cast<std::size_t>(chunk)]);
+}
+
+double RebalancePlan::stage_unit_ratio(const sched::PipelineProblem& problem, int stage) const {
+  if (old_units.empty()) {
+    return 1.0;
+  }
+  double before = 0;
+  double after = 0;
+  for (int c = 0; c < problem.num_chunks() && c < static_cast<int>(old_units.size()); ++c) {
+    if (problem.stage_of_chunk(c) != stage) {
+      continue;
+    }
+    before += old_units[static_cast<std::size_t>(c)];
+    after += new_units[static_cast<std::size_t>(c)];
+  }
+  return SafeRatio(after, before);
+}
+
+std::string RebalancePlan::Summary() const {
+  std::string out;
+  auto append = [&out](const std::string& part) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += part;
+  };
+  if (!old_units.empty()) {
+    append(StrFormat("units %s -> %s", JoinInts(old_units).c_str(), JoinInts(new_units).c_str()));
+  }
+  if (resliced()) {
+    std::string tokens;
+    for (std::size_t i = 0; i < new_spans.size(); ++i) {
+      if (i > 0) {
+        tokens += ',';
+      }
+      tokens += std::to_string(new_spans[i].tokens);
+    }
+    append("slice tokens " + tokens);
+  }
+  if (!old_caps.empty()) {
+    append(StrFormat("caps %s -> %s", JoinInts(old_caps).c_str(), JoinInts(new_caps).c_str()));
+  }
+  if (out.empty()) {
+    return "no-op";
+  }
+  out += StrFormat("; gain %.2fx", predicted_gain);
+  return out;
+}
+
+std::vector<std::string> RebalancePlan::StageLabels(const sched::PipelineProblem& problem) const {
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<std::size_t>(problem.stages));
+  for (int stage = 0; stage < problem.stages; ++stage) {
+    std::string label;
+    if (stage < static_cast<int>(profile.slowdown.size())) {
+      label = StrFormat("x%.2f", profile.slowdown[static_cast<std::size_t>(stage)]);
+    }
+    if (!old_units.empty()) {
+      int before = 0;
+      int after = 0;
+      for (int c = 0; c < problem.num_chunks() && c < static_cast<int>(old_units.size()); ++c) {
+        if (problem.stage_of_chunk(c) != stage) {
+          continue;
+        }
+        before += old_units[static_cast<std::size_t>(c)];
+        after += new_units[static_cast<std::size_t>(c)];
+      }
+      label += StrFormat(" units %d->%d", before, after);
+    }
+    if (stage < static_cast<int>(old_caps.size())) {
+      label += StrFormat(" cap %d->%d", old_caps[static_cast<std::size_t>(stage)],
+                         new_caps[static_cast<std::size_t>(stage)]);
+    }
+    labels.push_back(label);
+  }
+  return labels;
+}
+
+RebalancePlan Rebalance(const StageProfile& profile, const sched::PipelineProblem& problem,
+                        const RebalanceOptions& options) {
+  problem.Validate();
+  profile.Validate(problem.stages);
+  RebalancePlan plan;
+  plan.profile = profile;
+  const int chunks = problem.num_chunks();
+
+  // Axis 1 — layers.
+  if (options.units_per_chunk > 0) {
+    plan.old_units.assign(static_cast<std::size_t>(chunks), options.units_per_chunk);
+    plan.new_units = plan.old_units;
+    if (options.repartition_layers) {
+      std::vector<double> chunk_slowdown(static_cast<std::size_t>(chunks));
+      for (int c = 0; c < chunks; ++c) {
+        chunk_slowdown[static_cast<std::size_t>(c)] =
+            profile.slowdown[static_cast<std::size_t>(problem.stage_of_chunk(c))];
+      }
+      plan.new_units = PartitionUnitsBySpeed(options.units_per_chunk * chunks, chunk_slowdown,
+                                             std::max(1, options.min_units_per_chunk));
+      auto bottleneck = [&](const std::vector<int>& units) {
+        std::vector<double> load(static_cast<std::size_t>(problem.stages), 0.0);
+        for (int c = 0; c < chunks; ++c) {
+          load[static_cast<std::size_t>(problem.stage_of_chunk(c))] +=
+              units[static_cast<std::size_t>(c)];
+        }
+        double worst = 0;
+        for (int i = 0; i < problem.stages; ++i) {
+          worst = std::max(worst, load[static_cast<std::size_t>(i)] *
+                                      profile.slowdown[static_cast<std::size_t>(i)]);
+        }
+        return worst;
+      };
+      plan.predicted_gain = SafeRatio(bottleneck(plan.old_units), bottleneck(plan.new_units));
+    }
+  }
+
+  // Axis 2 — slices.
+  if (options.rebalance_slices && options.config.hidden > 0 && options.seq_len > 0 &&
+      problem.slices > 1) {
+    const std::int64_t alignment = std::max<std::int64_t>(1, options.slice_alignment);
+    plan.old_spans = options.base_spans;
+    if (plan.old_spans.empty()) {
+      plan.old_spans = model::AlignSlices(
+          model::BalancedSlices(options.config, options.seq_len, problem.slices), alignment);
+    }
+    MEPIPE_CHECK_EQ(plan.old_spans.size(), static_cast<std::size_t>(problem.slices))
+        << "base_spans count disagrees with problem.slices";
+    std::int64_t cursor = 0;
+    for (const model::SliceSpan& span : plan.old_spans) {
+      MEPIPE_CHECK_EQ(span.start, cursor) << "base_spans are not contiguous";
+      MEPIPE_CHECK_GT(span.tokens, 0) << "base_spans contain an empty slice";
+      cursor = span.end();
+    }
+    MEPIPE_CHECK_EQ(cursor, options.seq_len) << "base_spans do not cover [0, seq_len)";
+    plan.new_spans = model::AlignSlices(
+        model::TimeBalancedSlices(options.config, options.seq_len, problem.slices,
+                                  options.slice_time),
+        alignment);
+  }
+
+  // Axis 3 — caps. A stage's per-forward activation footprint scales
+  // with its layer share, so the cap shrinks/grows inversely to keep
+  // the same memory envelope; v·s stays the schedulability floor.
+  if (!options.base_caps.empty()) {
+    MEPIPE_CHECK_EQ(static_cast<int>(options.base_caps.size()), problem.stages)
+        << "base_caps must have one entry per stage";
+    plan.old_caps = options.base_caps;
+    plan.new_caps = plan.old_caps;
+    if (options.retune_caps) {
+      const int floor_cap = problem.virtual_chunks * problem.slices;
+      for (int i = 0; i < problem.stages; ++i) {
+        MEPIPE_CHECK_GE(plan.old_caps[static_cast<std::size_t>(i)], floor_cap)
+            << "base cap below the v*s schedulability floor on stage " << i;
+        const double ratio = std::max(plan.stage_unit_ratio(problem, i), kFloorEps);
+        const int cap = static_cast<int>(
+            std::llround(plan.old_caps[static_cast<std::size_t>(i)] / ratio));
+        plan.new_caps[static_cast<std::size_t>(i)] = std::max(floor_cap, cap);
+      }
+    }
+  }
+  return plan;
+}
+
+RebalancedCostModel::RebalancedCostModel(const sim::CostModel& base,
+                                         const sched::PipelineProblem& problem,
+                                         const RebalancePlan& plan,
+                                         const model::TransformerConfig& config)
+    : base_(base) {
+  problem.Validate();
+  const int chunks = problem.num_chunks();
+  unit_ratio_.assign(static_cast<std::size_t>(chunks), 1.0);
+  if (!plan.old_units.empty()) {
+    MEPIPE_CHECK_EQ(static_cast<int>(plan.old_units.size()), chunks)
+        << "plan unit count disagrees with the problem's chunks";
+    MEPIPE_CHECK_EQ(plan.new_units.size(), plan.old_units.size());
+    for (int c = 0; c < chunks; ++c) {
+      MEPIPE_CHECK_GT(plan.old_units[static_cast<std::size_t>(c)], 0);
+      unit_ratio_[static_cast<std::size_t>(c)] = plan.unit_ratio(c);
+    }
+  }
+  if (plan.resliced()) {
+    MEPIPE_CHECK_GT(config.hidden, 0) << "slice re-pricing needs the model config";
+    MEPIPE_CHECK_EQ(plan.old_spans.size(), static_cast<std::size_t>(problem.slices));
+    MEPIPE_CHECK_EQ(plan.new_spans.size(), plan.old_spans.size());
+    const std::size_t slices = plan.old_spans.size();
+    forward_ratio_.resize(slices);
+    backward_ratio_.resize(slices);
+    wgrad_ratio_.resize(slices);
+    token_ratio_.resize(slices);
+    for (std::size_t t = 0; t < slices; ++t) {
+      const model::SliceSpan& before = plan.old_spans[t];
+      const model::SliceSpan& after = plan.new_spans[t];
+      MEPIPE_CHECK_GT(before.tokens, 0);
+      MEPIPE_CHECK_GT(after.tokens, 0);
+      token_ratio_[t] = static_cast<double>(after.tokens) / static_cast<double>(before.tokens);
+      forward_ratio_[t] = SafeRatio(model::ForwardLayerFlops(config, after).total(),
+                                    model::ForwardLayerFlops(config, before).total());
+      backward_ratio_[t] = SafeRatio(model::BackwardLayerFlops(config, after),
+                                     model::BackwardLayerFlops(config, before));
+      wgrad_ratio_[t] = SafeRatio(model::WeightGradLayerFlops(config, after),
+                                  model::WeightGradLayerFlops(config, before));
+    }
+  }
+}
+
+Seconds RebalancedCostModel::ComputeTime(const sched::OpId& op) const {
+  double ratio = 1.0;
+  if (op.chunk >= 0 && op.chunk < static_cast<int>(unit_ratio_.size())) {
+    ratio *= unit_ratio_[static_cast<std::size_t>(op.chunk)];
+  }
+  if (!forward_ratio_.empty() && op.slice >= 0 &&
+      op.slice < static_cast<int>(forward_ratio_.size())) {
+    const std::size_t t = static_cast<std::size_t>(op.slice);
+    switch (op.kind) {
+      case sched::OpKind::kForward:
+        ratio *= forward_ratio_[t];
+        break;
+      case sched::OpKind::kBackward:
+        ratio *= backward_ratio_[t];
+        break;
+      case sched::OpKind::kWeightGrad:
+      case sched::OpKind::kWeightGradGemm:
+        ratio *= wgrad_ratio_[t];
+        break;
+    }
+  }
+  return base_.ComputeTime(op) * ratio;
+}
+
+Seconds RebalancedCostModel::TransferTime(const sched::OpId& producer) const {
+  double ratio = 1.0;
+  if (!token_ratio_.empty() && producer.slice >= 0 &&
+      producer.slice < static_cast<int>(token_ratio_.size())) {
+    ratio = token_ratio_[static_cast<std::size_t>(producer.slice)];
+  }
+  return base_.TransferTime(producer) * ratio;
+}
+
+Bytes RebalancedCostModel::ActivationBytes(const sched::OpId& forward) const {
+  double ratio = 1.0;
+  if (forward.chunk >= 0 && forward.chunk < static_cast<int>(unit_ratio_.size())) {
+    ratio *= unit_ratio_[static_cast<std::size_t>(forward.chunk)];
+  }
+  if (!token_ratio_.empty() && forward.slice >= 0 &&
+      forward.slice < static_cast<int>(token_ratio_.size())) {
+    ratio *= token_ratio_[static_cast<std::size_t>(forward.slice)];
+  }
+  return static_cast<Bytes>(std::llround(static_cast<double>(base_.ActivationBytes(forward)) * ratio));
+}
+
+Bytes RebalancedCostModel::ActGradBytes(const sched::OpId& backward) const {
+  double ratio = 1.0;
+  if (backward.chunk >= 0 && backward.chunk < static_cast<int>(unit_ratio_.size())) {
+    ratio *= unit_ratio_[static_cast<std::size_t>(backward.chunk)];
+  }
+  if (!token_ratio_.empty() && backward.slice >= 0 &&
+      backward.slice < static_cast<int>(token_ratio_.size())) {
+    ratio *= token_ratio_[static_cast<std::size_t>(backward.slice)];
+  }
+  return static_cast<Bytes>(std::llround(static_cast<double>(base_.ActGradBytes(backward)) * ratio));
+}
+
+int RebalancedCostModel::WeightGradGemmCount(const sched::OpId& wgrad) const {
+  return base_.WeightGradGemmCount(wgrad);
+}
+
+double MitigationReport::degradation() const {
+  return clean_makespan > 0 ? faulted_makespan / clean_makespan : 1.0;
+}
+
+double MitigationReport::mitigated_degradation() const {
+  return clean_makespan > 0 ? mitigated_makespan / clean_makespan : 1.0;
+}
+
+double MitigationReport::improvement() const {
+  return mitigated_makespan > 0 ? faulted_makespan / mitigated_makespan : 1.0;
+}
+
+MitigationReport MitigateStragglers(const sched::Schedule& schedule, const sim::CostModel& costs,
+                                    const sim::FaultPlan& faults,
+                                    const MitigationOptions& options) {
+  const sched::PipelineProblem& problem = schedule.problem;
+  faults.Validate(problem.stages);
+
+  MitigationReport report;
+  sim::EngineOptions clean_options = options.engine;
+  clean_options.fault_plan = nullptr;
+  const sim::SimResult clean = sim::Simulate(schedule, costs, clean_options);
+  report.clean_makespan = clean.makespan;
+
+  sim::EngineOptions faulted_options = options.engine;
+  faulted_options.fault_plan = &faults;
+  report.faulted = sim::Simulate(schedule, costs, faulted_options);
+  report.faulted_makespan = report.faulted.makespan;
+
+  report.profile =
+      options.profile.empty() ? EstimateStageSlowdowns(clean, report.faulted) : options.profile;
+  report.profile.Validate(problem.stages);
+
+  RebalanceOptions rebalance = options.rebalance;
+  if (rebalance.base_caps.empty()) {
+    const int floor_cap = problem.virtual_chunks * problem.slices;
+    rebalance.base_caps.resize(static_cast<std::size_t>(problem.stages));
+    for (int i = 0; i < problem.stages; ++i) {
+      rebalance.base_caps[static_cast<std::size_t>(i)] =
+          std::max(floor_cap, sched::PeakRetainedForwards(schedule, i));
+    }
+  }
+  report.plan = Rebalance(report.profile, problem, rebalance);
+
+  const RebalancedCostModel mitigated_costs(costs, problem, report.plan, rebalance.config);
+
+  sched::GeneratorOptions generator;
+  generator.inflight_cap = report.plan.new_caps.empty() ? rebalance.base_caps : report.plan.new_caps;
+  generator.backward_first = true;
+  generator.child_count_backward_priority = true;
+  generator.wgrad = schedule.deferred_wgrad ? sched::WgradPolicy::kDeferred
+                                            : sched::WgradPolicy::kLowestPriority;
+  generator.b_time = problem.split_backward ? 1.0 : 2.0;
+  // The sched-side hook: abstract durations reflect the measured
+  // slowdown times the rebalanced layer share, so the interleaving is
+  // generated against the rates the mitigated run will actually see.
+  generator.stage_time_scale.resize(static_cast<std::size_t>(problem.stages));
+  for (int i = 0; i < problem.stages; ++i) {
+    generator.stage_time_scale[static_cast<std::size_t>(i)] =
+        report.profile.slowdown[static_cast<std::size_t>(i)] *
+        report.plan.stage_unit_ratio(problem, i);
+  }
+  report.mitigated_schedule =
+      sched::GenerateCapped(problem, generator, schedule.method + "+rebalanced");
+
+  report.mitigated = sim::Simulate(report.mitigated_schedule, mitigated_costs, faulted_options);
+  report.mitigated_makespan = report.mitigated.makespan;
+  return report;
+}
+
+}  // namespace mepipe::core

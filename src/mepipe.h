@@ -5,7 +5,8 @@
 //   sched/   — ops, dependencies, schedules, baselines, serialization
 //   sim/     — discrete-event engine, cost models, noise, fault injection
 //   core/    — SVPP, analytics, memory model, planner, profiler,
-//              deployment economics, resilience simulation
+//              deployment economics, resilience simulation,
+//              straggler rebalancing
 //   trace/   — ASCII timelines, Chrome traces, CSV, fault overlays
 //   tensor/, ref/ — the numerical validation substrate
 #ifndef MEPIPE_MEPIPE_H_
@@ -18,6 +19,7 @@
 #include "core/memory_model.h"
 #include "core/planner.h"
 #include "core/profiler.h"
+#include "core/rebalance.h"
 #include "core/resilience.h"
 #include "core/svpp.h"
 #include "core/training_cost.h"

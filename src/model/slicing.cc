@@ -11,18 +11,34 @@ Flops SliceForwardCost(const TransformerConfig& config, const SliceSpan& span) {
   return ForwardLayerFlops(config, span).total();
 }
 
+double SliceTimeCost(const TransformerConfig& config, const SliceSpan& span,
+                     const SliceTimeModel& time_model) {
+  const LayerFlops flops = ForwardLayerFlops(config, span);
+  return time_model.gemm_weight * flops.gemm + time_model.attention_weight * flops.attention +
+         time_model.overhead;
+}
+
 namespace {
 
+void ValidateTimeModel(const SliceTimeModel& time_model) {
+  MEPIPE_CHECK_GE(time_model.gemm_weight, 0.0);
+  MEPIPE_CHECK_GE(time_model.attention_weight, 0.0);
+  MEPIPE_CHECK_GE(time_model.overhead, 0.0);
+  MEPIPE_CHECK(time_model.gemm_weight > 0.0 || time_model.attention_weight > 0.0)
+      << "slice time model weights all zero";
+}
+
 // Largest token count t such that the slice [start, start+t) costs at
-// most `budget` FLOPs. Slice cost is strictly increasing in t, so binary
+// most `budget`. Slice time is strictly increasing in t, so binary
 // search applies.
 std::int64_t MaxTokensWithinBudget(const TransformerConfig& config, std::int64_t start,
-                                   std::int64_t remaining, Flops budget) {
+                                   std::int64_t remaining, const SliceTimeModel& time_model,
+                                   double budget) {
   std::int64_t lo = 0;
   std::int64_t hi = remaining;
   while (lo < hi) {
     const std::int64_t mid = lo + (hi - lo + 1) / 2;
-    if (SliceForwardCost(config, {start, mid}) <= budget) {
+    if (SliceTimeCost(config, {start, mid}, time_model) <= budget) {
       lo = mid;
     } else {
       hi = mid - 1;
@@ -35,10 +51,11 @@ std::int64_t MaxTokensWithinBudget(const TransformerConfig& config, std::int64_t
 // costing ≤ budget? Greedy (always take the largest feasible slice) is
 // optimal for contiguous bottleneck partitioning.
 bool Feasible(const TransformerConfig& config, std::int64_t seq_len, std::int64_t slices,
-              Flops budget) {
+              const SliceTimeModel& time_model, double budget) {
   std::int64_t start = 0;
   for (std::int64_t i = 0; i < slices && start < seq_len; ++i) {
-    const std::int64_t take = MaxTokensWithinBudget(config, start, seq_len - start, budget);
+    const std::int64_t take =
+        MaxTokensWithinBudget(config, start, seq_len - start, time_model, budget);
     if (take == 0) {
       return false;  // even a single token exceeds the budget
     }
@@ -49,21 +66,23 @@ bool Feasible(const TransformerConfig& config, std::int64_t seq_len, std::int64_
 
 }  // namespace
 
-std::vector<SliceSpan> BalancedSlices(const TransformerConfig& config, std::int64_t seq_len,
-                                      std::int64_t slices) {
+std::vector<SliceSpan> TimeBalancedSlices(const TransformerConfig& config, std::int64_t seq_len,
+                                          std::int64_t slices,
+                                          const SliceTimeModel& time_model) {
   MEPIPE_CHECK_GT(slices, 0);
   MEPIPE_CHECK_GE(seq_len, slices);
+  ValidateTimeModel(time_model);
   if (slices == 1) {
     return {{0, seq_len}};
   }
 
   // Binary-search the bottleneck budget between mean cost and whole cost.
-  const Flops whole = SliceForwardCost(config, {0, seq_len});
-  Flops lo = whole / static_cast<double>(slices);
-  Flops hi = whole;
+  const double whole = SliceTimeCost(config, {0, seq_len}, time_model);
+  double lo = whole / static_cast<double>(slices);
+  double hi = whole;
   for (int iter = 0; iter < 64 && hi - lo > 1e-6 * whole; ++iter) {
-    const Flops mid = (lo + hi) / 2.0;
-    if (Feasible(config, seq_len, slices, mid)) {
+    const double mid = (lo + hi) / 2.0;
+    if (Feasible(config, seq_len, slices, time_model, mid)) {
       hi = mid;
     } else {
       lo = mid;
@@ -79,7 +98,7 @@ std::vector<SliceSpan> BalancedSlices(const TransformerConfig& config, std::int6
     if (i + 1 == slices) {
       take = seq_len - start;
     } else {
-      take = MaxTokensWithinBudget(config, start, seq_len - start, hi);
+      take = MaxTokensWithinBudget(config, start, seq_len - start, time_model, hi);
       // Never strand the remaining slices without tokens.
       const std::int64_t slices_left = slices - i - 1;
       take = std::min(take, seq_len - start - slices_left);
@@ -90,6 +109,11 @@ std::vector<SliceSpan> BalancedSlices(const TransformerConfig& config, std::int6
   }
   MEPIPE_CHECK_EQ(start, seq_len);
   return spans;
+}
+
+std::vector<SliceSpan> BalancedSlices(const TransformerConfig& config, std::int64_t seq_len,
+                                      std::int64_t slices) {
+  return TimeBalancedSlices(config, seq_len, slices, SliceTimeModel{});
 }
 
 double SliceImbalance(const TransformerConfig& config, const std::vector<SliceSpan>& spans) {
@@ -115,9 +139,17 @@ std::vector<SliceSpan> AlignSlices(std::vector<SliceSpan> spans, std::int64_t al
     std::int64_t end = spans[i].end();
     end = (end + alignment / 2) / alignment * alignment;  // round to nearest
     // Keep at least one aligned block per remaining slice.
-    const std::int64_t min_end = start + alignment;
-    const std::int64_t max_end =
+    std::int64_t min_end = start + alignment;
+    std::int64_t max_end =
         seq_len - static_cast<std::int64_t>(spans.size() - i - 1) * alignment;
+    if (max_end < min_end) {
+      // Too few tokens for one aligned block per remaining slice
+      // (seq_len < slices·alignment): degrade to keeping every span
+      // non-empty instead of aligned. Without this the clamp below runs
+      // with min > max — undefined behaviour — and could empty a span.
+      min_end = start + 1;
+      max_end = seq_len - static_cast<std::int64_t>(spans.size() - i - 1);
+    }
     end = std::clamp(end, min_end, max_end);
     spans[i] = {start, end - start};
     start = end;

@@ -23,12 +23,40 @@ namespace mepipe::model {
 // the objective the balanced partitioner equalizes.
 Flops SliceForwardCost(const TransformerConfig& config, const SliceSpan& span);
 
+// Per-slice *time* functional for partitioning under heterogeneous
+// stage rates (core/rebalance): a throttled stage slows compute-bound
+// GEMMs harder than memory-bound attention, and every slice pays a
+// fixed per-slice overhead (kernel launch + p2p latency) that grows
+// relatively more expensive on a slow stage. All quantities are
+// relative — scaling all three by a constant leaves the optimal
+// partition unchanged; the defaults reduce the functional to raw
+// forward FLOPs (the classic TeraPipe objective).
+struct SliceTimeModel {
+  double gemm_weight = 1.0;       // relative cost per GEMM FLOP (must be >= 0)
+  double attention_weight = 1.0;  // relative cost per attention FLOP (>= 0)
+  double overhead = 0.0;          // fixed per-slice cost, FLOPs-equivalent (>= 0)
+};
+
+// Weighted time cost of one slice — the objective TimeBalancedSlices
+// equalizes. Strictly increasing in the slice's token count.
+double SliceTimeCost(const TransformerConfig& config, const SliceSpan& span,
+                     const SliceTimeModel& time_model);
+
+// Generalization of BalancedSlices: partitions `seq_len` tokens into
+// `slices` contiguous spans whose *time* under `time_model` is as equal
+// as possible (minimizes the maximum slice time). Runs an exact
+// bottleneck search (binary search on the bottleneck + greedy
+// feasibility, O(s·log²)), equivalent to TeraPipe's DP solution for
+// this cost structure.
+std::vector<SliceSpan> TimeBalancedSlices(const TransformerConfig& config, std::int64_t seq_len,
+                                          std::int64_t slices,
+                                          const SliceTimeModel& time_model);
+
 // Partitions `seq_len` tokens into `slices` contiguous spans whose
 // per-layer forward FLOPs are as equal as possible (minimizes the
 // maximum slice cost). Earlier slices come out longer (they attend over
-// less context). Runs an exact bottleneck search (binary search on the
-// bottleneck + greedy feasibility, O(s·log²)), equivalent to TeraPipe's
-// DP solution for this cost structure.
+// less context). Equal to TimeBalancedSlices under the default
+// SliceTimeModel.
 std::vector<SliceSpan> BalancedSlices(const TransformerConfig& config, std::int64_t seq_len,
                                       std::int64_t slices);
 

@@ -71,17 +71,24 @@ struct GeneratorState {
     return options.inflight_cap[static_cast<std::size_t>(stage)];
   }
 
-  double duration(const OpId& op) const {
+  double duration(int stage, const OpId& op) const {
+    double base = 1.0;
     switch (op.kind) {
       case OpKind::kForward:
-        return options.f_time;
+        base = options.f_time;
+        break;
       case OpKind::kBackward:
-        return options.b_time;
+        base = options.b_time;
+        break;
       case OpKind::kWeightGrad:
       case OpKind::kWeightGradGemm:
-        return options.w_time;
+        base = options.w_time;
+        break;
     }
-    return 1.0;
+    if (!options.stage_time_scale.empty()) {
+      base *= options.stage_time_scale[static_cast<std::size_t>(stage)];
+    }
+    return base;
   }
 
   // Earliest time `op` can start given finished deps; +inf if a dep has
@@ -160,6 +167,12 @@ Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& 
   if (!options.inflight_cap.empty()) {
     MEPIPE_CHECK_EQ(static_cast<int>(options.inflight_cap.size()), problem.stages);
   }
+  if (!options.stage_time_scale.empty()) {
+    MEPIPE_CHECK_EQ(static_cast<int>(options.stage_time_scale.size()), problem.stages);
+    for (const double scale : options.stage_time_scale) {
+      MEPIPE_CHECK_GT(scale, 0.0) << "stage_time_scale entries must be positive";
+    }
+  }
 
   GeneratorState state(problem, options);
   const bool emit_w_static =
@@ -220,7 +233,7 @@ Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& 
       }
       const OpId op = *best;
       const double start = std::max(now, best_ready);
-      const double end = start + state.duration(op);
+      const double end = start + state.duration(stage, op);
       state.done.emplace(op, end);
       state.order[static_cast<std::size_t>(stage)].push_back(op);
       if (op.kind == OpKind::kForward) {

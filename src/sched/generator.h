@@ -47,6 +47,13 @@ struct GeneratorOptions {
   double f_time = 1.0;
   double b_time = 2.0;
   double w_time = 1.0;
+  // Per-stage multipliers on the abstract durations (all must be > 0):
+  // an op on stage i takes kind_time · stage_time_scale[i]. Empty =
+  // uniform stages. This is the straggler-aware hook: core/rebalance
+  // passes measured slowdowns (× the rebalanced layer-share ratio) so
+  // the generated interleaving wraps around a known-slow stage instead
+  // of assuming uniform rates.
+  std::vector<double> stage_time_scale;
   // Abstract inter-stage transfer delay; a small positive value keeps the
   // generated interleavings realistic (a transfer never beats a no-op).
   double transfer_time = 0.05;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -43,6 +44,9 @@ class Engine {
         mem_events_(static_cast<std::size_t>(problem_.stages)),
         current_bytes_(static_cast<std::size_t>(problem_.stages), 0),
         busy_(static_cast<std::size_t>(problem_.stages), 0.0),
+        first_start_(static_cast<std::size_t>(problem_.stages),
+                     std::numeric_limits<Seconds>::infinity()),
+        last_end_(static_cast<std::size_t>(problem_.stages), 0.0),
         overflow_count_(static_cast<std::size_t>(problem_.stages), 0),
         overflow_bytes_(static_cast<std::size_t>(problem_.stages), 0) {
     if (!options_.activation_budget.empty()) {
@@ -120,6 +124,10 @@ class Engine {
   void RecordCompute(int stage, const OpId& op, Seconds start, Seconds end) {
     timeline_.push_back({stage, op, start, end, /*is_transfer=*/false});
     busy_[static_cast<std::size_t>(stage)] += end - start;
+    first_start_[static_cast<std::size_t>(stage)] =
+        std::min(first_start_[static_cast<std::size_t>(stage)], start);
+    last_end_[static_cast<std::size_t>(stage)] =
+        std::max(last_end_[static_cast<std::size_t>(stage)], end);
   }
 
   void AddMem(int stage, Seconds time, Bytes delta) {
@@ -237,6 +245,8 @@ class Engine {
   std::vector<std::vector<MemEvent>> mem_events_;
   std::vector<Bytes> current_bytes_;
   std::vector<Seconds> busy_;
+  std::vector<Seconds> first_start_;
+  std::vector<Seconds> last_end_;
   std::vector<int> overflow_count_;
   std::vector<Bytes> overflow_bytes_;
   std::vector<OpSpan> timeline_;
@@ -339,6 +349,15 @@ SimResult Engine::Run() {
     metrics.busy = busy_[static_cast<std::size_t>(stage)];
     metrics.bubble_ratio =
         result.makespan > 0 ? 1.0 - metrics.busy / result.makespan : 0.0;
+    const Seconds first = first_start_[static_cast<std::size_t>(stage)];
+    const Seconds last = last_end_[static_cast<std::size_t>(stage)];
+    if (first <= last) {  // the stage ran at least one compute op
+      metrics.warmup_idle = first;
+      metrics.steady_idle = std::max(0.0, (last - first) - metrics.busy);
+      metrics.drain_idle = std::max(0.0, result.makespan - last);
+    } else {
+      metrics.warmup_idle = result.makespan;  // never ran: all warmup
+    }
     metrics.budget_violations = overflow_count_[static_cast<std::size_t>(stage)];
     metrics.budget_overflow_bytes = overflow_bytes_[static_cast<std::size_t>(stage)];
     result.budget_violations += metrics.budget_violations;

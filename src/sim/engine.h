@@ -75,6 +75,14 @@ struct StageMetrics {
   Seconds busy = 0;             // sum of compute-op durations
   Bytes peak_activation = 0;    // activations + retained act-grads
   double bubble_ratio = 0;      // 1 - busy / makespan
+  // Idle-gap decomposition of the stage's bubble, attributing lost time
+  // to the pipeline phase it falls in (warmup + steady + drain ==
+  // makespan − busy). This is what makes rebalancing gains attributable:
+  // a straggler inflates the *steady* gaps of its neighbours, while a
+  // bad in-flight cap shows up as warmup/drain.
+  Seconds warmup_idle = 0;      // before the stage's first compute op
+  Seconds steady_idle = 0;      // gaps between its first and last compute op
+  Seconds drain_idle = 0;       // after its last compute op
   // Activation-budget violations: ops admitted after the deferred-W
   // queue ran dry with the stage still over budget.
   int budget_violations = 0;

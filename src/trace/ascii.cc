@@ -31,6 +31,11 @@ std::string RenderScheduleOrders(const sched::Schedule& schedule) {
 }
 
 std::string RenderTimeline(const sim::SimResult& result, int stages, int columns) {
+  return RenderTimeline(result, stages, columns, {});
+}
+
+std::string RenderTimeline(const sim::SimResult& result, int stages, int columns,
+                           const std::vector<std::string>& stage_labels) {
   MEPIPE_CHECK_GT(columns, 0);
   MEPIPE_CHECK_GT(stages, 0);
   if (result.makespan <= 0) {
@@ -66,7 +71,12 @@ std::string RenderTimeline(const sim::SimResult& result, int stages, int columns
   }
   std::string out;
   for (int stage = 0; stage < stages; ++stage) {
-    out += StrFormat("stage %d |", stage) + rows[static_cast<std::size_t>(stage)] + "|\n";
+    out += StrFormat("stage %d |", stage) + rows[static_cast<std::size_t>(stage)] + "|";
+    if (static_cast<std::size_t>(stage) < stage_labels.size() &&
+        !stage_labels[static_cast<std::size_t>(stage)].empty()) {
+      out += " " + stage_labels[static_cast<std::size_t>(stage)];
+    }
+    out += '\n';
   }
   out += StrFormat("legend: digits = F (micro id), letters = B, '.' = W; makespan %s\n",
                    FormatSeconds(result.makespan).c_str());

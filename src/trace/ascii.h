@@ -4,6 +4,7 @@
 #define MEPIPE_TRACE_ASCII_H_
 
 #include <string>
+#include <vector>
 
 #include "sched/schedule.h"
 #include "sim/engine.h"
@@ -21,6 +22,12 @@ std::string RenderScheduleOrders(const sched::Schedule& schedule);
 // letters, W cells '·', idle ' '. Gives the classic pipeline-diagram view
 // of bubbles (Figures 2-7, 11, 12).
 std::string RenderTimeline(const sim::SimResult& result, int stages, int columns = 120);
+
+// Same, appending one annotation per stage after its row (e.g. measured
+// slowdown + rebalanced layer/cap assignment). Labels beyond `stages`
+// are ignored; missing or empty labels leave the row unannotated.
+std::string RenderTimeline(const sim::SimResult& result, int stages, int columns,
+                           const std::vector<std::string>& stage_labels);
 
 }  // namespace mepipe::trace
 

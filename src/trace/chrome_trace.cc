@@ -7,9 +7,47 @@
 
 namespace mepipe::trace {
 
+namespace {
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string ToChromeTraceJson(const sim::SimResult& result) {
+  return ToChromeTraceJson(result, {});
+}
+
+std::string ToChromeTraceJson(const sim::SimResult& result,
+                              const std::vector<std::string>& stage_labels) {
   std::string out = "[\n";
   bool first = true;
+  for (std::size_t stage = 0; stage < stage_labels.size(); ++stage) {
+    if (stage_labels[stage].empty()) {
+      continue;
+    }
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += StrFormat(
+        "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %d, "
+        "\"args\": {\"name\": \"%s\"}}",
+        static_cast<int>(stage), EscapeJson(stage_labels[stage]).c_str());
+  }
   for (const sim::OpSpan& span : result.timeline) {
     if (!first) {
       out += ",\n";
@@ -40,9 +78,14 @@ std::string ToChromeTraceJson(const sim::SimResult& result) {
 }
 
 void WriteChromeTrace(const sim::SimResult& result, const std::string& path) {
+  WriteChromeTrace(result, {}, path);
+}
+
+void WriteChromeTrace(const sim::SimResult& result,
+                      const std::vector<std::string>& stage_labels, const std::string& path) {
   std::ofstream file(path);
   MEPIPE_CHECK(file.good()) << "cannot open " << path;
-  file << ToChromeTraceJson(result);
+  file << ToChromeTraceJson(result, stage_labels);
   MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
 }
 

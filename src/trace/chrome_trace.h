@@ -5,6 +5,7 @@
 #define MEPIPE_TRACE_CHROME_TRACE_H_
 
 #include <string>
+#include <vector>
 
 #include "sim/engine.h"
 
@@ -15,8 +16,18 @@ namespace mepipe::trace {
 // track group (pid=1).
 std::string ToChromeTraceJson(const sim::SimResult& result);
 
+// Same, with one annotation label per stage (e.g. the measured slowdown
+// and the rebalanced layer/cap assignment, core/rebalance's
+// RebalancePlan::StageLabels). Labels are emitted as thread_name
+// metadata so Perfetto shows them on the stage tracks; an empty vector
+// reduces to the plain export.
+std::string ToChromeTraceJson(const sim::SimResult& result,
+                              const std::vector<std::string>& stage_labels);
+
 // Writes the JSON to `path`. Throws CheckError on I/O failure.
 void WriteChromeTrace(const sim::SimResult& result, const std::string& path);
+void WriteChromeTrace(const sim::SimResult& result,
+                      const std::vector<std::string>& stage_labels, const std::string& path);
 
 }  // namespace mepipe::trace
 

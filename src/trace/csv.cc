@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "common/format.h"
 
 namespace mepipe::trace {
 namespace {
@@ -53,6 +54,26 @@ void CsvWriter::WriteFile(const std::string& path) const {
   std::ofstream file(path);
   MEPIPE_CHECK(file.good()) << "cannot open " << path;
   file << ToString();
+  MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
+}
+
+std::string StageMetricsCsv(const sim::SimResult& result) {
+  CsvWriter csv({"stage", "busy_s", "warmup_idle_s", "steady_idle_s", "drain_idle_s",
+                 "bubble_ratio", "peak_activation_bytes", "budget_violations"});
+  for (std::size_t stage = 0; stage < result.stages.size(); ++stage) {
+    const sim::StageMetrics& m = result.stages[stage];
+    csv.AddRow({std::to_string(stage), StrFormat("%.6f", m.busy),
+                StrFormat("%.6f", m.warmup_idle), StrFormat("%.6f", m.steady_idle),
+                StrFormat("%.6f", m.drain_idle), StrFormat("%.4f", m.bubble_ratio),
+                std::to_string(m.peak_activation), std::to_string(m.budget_violations)});
+  }
+  return csv.ToString();
+}
+
+void WriteStageMetricsCsv(const sim::SimResult& result, const std::string& path) {
+  std::ofstream file(path);
+  MEPIPE_CHECK(file.good()) << "cannot open " << path;
+  file << StageMetricsCsv(result);
   MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
 }
 

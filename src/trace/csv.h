@@ -1,10 +1,13 @@
 // Minimal CSV writer for bench outputs (feeds the paper-figure plotting
-// pipeline; every bench also prints a human-readable table).
+// pipeline; every bench also prints a human-readable table), plus the
+// per-stage metrics export used to attribute rebalancing gains.
 #ifndef MEPIPE_TRACE_CSV_H_
 #define MEPIPE_TRACE_CSV_H_
 
 #include <string>
 #include <vector>
+
+#include "sim/engine.h"
 
 namespace mepipe::trace {
 
@@ -22,6 +25,15 @@ class CsvWriter {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// Per-stage metrics of a simulated run as CSV, one row per stage:
+// stage,busy_s,warmup_idle_s,steady_idle_s,drain_idle_s,bubble_ratio,
+// peak_activation_bytes,budget_violations. The idle columns decompose
+// each stage's bubble into warmup/steady/drain phases (see
+// sim::StageMetrics) so schedule changes — rebalancing in particular —
+// can be attributed to the phase they improve.
+std::string StageMetricsCsv(const sim::SimResult& result);
+void WriteStageMetricsCsv(const sim::SimResult& result, const std::string& path);
 
 }  // namespace mepipe::trace
 

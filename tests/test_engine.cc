@@ -167,5 +167,61 @@ TEST(Engine, BusyTimeAccountsAllWork) {
   }
 }
 
+TEST(Engine, IdleBreakdownSumsToTheBubble) {
+  // warmup + steady + drain idle must account for exactly the stage's
+  // non-busy time, on fused and split schedules alike.
+  const std::vector<sched::Schedule> schedules = {
+      sched::OneFOneBSchedule(4, 6), sched::GPipeSchedule(3, 5), sched::Zb1pSchedule(3, 4)};
+  for (const auto& schedule : schedules) {
+    const UniformCostModel costs(1.0, schedule.problem.split_backward ? 1.0 : 2.0,
+                                 schedule.problem.split_backward ? 1.0 : 0.0, 0.05, 8, 3);
+    EngineOptions options;
+    options.wgrad_mode = WgradMode::kFillWhole;
+    const SimResult result = Simulate(schedule, costs, options);
+    for (std::size_t i = 0; i < result.stages.size(); ++i) {
+      const StageMetrics& m = result.stages[i];
+      EXPECT_GE(m.warmup_idle, 0.0);
+      EXPECT_GE(m.steady_idle, 0.0);
+      EXPECT_GE(m.drain_idle, 0.0);
+      EXPECT_NEAR(m.warmup_idle + m.steady_idle + m.drain_idle, result.makespan - m.busy, 1e-9)
+          << schedule.method << " stage " << i;
+    }
+  }
+}
+
+TEST(Engine, OneFOneBWarmupGrowsDownThePipeline) {
+  // Stage i cannot start before i forwards have relayed down, so the
+  // warmup idle is strictly increasing in the stage index. The backward
+  // chain drains the other way — the last backward lands on stage 0, so
+  // drain idle *also* grows downstream and stage 0 has none.
+  const auto schedule = sched::OneFOneBSchedule(4, 8);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.05);
+  const SimResult result = Simulate(schedule, costs);
+  for (std::size_t i = 0; i + 1 < result.stages.size(); ++i) {
+    EXPECT_LT(result.stages[i].warmup_idle, result.stages[i + 1].warmup_idle) << i;
+    EXPECT_LT(result.stages[i].drain_idle, result.stages[i + 1].drain_idle) << i;
+  }
+  EXPECT_DOUBLE_EQ(result.stages[0].warmup_idle, 0.0);
+  EXPECT_DOUBLE_EQ(result.stages[0].drain_idle, 0.0);
+}
+
+TEST(Engine, StragglerShowsUpAsNeighborSteadyIdle) {
+  // A persistent straggler starves the stages around it mid-pipeline:
+  // their steady-state gaps grow while their own busy time stays clean.
+  const auto schedule = sched::OneFOneBSchedule(4, 8);
+  const UniformCostModel costs(1.0, 2.0, 0.0, 0.05);
+  const SimResult clean = Simulate(schedule, costs);
+
+  FaultPlan plan;
+  plan.stragglers.push_back({2, 0.0, 1e9, 2.0});
+  EngineOptions options;
+  options.fault_plan = &plan;
+  const SimResult faulted = Simulate(schedule, costs, options);
+
+  EXPECT_GT(faulted.stages[1].steady_idle, clean.stages[1].steady_idle);
+  EXPECT_GT(faulted.stages[3].steady_idle, clean.stages[3].steady_idle);
+  EXPECT_DOUBLE_EQ(faulted.stages[1].busy, clean.stages[1].busy);
+}
+
 }  // namespace
 }  // namespace mepipe::sim

@@ -158,5 +158,40 @@ TEST(Generator, ChildCountPriorityStillValidates) {
   SUCCEED();
 }
 
+TEST(Generator, StageTimeScaleValidatesAndSchedules) {
+  const PipelineProblem problem = MakeProblem(4, 1, 2, 6);
+  GeneratorOptions options;
+  options.inflight_cap = CapSchedule(4, 5, 2);
+  options.stage_time_scale = {1.0, 1.0, 2.5, 1.0};
+  const Schedule schedule = GenerateCapped(problem, options, "scaled");
+  ValidateSchedule(schedule);
+
+  // Wrong arity and non-positive entries are rejected.
+  options.stage_time_scale = {1.0, 2.0};
+  EXPECT_THROW(GenerateCapped(problem, options, "bad-arity"), CheckError);
+  options.stage_time_scale = {1.0, 1.0, 0.0, 1.0};
+  EXPECT_THROW(GenerateCapped(problem, options, "bad-scale"), CheckError);
+}
+
+TEST(Generator, StageTimeScaleChangesTheInterleaving) {
+  // A heavily skewed stage rate must change the generated program order
+  // somewhere (the point of the hook), while a uniform scale vector is
+  // exactly equivalent to no vector at all.
+  const PipelineProblem problem = MakeProblem(4, 1, 2, 8);
+  GeneratorOptions uniform;
+  uniform.inflight_cap = CapSchedule(4, 6, 2);
+  const Schedule base = GenerateCapped(problem, uniform, "base");
+
+  GeneratorOptions same = uniform;
+  same.stage_time_scale = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(GenerateCapped(problem, same, "base").stage_ops, base.stage_ops);
+
+  GeneratorOptions skewed = uniform;
+  skewed.stage_time_scale = {1.0, 1.0, 4.0, 1.0};
+  const Schedule scaled = GenerateCapped(problem, skewed, "skewed");
+  ValidateSchedule(scaled);
+  EXPECT_NE(scaled.stage_ops, base.stage_ops);
+}
+
 }  // namespace
 }  // namespace mepipe::sched

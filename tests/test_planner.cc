@@ -160,5 +160,73 @@ TEST(Planner, SearchMethodsCoversAll) {
   EXPECT_TRUE(results[1].best.has_value());
 }
 
+TEST(Planner, PruningNeverChangesTheWinnerOnASmallGrid) {
+  // Regression guard on the pruning lower bound: across every method on
+  // a deliberately small grid, the pruned search must land on the same
+  // winner at the same time as the exhaustive one.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions full;
+  full.pp_candidates = {2, 4, 8};
+  full.slice_candidates = {1, 2, 4};
+  full.vp_candidates = {1, 2};
+  PlannerOptions pruned = full;
+  pruned.prune = true;
+  for (Method m : {Method::kDapple, Method::kGPipe, Method::kVpp, Method::kZb1p,
+                   Method::kTeraPipe, Method::kSvpp}) {
+    const auto a = SearchBestStrategy(m, config, cluster, 32, full);
+    const auto b = SearchBestStrategy(m, config, cluster, 32, pruned);
+    ASSERT_EQ(a.best.has_value(), b.best.has_value()) << ToString(m);
+    if (!a.best) {
+      continue;
+    }
+    EXPECT_EQ(a.best->strategy.ToString(), b.best->strategy.ToString()) << ToString(m);
+    EXPECT_NEAR(a.best->iteration_time, b.best->iteration_time, 1e-9) << ToString(m);
+    EXPECT_LE(b.simulated, a.simulated) << ToString(m);
+    EXPECT_EQ(a.evaluated.size(), b.evaluated.size()) << ToString(m);
+  }
+}
+
+TEST(Planner, FaultPlanDisablesPruningAndDegradesTheWinner) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions options;
+  options.pp_candidates = {8};  // 13B's 40 partition units need pp | 40
+  options.slice_candidates = {1, 8};
+  options.vp_candidates = {1};
+  options.prune = true;  // must be ignored under the plan
+
+  const auto clean = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  ASSERT_TRUE(clean.best.has_value());
+
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
+  options.fault_plan = &faults;
+  const auto faulted = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  ASSERT_TRUE(faulted.best.has_value());
+  EXPECT_EQ(faulted.pruned, 0);  // lower bound invalid under dilation
+  EXPECT_GT(faulted.best->iteration_time, clean.best->iteration_time);
+}
+
+TEST(Planner, SearchRebalancedVariantsBeatOrMatchTheFaultedSearch) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions options;
+  options.pp_candidates = {8};  // 13B's 40 partition units need pp | 40
+  options.slice_candidates = {1, 8};
+  options.vp_candidates = {1};
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
+  options.fault_plan = &faults;
+
+  const auto plain = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  options.search_rebalanced = true;
+  const auto rebalanced = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  ASSERT_TRUE(plain.best.has_value());
+  ASSERT_TRUE(rebalanced.best.has_value());
+  EXPECT_GT(rebalanced.simulated, plain.simulated);  // extra mitigated evals
+  EXPECT_LE(rebalanced.best->iteration_time, plain.best->iteration_time + 1e-9);
+}
+
 }  // namespace
 }  // namespace mepipe::core

@@ -1,0 +1,327 @@
+// Tests for the straggler-aware rebalancing subsystem (core/rebalance):
+// the bottleneck partitioner, slowdown estimation, plan construction,
+// the re-priced cost model, and the end-to-end mitigation driver's
+// acceptance margin under a persistent straggler.
+#include "core/rebalance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "core/svpp.h"
+#include "sched/baselines.h"
+#include "sim/engine.h"
+
+namespace mepipe::core {
+namespace {
+
+using sched::OpId;
+using sched::OpKind;
+
+// ---------------------------------------------------------------------------
+// PartitionUnitsBySpeed
+
+double Bottleneck(const std::vector<int>& units, const std::vector<double>& slowdown) {
+  double worst = 0;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    worst = std::max(worst, units[i] * slowdown[i]);
+  }
+  return worst;
+}
+
+// Exhaustively enumerates every partition of `total` into |slowdown|
+// parts >= min_units and returns the optimal bottleneck.
+double BruteForceBottleneck(int total, const std::vector<double>& slowdown, int min_units,
+                            std::size_t index = 0, std::vector<int>* prefix = nullptr) {
+  std::vector<int> storage;
+  if (prefix == nullptr) {
+    prefix = &storage;
+  }
+  if (index + 1 == slowdown.size()) {
+    const int last = total;
+    if (last < min_units) {
+      return 1e300;
+    }
+    prefix->push_back(last);
+    const double result = Bottleneck(*prefix, slowdown);
+    prefix->pop_back();
+    return result;
+  }
+  double best = 1e300;
+  for (int u = min_units; u <= total - min_units * static_cast<int>(slowdown.size() - index - 1);
+       ++u) {
+    prefix->push_back(u);
+    best = std::min(best, BruteForceBottleneck(total - u, slowdown, min_units, index + 1, prefix));
+    prefix->pop_back();
+  }
+  return best;
+}
+
+TEST(PartitionUnitsBySpeed, EqualSpeedsGiveEvenPartition) {
+  const std::vector<int> units = PartitionUnitsBySpeed(32, {1.0, 1.0, 1.0, 1.0}, 1);
+  EXPECT_EQ(units, (std::vector<int>{8, 8, 8, 8}));
+}
+
+TEST(PartitionUnitsBySpeed, MovesUnitsOffTheSlowWorker) {
+  const std::vector<double> slowdown = {1.0, 1.0, 2.0, 1.0};
+  const std::vector<int> units = PartitionUnitsBySpeed(32, slowdown, 1);
+  EXPECT_EQ(std::accumulate(units.begin(), units.end(), 0), 32);
+  EXPECT_LT(units[2], 8);                          // slow worker sheds layers
+  EXPECT_LE(Bottleneck(units, slowdown), 10.0 + 1e-9);  // optimal for this case
+}
+
+TEST(PartitionUnitsBySpeed, MatchesBruteForceOnSmallCases) {
+  const std::vector<std::vector<double>> profiles = {
+      {1.0, 1.0},       {1.0, 2.0},        {1.0, 1.5, 3.0},
+      {2.0, 1.0, 1.25}, {1.0, 1.0, 1.0, 4.0},
+  };
+  for (const auto& slowdown : profiles) {
+    for (int total = static_cast<int>(slowdown.size()); total <= 12; ++total) {
+      const std::vector<int> units = PartitionUnitsBySpeed(total, slowdown, 1);
+      ASSERT_EQ(units.size(), slowdown.size());
+      EXPECT_EQ(std::accumulate(units.begin(), units.end(), 0), total);
+      for (const int u : units) {
+        EXPECT_GE(u, 1);
+      }
+      EXPECT_NEAR(Bottleneck(units, slowdown), BruteForceBottleneck(total, slowdown, 1), 1e-9)
+          << "suboptimal partition for total=" << total;
+    }
+  }
+}
+
+TEST(PartitionUnitsBySpeed, RespectsMinUnits) {
+  const std::vector<int> units = PartitionUnitsBySpeed(8, {1.0, 1.0, 100.0, 1.0}, 2);
+  EXPECT_EQ(std::accumulate(units.begin(), units.end(), 0), 8);
+  for (const int u : units) {
+    EXPECT_EQ(u, 2);  // min forces the even split despite the slow worker
+  }
+}
+
+TEST(PartitionUnitsBySpeed, RejectsBadInputs) {
+  EXPECT_THROW(PartitionUnitsBySpeed(2, {1.0, 1.0, 1.0}, 1), CheckError);  // too few units
+  EXPECT_THROW(PartitionUnitsBySpeed(8, {1.0, 0.0}, 1), CheckError);       // zero speed
+  EXPECT_THROW(PartitionUnitsBySpeed(8, {}, 1), CheckError);               // no workers
+  EXPECT_THROW(PartitionUnitsBySpeed(8, {1.0, 1.0}, 0), CheckError);       // empty chunks
+}
+
+// ---------------------------------------------------------------------------
+// Slowdown estimation
+
+TEST(StageProfile, ValidateRejectsMalformedProfiles) {
+  StageProfile profile;
+  profile.slowdown = {1.0, 0.5};
+  EXPECT_THROW(profile.Validate(2), CheckError);  // below 1
+  profile.slowdown = {1.0};
+  EXPECT_THROW(profile.Validate(2), CheckError);  // wrong arity
+  profile.slowdown = {1.0, 2.0};
+  EXPECT_NO_THROW(profile.Validate(2));
+  EXPECT_DOUBLE_EQ(profile.max_slowdown(), 2.0);
+}
+
+TEST(EstimateStageSlowdowns, RecoversAPersistentStragglerFromBusyTimes) {
+  const sched::Schedule schedule = sched::OneFOneBSchedule(4, 8);
+  const sim::UniformCostModel costs(1.0, 2.0, 0.0, 0.05);
+  const sim::SimResult clean = sim::Simulate(schedule, costs);
+
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({2, 0.0, 1e9, 2.0});
+  sim::EngineOptions engine;
+  engine.fault_plan = &faults;
+  const sim::SimResult faulted = sim::Simulate(schedule, costs, engine);
+
+  const StageProfile profile = EstimateStageSlowdowns(clean, faulted);
+  ASSERT_EQ(profile.slowdown.size(), 4u);
+  EXPECT_NEAR(profile.slowdown[0], 1.0, 1e-9);
+  EXPECT_NEAR(profile.slowdown[1], 1.0, 1e-9);
+  EXPECT_NEAR(profile.slowdown[2], 2.0, 1e-6);
+  EXPECT_NEAR(profile.slowdown[3], 1.0, 1e-9);
+}
+
+TEST(EstimateStageSlowdowns, TimeAveragesPlanWindows) {
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({1, 0.0, 50.0, 3.0});   // half the horizon at 3x
+  faults.stragglers.push_back({1, 50.0, 200.0, 1.0}); // explicit no-op window
+  const StageProfile profile = EstimateStageSlowdowns(faults, 2, 100.0);
+  ASSERT_EQ(profile.slowdown.size(), 2u);
+  EXPECT_NEAR(profile.slowdown[0], 1.0, 1e-12);
+  EXPECT_NEAR(profile.slowdown[1], 2.0, 1e-12);  // 1 + 0.5 * (3 - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Rebalance planning
+
+TEST(Rebalance, PlanPreservesUnitsAndRespectsCapFloor) {
+  StageProfile profile;
+  profile.slowdown = {1.0, 1.0, 2.0, 1.0};
+  sched::PipelineProblem problem;
+  problem.stages = 4;
+  problem.slices = 4;
+  problem.micros = 16;
+  problem.split_backward = true;
+
+  RebalanceOptions options;
+  options.units_per_chunk = 8;
+  options.base_caps = {7, 6, 5, 4};
+  const RebalancePlan plan = Rebalance(profile, problem, options);
+
+  ASSERT_EQ(plan.new_units.size(), 4u);
+  EXPECT_EQ(std::accumulate(plan.new_units.begin(), plan.new_units.end(), 0), 32);
+  EXPECT_TRUE(plan.repartitioned());
+  EXPECT_LT(plan.new_units[2], 8);
+  EXPECT_GT(plan.predicted_gain, 1.0);
+  ASSERT_EQ(plan.new_caps.size(), 4u);
+  for (const int cap : plan.new_caps) {
+    EXPECT_GE(cap, problem.virtual_chunks * problem.slices);
+  }
+  // The slow stage sheds layers, so its cap grows.
+  EXPECT_GT(plan.new_caps[2], plan.old_caps[2]);
+  EXPECT_NE(plan.Summary(), "no-op");
+  const std::vector<std::string> labels = plan.StageLabels(problem);
+  ASSERT_EQ(labels.size(), 4u);
+  for (const std::string& label : labels) {
+    EXPECT_FALSE(label.empty());
+  }
+}
+
+TEST(Rebalance, UniformProfileIsANoOp) {
+  StageProfile profile;
+  profile.slowdown = {1.0, 1.0, 1.0, 1.0};
+  sched::PipelineProblem problem;
+  problem.stages = 4;
+  problem.micros = 8;
+
+  RebalanceOptions options;
+  options.units_per_chunk = 8;
+  options.base_caps = {4, 3, 2, 1};
+  const RebalancePlan plan = Rebalance(profile, problem, options);
+  EXPECT_FALSE(plan.any_change());
+  EXPECT_DOUBLE_EQ(plan.predicted_gain, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// RebalancedCostModel
+
+TEST(RebalancedCostModel, ScalesComputeWithTheUnitRatio) {
+  sched::PipelineProblem problem;
+  problem.stages = 2;
+  problem.micros = 2;
+  problem.split_backward = true;
+
+  RebalancePlan plan;
+  plan.old_units = {8, 8};
+  plan.new_units = {12, 4};
+  const sim::UniformCostModel base(1.0, 2.0, 1.0, 0.05, 100, 50, 7);
+  const RebalancedCostModel costs(base, problem, plan);
+
+  const OpId f0{OpKind::kForward, 0, 0, 0};
+  const OpId f1{OpKind::kForward, 0, 0, 1};
+  const OpId b1{OpKind::kBackward, 0, 0, 1};
+  const OpId w1{OpKind::kWeightGrad, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(costs.ComputeTime(f0), 1.5);   // 12/8
+  EXPECT_DOUBLE_EQ(costs.ComputeTime(f1), 0.5);   // 4/8
+  EXPECT_DOUBLE_EQ(costs.ComputeTime(b1), 1.0);   // 2 * 0.5
+  EXPECT_DOUBLE_EQ(costs.ComputeTime(w1), 0.5);
+  // Transfers move boundary tensors — layer-count independent.
+  EXPECT_DOUBLE_EQ(costs.TransferTime(f0), 0.05);
+  // Activations scale with the layer share; GEMM count stays the base's.
+  EXPECT_EQ(costs.ActivationBytes(f0), 150);
+  EXPECT_EQ(costs.ActivationBytes(f1), 50);
+  EXPECT_EQ(costs.ActGradBytes(b1), 25);
+  EXPECT_EQ(costs.WeightGradGemmCount(w1), 7);
+}
+
+TEST(RebalancedCostModel, RejectsMismatchedPlans) {
+  sched::PipelineProblem problem;
+  problem.stages = 2;
+  RebalancePlan plan;
+  plan.old_units = {8, 8, 8};  // three chunks for a two-chunk problem
+  plan.new_units = {8, 8, 8};
+  const sim::UniformCostModel base(1.0, 2.0, 1.0, 0.0);
+  EXPECT_THROW(RebalancedCostModel(base, problem, plan), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end mitigation
+
+sim::FaultPlan PersistentStraggler(int stage, double slowdown) {
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({stage, 0.0, 1e9, slowdown});
+  return faults;
+}
+
+TEST(MitigateStragglers, RecoversMostOfTheSvppDegradation) {
+  SvppOptions svpp;
+  svpp.stages = 4;
+  svpp.slices = 4;
+  svpp.micros = 16;
+  const sched::Schedule schedule = GenerateSvpp(svpp);
+
+  const sim::UniformCostModel costs(1.0, 1.0, 1.0, 0.05);
+  const sim::FaultPlan faults = PersistentStraggler(2, 2.0);
+
+  MitigationOptions options;
+  options.rebalance.units_per_chunk = 8;
+  const MitigationReport report = MitigateStragglers(schedule, costs, faults, options);
+
+  // The estimator sees the dilation, the plan sheds layers off stage 2.
+  EXPECT_NEAR(report.profile.slowdown[2], 2.0, 0.05);
+  EXPECT_TRUE(report.plan.repartitioned());
+  EXPECT_LT(report.plan.new_units[2], 8);
+
+  // Makespans are ordered clean < mitigated < faulted, and the
+  // mitigation claws back a substantial margin (the acceptance bar).
+  EXPECT_GT(report.faulted_makespan, report.clean_makespan);
+  EXPECT_LT(report.mitigated_makespan, report.faulted_makespan);
+  EXPECT_GT(report.improvement(), 1.15);
+  EXPECT_LT(report.mitigated_degradation(), report.degradation());
+
+  // The mitigated schedule is a valid program order for the same problem.
+  EXPECT_NO_THROW(sched::ValidateSchedule(report.mitigated_schedule));
+  EXPECT_EQ(report.mitigated_schedule.problem.stages, 4);
+  EXPECT_NE(report.mitigated_schedule.method.find("+rebalanced"), std::string::npos);
+}
+
+TEST(MitigateStragglers, AlsoImproves1F1B) {
+  const sched::Schedule schedule = sched::OneFOneBSchedule(4, 16);
+  const sim::UniformCostModel costs(1.0, 2.0, 0.0, 0.05);
+  const sim::FaultPlan faults = PersistentStraggler(2, 2.0);
+
+  MitigationOptions options;
+  options.rebalance.units_per_chunk = 8;
+  const MitigationReport report = MitigateStragglers(schedule, costs, faults, options);
+
+  EXPECT_LT(report.mitigated_makespan, report.faulted_makespan);
+  EXPECT_GT(report.improvement(), 1.15);
+}
+
+TEST(MitigateStragglers, EmptyPlanIsANoOp) {
+  const sched::Schedule schedule = sched::OneFOneBSchedule(2, 4);
+  const sim::UniformCostModel costs(1.0, 2.0, 0.0, 0.05);
+  const sim::FaultPlan faults;  // no faults
+
+  MitigationOptions options;
+  options.rebalance.units_per_chunk = 8;
+  const MitigationReport report = MitigateStragglers(schedule, costs, faults, options);
+  EXPECT_FALSE(report.plan.any_change());
+  EXPECT_NEAR(report.faulted_makespan, report.clean_makespan, 1e-9);
+  EXPECT_NEAR(report.improvement(), 1.0, 0.05);
+}
+
+TEST(MitigateStragglers, HonorsAnExplicitProfile) {
+  const sched::Schedule schedule = sched::OneFOneBSchedule(4, 8);
+  const sim::UniformCostModel costs(1.0, 2.0, 0.0, 0.05);
+  const sim::FaultPlan faults = PersistentStraggler(1, 3.0);
+
+  MitigationOptions options;
+  options.rebalance.units_per_chunk = 8;
+  options.profile.slowdown = {1.0, 3.0, 1.0, 1.0};
+  const MitigationReport report = MitigateStragglers(schedule, costs, faults, options);
+  EXPECT_EQ(report.profile.slowdown, options.profile.slowdown);
+  EXPECT_LT(report.mitigated_makespan, report.faulted_makespan);
+}
+
+}  // namespace
+}  // namespace mepipe::core

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "model/transformer.h"
 
@@ -132,6 +134,91 @@ INSTANTIATE_TEST_SUITE_P(
       return "L" + std::to_string(std::get<0>(info.param)) + "s" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Adversarial sweep over (seq_len, slices, alignment), including prime,
+// tiny, and huge sequence lengths and alignments larger than the whole
+// sequence: BalancedSlices + AlignSlices must always cover [0, seq_len)
+// exactly with non-empty spans. Guards the aligned-fallback path (too
+// few tokens for one aligned block per slice used to clamp with an
+// inverted [min, max] range — UB that could empty a span).
+TEST(AlignSlices, AdversarialShapesAlwaysCoverWithNonEmptySpans) {
+  const auto config = Llama7B();
+  const std::int64_t seq_lens[] = {7, 13, 37, 97, 1021, 4093, 65537, 131071};
+  const std::int64_t slice_counts[] = {2, 3, 5, 7, 16};
+  const std::int64_t alignments[] = {1, 13, 16, 128, 4096};
+  for (const std::int64_t seq_len : seq_lens) {
+    for (const std::int64_t slices : slice_counts) {
+      if (seq_len < slices) {
+        continue;  // fewer tokens than slices is rejected by contract
+      }
+      for (const std::int64_t alignment : alignments) {
+        SCOPED_TRACE("L=" + std::to_string(seq_len) + " s=" + std::to_string(slices) +
+                     " a=" + std::to_string(alignment));
+        const auto spans = AlignSlices(BalancedSlices(config, seq_len, slices), alignment);
+        ASSERT_EQ(spans.size(), static_cast<std::size_t>(slices));
+        ExpectCoverage(spans, seq_len);
+      }
+    }
+  }
+}
+
+TEST(TimeBalancedSlices, DefaultModelReproducesBalancedSlices) {
+  const auto config = Llama13B();
+  for (std::int64_t slices : {2LL, 4LL, 8LL}) {
+    EXPECT_EQ(TimeBalancedSlices(config, 16384, slices, SliceTimeModel{}),
+              BalancedSlices(config, 16384, slices));
+  }
+}
+
+TEST(TimeBalancedSlices, ConstantOverheadLeavesTheBottleneckOptimal) {
+  // The per-slice overhead is the same for every slice and the objective
+  // is the bottleneck, so max_i(flops_i + C) is minimized exactly when
+  // max_i(flops_i) is: the overhead-heavy solve must match the
+  // FLOPs-balanced one up to discretization noise.
+  const auto config = Llama13B();
+  SliceTimeModel heavy;
+  heavy.overhead = 1e18;  // dwarfs any slice's FLOPs
+  const auto with_overhead = TimeBalancedSlices(config, 131072, 8, heavy);
+  ExpectCoverage(with_overhead, 131072);
+  auto worst = [&](const std::vector<SliceSpan>& spans) {
+    double out = 0;
+    for (const SliceSpan& span : spans) {
+      out = std::max(out, SliceTimeCost(config, span, heavy));
+    }
+    return out;
+  };
+  EXPECT_NEAR(worst(with_overhead) / worst(BalancedSlices(config, 131072, 8)), 1.0, 0.02);
+}
+
+TEST(TimeBalancedSlices, AttentionWeightShiftsTheSplit) {
+  // Weighting attention FLOPs harder penalizes late (context-heavy)
+  // slices more, so they shrink relative to the FLOPs-balanced split.
+  const auto config = Llama13B();
+  SliceTimeModel attention_heavy;
+  attention_heavy.attention_weight = 8.0;
+  const auto base = BalancedSlices(config, 131072, 4);
+  const auto shifted = TimeBalancedSlices(config, 131072, 4, attention_heavy);
+  ExpectCoverage(shifted, 131072);
+  EXPECT_LT(shifted.back().tokens, base.back().tokens);
+}
+
+TEST(TimeBalancedSlices, RejectsDegenerateModels) {
+  const auto config = Llama7B();
+  SliceTimeModel zero;
+  zero.gemm_weight = 0.0;
+  zero.attention_weight = 0.0;
+  EXPECT_THROW(TimeBalancedSlices(config, 4096, 4, zero), CheckError);
+  SliceTimeModel negative;
+  negative.overhead = -1.0;
+  EXPECT_THROW(TimeBalancedSlices(config, 4096, 4, negative), CheckError);
+}
+
+TEST(SliceTimeCost, DefaultModelEqualsForwardFlops) {
+  const auto config = Llama13B();
+  const SliceSpan span{1024, 2048};
+  EXPECT_DOUBLE_EQ(SliceTimeCost(config, span, SliceTimeModel{}),
+                   SliceForwardCost(config, span));
+}
 
 }  // namespace
 }  // namespace mepipe::model

@@ -98,5 +98,54 @@ TEST(Csv, WritesFile) {
   std::remove(path.c_str());
 }
 
+TEST(Ascii, TimelineStageLabels) {
+  const std::string text =
+      RenderTimeline(SampleRun(), 3, 60, {"x1.00 units 8->9", "", "x2.00 units 8->4"});
+  EXPECT_NE(text.find("| x1.00 units 8->9\n"), std::string::npos);
+  EXPECT_NE(text.find("| x2.00 units 8->4\n"), std::string::npos);
+  // The empty label leaves stage 1's row unannotated, and extra labels
+  // beyond the stage count are ignored.
+  EXPECT_EQ(text.find("stage 1 | x"), std::string::npos);
+  const std::string extra = RenderTimeline(SampleRun(), 3, 60, {"a", "b", "c", "ignored"});
+  EXPECT_EQ(extra.find("ignored"), std::string::npos);
+  // No labels at all reproduces the plain rendering.
+  EXPECT_EQ(RenderTimeline(SampleRun(), 3, 60, {}), RenderTimeline(SampleRun(), 3, 60));
+}
+
+TEST(ChromeTrace, StageLabelMetadataEvents) {
+  const std::string json = ToChromeTraceJson(SampleRun(), {"slow \"x2\"", "", "ok"});
+  EXPECT_NE(json.find("\"name\": \"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"x2\\\""), std::string::npos);  // quotes escaped
+  EXPECT_NE(json.find("\"tid\": 2, \"args\": {\"name\": \"ok\"}"), std::string::npos);
+  // The empty label is skipped entirely.
+  EXPECT_EQ(json.find("\"tid\": 1, \"args\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  // No labels reduces to the plain export.
+  EXPECT_EQ(ToChromeTraceJson(SampleRun(), {}), ToChromeTraceJson(SampleRun()));
+}
+
+TEST(Csv, StageMetricsExportsIdleBreakdown) {
+  const sim::SimResult result = SampleRun();
+  const std::string csv = StageMetricsCsv(result);
+  EXPECT_NE(csv.find("stage,busy_s,warmup_idle_s,steady_idle_s,drain_idle_s,bubble_ratio,"
+                     "peak_activation_bytes,budget_violations"),
+            std::string::npos);
+  // One header + one row per stage.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<std::ptrdiff_t>(result.stages.size()) + 1);
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
+}
+
+TEST(Csv, WriteStageMetricsFile) {
+  const std::string path = ::testing::TempDir() + "/mepipe_stage_metrics.csv";
+  WriteStageMetricsCsv(SampleRun(), path);
+  std::ifstream file(path);
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header.rfind("stage,busy_s", 0), 0u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mepipe::trace
