@@ -1,0 +1,104 @@
+// DP-overlap study: how much of the data-parallel gradient
+// synchronization hides inside pipeline bubbles once the per-bucket
+// all-reduce runs as first-class schedule ops on the engine's comm
+// streams (sim::EngineOptions::dp_overlap), across DP degrees and DP
+// link speeds, for the 1F1B and SVPP schedule families (each with an
+// interleaved vp=2 member — multi-chunk stages are what give the
+// critical stage an early bucket to hide).
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/iteration.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace mepipe {
+namespace {
+
+constexpr int kStages = 8;
+constexpr int kGlobalBatch = 64;
+
+struct Family {
+  const char* label;
+  core::Method method;
+  int spp;
+  int vp;
+};
+
+// kVpp is interleaved 1F1B (Megatron); it is the 1F1B family's
+// multi-chunk member, as vp=2 SVPP is for the slice family.
+constexpr Family kFamilies[] = {
+    {"1f1b", core::Method::kDapple, 1, 1},
+    {"1f1b-il", core::Method::kVpp, 1, 2},
+    {"svpp", core::Method::kSvpp, 2, 1},
+    {"svpp-il", core::Method::kSvpp, 2, 2},
+};
+
+core::IterationResult Run(const Family& family, const hw::ClusterSpec& cluster, int dp,
+                          bool overlap) {
+  core::Strategy strategy;
+  strategy.method = family.method;
+  strategy.pp = kStages;
+  strategy.dp = dp;
+  strategy.spp = family.spp;
+  strategy.vp = family.vp;
+  strategy.recompute = !(family.method == core::Method::kSvpp);
+  core::IterationOptions options;
+  options.keep_timeline = false;
+  options.dp_overlap = overlap;
+  return SimulateIteration(model::Llama7B(), strategy, cluster, kGlobalBatch, options);
+}
+
+void EmitDpOverlap() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"schedule", "dp", "dp_link_gbps", "shared_fabric", "iter_serial_ms",
+                  "iter_overlap_ms", "dp_sync_ms", "hidden_ms", "exposed_ms",
+                  "exposed_share"});
+  for (const Family& family : kFamilies) {
+    for (const int dp : {4, 8}) {
+      // The DP ring rides the intra-node fabric in this layout (dp ranks
+      // are node-local); shrinking its bandwidth models slower
+      // cost-effective interconnects.
+      for (const double bw_scale : {1.0, 0.5, 0.25}) {
+        hw::ClusterSpec cluster = hw::Rtx4090Cluster();
+        cluster.nodes = dp;  // pp=8 across nodes, dp node-local
+        cluster.intra_node.bandwidth *= bw_scale;
+        const auto serial = Run(family, cluster, dp, /*overlap=*/false);
+        const auto overlap = Run(family, cluster, dp, /*overlap=*/true);
+        if (!serial.feasible || !overlap.feasible) {
+          rows.push_back({family.label, std::to_string(dp),
+                          StrFormat("%.1f", cluster.intra_node.bandwidth / 1e9),
+                          "-", "infeasible: " + serial.note, "", "", "", "", ""});
+          continue;
+        }
+        const bool shared =
+            hw::DpSharesPipelineFabric(cluster, serial.strategy.layout());
+        rows.push_back({family.label, std::to_string(dp),
+                        StrFormat("%.1f", cluster.intra_node.bandwidth / 1e9),
+                        shared ? "yes" : "no", bench::Ms(serial.iteration_time),
+                        bench::Ms(overlap.iteration_time), bench::Ms(overlap.dp.serialized),
+                        bench::Ms(overlap.dp.hidden), bench::Ms(overlap.dp.exposed),
+                        bench::Pct(overlap.dp.serialized > 0
+                                       ? overlap.dp.exposed / overlap.dp.serialized
+                                       : 0.0)});
+      }
+    }
+  }
+  bench::EmitTable("DP gradient-sync overlap (serialized vs overlapped)", "dp_overlap",
+                   rows);
+}
+
+void BM_IterationWithDpOverlap(benchmark::State& state) {
+  const hw::ClusterSpec cluster = hw::Rtx4090Cluster();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Run(kFamilies[3], cluster, 8, state.range(0) != 0).iteration_time);
+  }
+}
+BENCHMARK(BM_IterationWithDpOverlap)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitDpOverlap)

@@ -72,7 +72,7 @@ void BM_FaultedSimulate(benchmark::State& state) {
   plan.stragglers = {{4, 1.0, 3.0, 2.0}};
   plan.fail_stops = {{2, 5.0, 0.1, 1.0}};
   sim::EngineOptions options;
-  options.fault_plan = &plan;
+  options.fault_plan = plan;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::Simulate(schedule, costs, options).makespan);
   }

@@ -159,6 +159,9 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
     }
   }
   engine.fault_plan = options.fault_plan;
+  engine.dp_overlap = options.dp_overlap;
+  engine.dp_link_shared =
+      options.dp_overlap && hw::DpSharesPipelineFabric(cluster, strategy.layout());
   sim::SimResult sim;
   bool rebalanced = false;
   Seconds unmitigated_pipeline_time = 0;
@@ -167,8 +170,7 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
   std::vector<double> static_scale(static_cast<std::size_t>(strategy.pp), 1.0);
   auto execute = [&](const sim::CostModel& priced) {
     sim = Simulate(schedule, priced, engine);
-    if (!options.rebalance_stragglers || options.fault_plan == nullptr ||
-        options.fault_plan->empty()) {
+    if (!options.rebalance_stragglers || options.fault_plan.empty()) {
       return;
     }
     MitigationOptions mitigation;
@@ -200,20 +202,32 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
       rebalanced = true;
     }
   };
+  sim::CostModelStack stack(costs);
   if (options.noise_sigma > 0) {
-    const sim::NoisyCostModel noisy(costs, options.noise_sigma, options.noise_seed);
-    execute(noisy);
-  } else {
-    execute(costs);
+    stack.Noisy(options.noise_sigma, options.noise_seed);
   }
+  execute(stack.model());
 
   IterationResult result;
   result.strategy = strategy;
   result.micros = micros;
   result.pipeline_time = sim.makespan;
-  result.rebalanced = rebalanced;
-  result.unmitigated_pipeline_time = rebalanced ? unmitigated_pipeline_time : sim.makespan;
-  result.dp_sync_time = costs.DpSyncTime();
+  result.mitigation.rebalanced = rebalanced;
+  result.mitigation.unmitigated_pipeline_time =
+      rebalanced ? unmitigated_pipeline_time : sim.makespan;
+  result.dp.overlapped = options.dp_overlap;
+  if (options.dp_overlap) {
+    // The engine scheduled the buckets against the timeline; only the
+    // tail past the makespan is paid.
+    result.dp.serialized = sim.dp.serialized;
+    result.dp.hidden = sim.dp.hidden;
+    result.dp.exposed = sim.dp.exposed;
+  } else {
+    // Monolithic sync after the flush: everything is exposed.
+    result.dp.serialized = costs.DpSyncTime();
+    result.dp.exposed = result.dp.serialized;
+  }
+  result.dp_sync_time = result.dp.exposed;
   result.iteration_time = sim.makespan + result.dp_sync_time + options.optimizer_step;
   result.bubble_ratio = sim.bubble_ratio;
   result.static_memory = costs.MaxStaticMemory();

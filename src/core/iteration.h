@@ -32,14 +32,22 @@ struct IterationOptions {
   // "iteration" of the §7.1 measurement protocol (see core/experiment.h).
   double noise_sigma = 0;
   std::uint64_t noise_seed = 0;
-  // Scripted engine-level fault plan the iteration runs under (nullptr =
-  // clean run). Must outlive the call.
-  const sim::FaultPlan* fault_plan = nullptr;
+  // Scripted engine-level fault plan the iteration runs under (an empty
+  // ref = clean run). Value-semantic: assigning a FaultPlan copies it
+  // into shared storage.
+  sim::FaultPlanRef fault_plan;
   // Straggler-aware rebalancing (core/rebalance): when the fault plan
   // slows stages down, estimate the per-stage slowdown, re-partition
   // layers / re-tune caps, and adopt the mitigated schedule when it
   // beats the unmitigated one under the same plan.
   bool rebalance_stragglers = false;
+  // Overlap the per-bucket DP gradient all-reduce with the pipeline
+  // (sim::EngineOptions::dp_overlap) instead of serializing the
+  // monolithic sync after the flush. Whether the DP ring contends with
+  // pipeline transfers is derived from the cluster topology
+  // (hw::DpSharesPipelineFabric). iteration_time then pays only the
+  // exposed tail (IterationResult::dp).
+  bool dp_overlap = false;
 };
 
 struct IterationResult {
@@ -49,14 +57,29 @@ struct IterationResult {
 
   int micros = 0;                // n per data-parallel replica
   Seconds pipeline_time = 0;     // schedule makespan
-  // Straggler mitigation (IterationOptions::rebalance_stragglers): true
-  // when a rebalanced schedule was adopted; unmitigated_pipeline_time is
-  // the makespan the original schedule measured under the same faults
-  // (== pipeline_time when nothing was adopted).
-  bool rebalanced = false;
-  Seconds unmitigated_pipeline_time = 0;
-  Seconds dp_sync_time = 0;
-  Seconds iteration_time = 0;    // makespan + DP sync + optimizer step
+
+  // Straggler-mitigation outcome (IterationOptions::rebalance_stragglers;
+  // zero-initialized when mitigation is off).
+  struct MitigationOutcome {
+    // True when a rebalanced schedule was adopted; unmitigated_pipeline_time
+    // is the makespan the original schedule measured under the same
+    // faults (== pipeline_time when nothing was adopted).
+    bool rebalanced = false;
+    Seconds unmitigated_pipeline_time = 0;
+  };
+  MitigationOutcome mitigation;
+
+  // DP gradient-sync breakdown. Invariant: exposed + hidden == serialized
+  // (without overlap everything is exposed).
+  struct DpSyncBreakdown {
+    bool overlapped = false;  // IterationOptions::dp_overlap was in effect
+    Seconds serialized = 0;   // cost if synced back-to-back after the flush
+    Seconds hidden = 0;       // absorbed inside pipeline bubbles
+    Seconds exposed = 0;      // remainder the iteration actually pays
+  };
+  DpSyncBreakdown dp;
+  Seconds dp_sync_time = 0;      // == dp.exposed (the paid remainder)
+  Seconds iteration_time = 0;    // makespan + exposed DP sync + optimizer step
   double bubble_ratio = 0;
 
   Bytes static_memory = 0;       // worst stage

@@ -79,7 +79,11 @@ std::optional<Seconds> IterationLowerBound(Method method,
       }
       busiest = std::max(busiest, busy * problem.micros);
     }
-    return busiest + costs.DpSyncTime() + options.optimizer_step;
+    // With overlapped DP sync (IterationOptions::dp_overlap) the whole
+    // collective can hide inside pipeline bubbles, so it cannot be part
+    // of a lower bound; serialized sync always adds in full.
+    const Seconds dp_sync = options.dp_overlap ? 0.0 : costs.DpSyncTime();
+    return busiest + dp_sync + options.optimizer_step;
   } catch (const CheckError&) {
     return std::nullopt;  // let the full evaluation explain why
   }
@@ -95,10 +99,10 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
 
   IterationOptions eval_options = options.iteration;
   eval_options.keep_timeline = false;
-  if (options.fault_plan != nullptr) {
+  if (options.fault_plan) {
     eval_options.fault_plan = options.fault_plan;
   }
-  const bool faulted = eval_options.fault_plan != nullptr && !eval_options.fault_plan->empty();
+  const bool faulted = !eval_options.fault_plan.empty();
   // The compute-only lower bound assumes clean stage rates; under a
   // fault plan it would prune configurations that are merely slow when
   // dilated, so pruning is off.
@@ -177,7 +181,7 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
     IterationOptions final_options = eval_options;
     final_options.keep_timeline = true;
     final_options.rebalance_stragglers =
-        eval_options.rebalance_stragglers || out.best->rebalanced;
+        eval_options.rebalance_stragglers || out.best->mitigation.rebalanced;
     *out.best =
         SimulateIteration(config, out.best->strategy, cluster, global_batch, final_options);
     MEPIPE_CHECK(out.best->feasible);

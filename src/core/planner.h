@@ -28,10 +28,10 @@ struct PlannerOptions {
   // winner, fewer simulations. Automatically disabled when a fault plan
   // is set — the bound assumes clean stage rates.
   bool prune = false;
-  // Evaluate every strategy under this engine-level fault plan (nullptr
-  // = clean; overrides iteration.fault_plan when set). Must outlive the
-  // search.
-  const sim::FaultPlan* fault_plan = nullptr;
+  // Evaluate every strategy under this engine-level fault plan (empty =
+  // clean; overrides iteration.fault_plan when set). Value-semantic:
+  // assigning a FaultPlan copies it into shared storage.
+  sim::FaultPlanRef fault_plan;
   // Also evaluate each strategy's straggler-rebalanced variant
   // (core/rebalance) and keep the better of the two. Only meaningful
   // together with a fault plan.

@@ -335,7 +335,7 @@ RebalancedCostModel::RebalancedCostModel(const sim::CostModel& base,
                                          const sched::PipelineProblem& problem,
                                          const RebalancePlan& plan,
                                          const model::TransformerConfig& config)
-    : base_(base) {
+    : sim::WrappingCostModel(base) {
   problem.Validate();
   const int chunks = problem.num_chunks();
   unit_ratio_.assign(static_cast<std::size_t>(chunks), 1.0);
@@ -392,9 +392,11 @@ Seconds RebalancedCostModel::ComputeTime(const sched::OpId& op) const {
       case sched::OpKind::kWeightGradGemm:
         ratio *= wgrad_ratio_[t];
         break;
+      case sched::OpKind::kDpSync:
+        break;  // parameter volume is slice-independent; unit ratio applies
     }
   }
-  return base_.ComputeTime(op) * ratio;
+  return base().ComputeTime(op) * ratio;
 }
 
 Seconds RebalancedCostModel::TransferTime(const sched::OpId& producer) const {
@@ -403,7 +405,7 @@ Seconds RebalancedCostModel::TransferTime(const sched::OpId& producer) const {
       producer.slice < static_cast<int>(token_ratio_.size())) {
     ratio = token_ratio_[static_cast<std::size_t>(producer.slice)];
   }
-  return base_.TransferTime(producer) * ratio;
+  return base().TransferTime(producer) * ratio;
 }
 
 Bytes RebalancedCostModel::ActivationBytes(const sched::OpId& forward) const {
@@ -415,7 +417,7 @@ Bytes RebalancedCostModel::ActivationBytes(const sched::OpId& forward) const {
       forward.slice < static_cast<int>(token_ratio_.size())) {
     ratio *= token_ratio_[static_cast<std::size_t>(forward.slice)];
   }
-  return static_cast<Bytes>(std::llround(static_cast<double>(base_.ActivationBytes(forward)) * ratio));
+  return static_cast<Bytes>(std::llround(static_cast<double>(base().ActivationBytes(forward)) * ratio));
 }
 
 Bytes RebalancedCostModel::ActGradBytes(const sched::OpId& backward) const {
@@ -427,11 +429,18 @@ Bytes RebalancedCostModel::ActGradBytes(const sched::OpId& backward) const {
       backward.slice < static_cast<int>(token_ratio_.size())) {
     ratio *= token_ratio_[static_cast<std::size_t>(backward.slice)];
   }
-  return static_cast<Bytes>(std::llround(static_cast<double>(base_.ActGradBytes(backward)) * ratio));
+  return static_cast<Bytes>(std::llround(static_cast<double>(base().ActGradBytes(backward)) * ratio));
 }
 
-int RebalancedCostModel::WeightGradGemmCount(const sched::OpId& wgrad) const {
-  return base_.WeightGradGemmCount(wgrad);
+Seconds RebalancedCostModel::DpSyncTime(const sched::OpId& bucket) const {
+  // A chunk's gradient-bucket volume tracks its parameter share, which
+  // moves with the layer re-partition (the latency term is scaled along
+  // with it — an approximation, small against the volume term).
+  double ratio = 1.0;
+  if (bucket.chunk >= 0 && bucket.chunk < static_cast<int>(unit_ratio_.size())) {
+    ratio = unit_ratio_[static_cast<std::size_t>(bucket.chunk)];
+  }
+  return base().DpSyncTime(bucket) * ratio;
 }
 
 double MitigationReport::degradation() const {
@@ -459,7 +468,7 @@ MitigationReport MitigateStragglers(const sched::Schedule& schedule, const sim::
   report.clean_makespan = clean.makespan;
 
   sim::EngineOptions faulted_options = options.engine;
-  faulted_options.fault_plan = &faults;
+  faulted_options.fault_plan = faults;  // copied into shared storage
   report.faulted = sim::Simulate(schedule, costs, faulted_options);
   report.faulted_makespan = report.faulted.makespan;
 

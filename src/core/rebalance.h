@@ -153,11 +153,15 @@ RebalancePlan Rebalance(const StageProfile& profile, const sched::PipelineProble
 // times (including per-GEMM W durations) scale with the chunk's unit
 // ratio and the slice's re-balanced FLOPs ratio; transfers with the
 // slice's token ratio (boundary tensors are layer-count independent);
-// activation footprints with both. The W GEMM *count* stays the base
-// model's — the decomposition granularity is a property of its chunk
-// shape. Works over any base model (uniform or training). Holds `base`
-// by reference — it must outlive this wrapper.
-class RebalancedCostModel : public sim::CostModel {
+// activation footprints with both; DP gradient buckets with the chunk's
+// unit ratio (a chunk's parameter volume tracks its layer share). The W
+// GEMM *count* stays the base model's — the decomposition granularity is
+// a property of its chunk shape (inherited forwarding). Works over any
+// base model (uniform or training). Holds `base` by reference — it must
+// outlive this wrapper, or build through sim::CostModelStack
+// (stack.Wrap<core::RebalancedCostModel>(problem, plan, config)), which
+// owns the chain.
+class RebalancedCostModel : public sim::WrappingCostModel {
  public:
   // `config` prices the slice re-balance (axis 2); pass a default config
   // when plan.resliced() is false. Throws CheckError when the plan's
@@ -169,10 +173,9 @@ class RebalancedCostModel : public sim::CostModel {
   Seconds TransferTime(const sched::OpId& producer) const override;
   Bytes ActivationBytes(const sched::OpId& forward) const override;
   Bytes ActGradBytes(const sched::OpId& backward) const override;
-  int WeightGradGemmCount(const sched::OpId& wgrad) const override;
+  Seconds DpSyncTime(const sched::OpId& bucket) const override;
 
  private:
-  const sim::CostModel& base_;
   std::vector<double> unit_ratio_;      // per chunk
   std::vector<double> forward_ratio_;   // per slice (empty = 1)
   std::vector<double> backward_ratio_;  // per slice

@@ -189,8 +189,9 @@ TrainingCostModel::TrainingCostModel(const model::TransformerConfig& config,
     }
   }
 
-  // --- per-stage parameter bytes -------------------------------------------
+  // --- per-stage / per-chunk parameter bytes -------------------------------
   param_bytes_per_stage_.assign(static_cast<std::size_t>(problem_.stages), 0);
+  param_bytes_per_chunk_.assign(static_cast<std::size_t>(num_chunks), 0);
   for (int g = 0; g < num_chunks; ++g) {
     const ChunkShape& shape = chunks_[static_cast<std::size_t>(g)];
     std::int64_t params =
@@ -201,8 +202,9 @@ TrainingCostModel::TrainingCostModel(const model::TransformerConfig& config,
     if (shape.has_head) {
       params += config_.head_params();
     }
-    param_bytes_per_stage_[static_cast<std::size_t>(problem_.stage_of_chunk(g))] +=
-        params * options_.memory.bytes_per_param / strategy_.tp;
+    const Bytes bytes = params * options_.memory.bytes_per_param / strategy_.tp;
+    param_bytes_per_chunk_[static_cast<std::size_t>(g)] = bytes;
+    param_bytes_per_stage_[static_cast<std::size_t>(problem_.stage_of_chunk(g))] += bytes;
   }
 }
 
@@ -230,8 +232,15 @@ Seconds TrainingCostModel::ComputeTime(const sched::OpId& op) const {
       MEPIPE_CHECK_LT(static_cast<std::size_t>(op.gemm), gemms.size());
       return gemms[static_cast<std::size_t>(op.gemm)];
     }
+    case sched::OpKind::kDpSync:
+      return DpSyncTime(op);  // comm op; the engine prices it via DpSyncTime
   }
   return 0.0;
+}
+
+Seconds TrainingCostModel::DpSyncTime(const sched::OpId& bucket) const {
+  return comm_.DpGradientSync(param_bytes_per_chunk_[static_cast<std::size_t>(bucket.chunk)],
+                              strategy_.layout());
 }
 
 Seconds TrainingCostModel::TransferTime(const sched::OpId& producer) const {

@@ -67,13 +67,20 @@ class TrainingCostModel : public sim::CostModel {
   Bytes ActivationBytes(const sched::OpId& forward) const override;
   Bytes ActGradBytes(const sched::OpId& backward) const override;
   int WeightGradGemmCount(const sched::OpId& wgrad) const override;
+  // One chunk's gradient bucket: ZeRO-1 reduce-scatter + all-gather of
+  // that chunk's parameters over the dp·cp group. This is what the
+  // engine overlaps with the pipeline (EngineOptions::dp_overlap).
+  Seconds DpSyncTime(const sched::OpId& bucket) const override;
 
   // --- memory / comm summaries used by the iteration runner ---
   // Worst-stage static + temporary memory.
   Bytes MaxStaticMemory() const;
   // Per-stage static + temporary memory.
   Bytes StaticMemory(int stage) const;
-  // Worst-stage data-parallel gradient/optimizer synchronization time.
+  // Worst-stage data-parallel gradient/optimizer synchronization time as
+  // one monolithic collective (the serialized-after-flush baseline).
+  // Bucketing pays the per-collective latency once per chunk, so the
+  // summed bucket costs of a stage are >= this.
   Seconds DpSyncTime() const;
   // Activation bytes retained by a single forward pass on the
   // worst (most-loaded) chunk — the unit the §4.5 variant selector
@@ -108,6 +115,7 @@ class TrainingCostModel : public sim::CostModel {
   // Per-GEMM weight-gradient durations [chunk][slice][gemm].
   std::vector<std::vector<std::vector<Seconds>>> wgemm_time_;
   std::vector<Bytes> param_bytes_per_stage_;
+  std::vector<Bytes> param_bytes_per_chunk_;
 };
 
 }  // namespace mepipe::core

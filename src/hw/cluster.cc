@@ -79,6 +79,20 @@ LinkSpec DataParallelLink(const ClusterSpec& cluster, const ParallelLayout& layo
   return Shared(cluster.inter_node, layout.cp * layout.tp);
 }
 
+bool DpSharesPipelineFabric(const ClusterSpec& cluster, const ParallelLayout& layout) {
+  if (layout.pp == 1 || layout.dp * layout.cp == 1) {
+    return false;  // no pipeline transfers, or no DP sync at all
+  }
+  const int stride = cluster.world_size() / layout.pp;
+  const bool pp_inter = stride >= cluster.gpus_per_node ||
+                        (cluster.nodes > 1 && layout.pp * stride > cluster.gpus_per_node);
+  const bool dp_inter = layout.dp * layout.cp * layout.tp > cluster.gpus_per_node;
+  if (pp_inter == dp_inter) {
+    return true;  // same tier: both on the NIC or both on the intra fabric
+  }
+  return cluster.intra_node.through_host;
+}
+
 LinkSpec TensorParallelLink(const ClusterSpec& cluster, const ParallelLayout& layout) {
   if (layout.tp == 1) {
     return {"loopback", 1e15, 0.0};

@@ -53,6 +53,16 @@ LinkSpec DataParallelLink(const ClusterSpec& cluster, const ParallelLayout& layo
 // Effective link for tensor-parallel activations (A100 only in practice).
 LinkSpec TensorParallelLink(const ClusterSpec& cluster, const ParallelLayout& layout);
 
+// Whether the DP gradient ring and the pipeline p2p stream of one device
+// contend for the same physical fabric, so overlapped DP sync must yield
+// to in-flight pipeline transfers (sim::EngineOptions::dp_link_shared).
+// True when both ride the per-node NIC, both ride the intra-node fabric,
+// or they split tiers on a through-host (PCIe-class) intra-node fabric —
+// NIC DMA then crosses the same root complex the DP ring uses, the §3
+// single-fabric property of cost-effective clusters. NVLink-class intra
+// fabrics bypass the host and do not contend with the NIC.
+bool DpSharesPipelineFabric(const ClusterSpec& cluster, const ParallelLayout& layout);
+
 }  // namespace mepipe::hw
 
 #endif  // MEPIPE_HW_CLUSTER_H_

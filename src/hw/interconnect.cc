@@ -2,7 +2,7 @@
 
 namespace mepipe::hw {
 
-LinkSpec Pcie4x16() { return {"PCIe4-x16", 25e9, Microseconds(15)}; }
+LinkSpec Pcie4x16() { return {"PCIe4-x16", 25e9, Microseconds(15), /*through_host=*/true}; }
 
 LinkSpec NvLink3() { return {"NVLink3", 250e9, Microseconds(5)}; }
 

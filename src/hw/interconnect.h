@@ -15,6 +15,11 @@ struct LinkSpec {
   BytesPerSecond bandwidth = 0;
   // Per-message fixed cost (kernel launch + NIC/switch traversal).
   Seconds latency = 0;
+  // Traffic on this link crosses the host root complex (PCIe-class
+  // fabrics). NIC DMA takes the same path, so a through-host intra-node
+  // link contends with inter-node traffic — the single-fabric property
+  // of cost-effective clusters (see DpSharesPipelineFabric).
+  bool through_host = false;
 
   Seconds transfer_time(Bytes bytes) const {
     return latency + static_cast<double>(bytes) / bandwidth;

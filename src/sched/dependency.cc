@@ -36,6 +36,17 @@ std::vector<Dep> DependenciesOf(const PipelineProblem& problem, const OpId& op) 
       deps.push_back({{OpKind::kBackward, op.micro, op.slice, op.chunk}, false});
       break;
     }
+    case OpKind::kDpSync: {
+      // The bucket is ready once the last gradient op of its chunk has
+      // run: every W when the schedule splits B/W, every B otherwise.
+      const OpKind producer = problem.split_backward ? OpKind::kWeightGrad : OpKind::kBackward;
+      for (int micro = 0; micro < problem.micros; ++micro) {
+        for (int slice = 0; slice < problem.slices; ++slice) {
+          deps.push_back({{producer, micro, slice, op.chunk}, false});
+        }
+      }
+      break;
+    }
   }
   return deps;
 }
@@ -68,6 +79,20 @@ std::vector<OpId> AllOps(const PipelineProblem& problem) {
     ops.insert(ops.end(), stage_ops.begin(), stage_ops.end());
   }
   return ops;
+}
+
+OpId DpSyncOp(int chunk) { return {OpKind::kDpSync, 0, 0, chunk}; }
+
+std::vector<OpId> DpSyncOps(const PipelineProblem& problem, int stage) {
+  MEPIPE_CHECK_GE(stage, 0);
+  MEPIPE_CHECK_LT(stage, problem.stages);
+  std::vector<OpId> buckets;
+  for (int chunk = 0; chunk < problem.num_chunks(); ++chunk) {
+    if (problem.stage_of_chunk(chunk) == stage) {
+      buckets.push_back(DpSyncOp(chunk));
+    }
+  }
+  return buckets;
 }
 
 }  // namespace mepipe::sched

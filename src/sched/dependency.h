@@ -11,6 +11,9 @@
 //     (the loss of slice t only depends on its own logits);
 //   - B(m,t+1,g): dK/dV contributions flowing from later slices.
 // Weight gradients W/Wg(m,t,g) require only B(m,t,g).
+// DP-sync buckets AR(g) require every gradient-producing op of chunk g:
+//   all W(m,t,g) when the problem splits B/W, else all B(m,t,g) — the
+//   bucket's gradients exist only once the last of them has run.
 #ifndef MEPIPE_SCHED_DEPENDENCY_H_
 #define MEPIPE_SCHED_DEPENDENCY_H_
 
@@ -38,6 +41,15 @@ std::vector<OpId> StageOps(const PipelineProblem& problem, int stage);
 
 // All compute ops of the whole problem.
 std::vector<OpId> AllOps(const PipelineProblem& problem);
+
+// The data-parallel gradient-sync buckets owned by `stage`: one kDpSync
+// op per chunk placed on the stage, in chunk order (the order the
+// engine's per-stage comm stream issues them when each is ready). These
+// are comm ops — never part of Schedule::stage_ops or StageOps above.
+std::vector<OpId> DpSyncOps(const PipelineProblem& problem, int stage);
+
+// Canonical identity of chunk `g`'s gradient bucket.
+OpId DpSyncOp(int chunk);
 
 }  // namespace mepipe::sched
 

@@ -82,6 +82,7 @@ struct GeneratorState {
         break;
       case OpKind::kWeightGrad:
       case OpKind::kWeightGradGemm:
+      case OpKind::kDpSync:  // comm op; never generated into program orders
         base = options.w_time;
         break;
     }
@@ -128,6 +129,7 @@ struct GeneratorState {
         break;
       case OpKind::kWeightGrad:
       case OpKind::kWeightGradGemm:
+      case OpKind::kDpSync:  // comm op; never generated into program orders
         kind_rank = (options.wgrad == WgradPolicy::kImmediate) ? 0 : 2;
         break;
     }

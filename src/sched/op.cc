@@ -15,6 +15,8 @@ const char* ToString(OpKind kind) {
       return "W";
     case OpKind::kWeightGradGemm:
       return "Wg";
+    case OpKind::kDpSync:
+      return "AR";
   }
   return "?";
 }

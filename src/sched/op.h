@@ -25,6 +25,12 @@ enum class OpKind : std::uint8_t {
                     //     when the schedule does not split B/W)
   kWeightGrad,      // W — whole weight-gradient computation of a slice/chunk
   kWeightGradGemm,  // Wg — one GEMM of a W computation (fine-grained, §5)
+  kDpSync,          // AR — data-parallel gradient all-reduce of one
+                    //      bucket (all gradients of one chunk). Runs on a
+                    //      comm stream, not the compute stream; becomes
+                    //      ready when the last gradient op of its chunk
+                    //      completes. Identified by `chunk` alone
+                    //      (micro/slice/gemm are 0/0/-1).
 };
 
 const char* ToString(OpKind kind);

@@ -109,6 +109,7 @@ int PeakRetainedForwards(const Schedule& schedule, int stage) {
         }
         break;
       case OpKind::kWeightGradGemm:
+      case OpKind::kDpSync:
         break;
     }
   }

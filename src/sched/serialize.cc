@@ -29,6 +29,9 @@ OpId ParseOpToken(const std::string& token) {
   if (token.rfind("Wg", 0) == 0) {
     op.kind = OpKind::kWeightGradGemm;
     cursor = 2;
+  } else if (token.rfind("AR", 0) == 0) {
+    op.kind = OpKind::kDpSync;
+    cursor = 2;
   } else if (!token.empty() && token[0] == 'F') {
     op.kind = OpKind::kForward;
     cursor = 1;

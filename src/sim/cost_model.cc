@@ -14,6 +14,8 @@ Seconds UniformCostModel::ComputeTime(const sched::OpId& op) const {
       return w_;
     case sched::OpKind::kWeightGradGemm:
       return w_ / static_cast<double>(wgrad_gemms_);
+    case sched::OpKind::kDpSync:
+      return dp_sync_;  // comm op; priced via DpSyncTime in the engine
   }
   return 0.0;
 }
@@ -28,5 +30,7 @@ int UniformCostModel::WeightGradGemmCount(const sched::OpId&) const {
   MEPIPE_CHECK_GE(wgrad_gemms_, 1);
   return wgrad_gemms_;
 }
+
+Seconds UniformCostModel::DpSyncTime(const sched::OpId&) const { return dp_sync_; }
 
 }  // namespace mepipe::sim

@@ -4,13 +4,29 @@
 // transformer FLOPs model, the operator-efficiency curves, and the
 // cluster's links. A uniform model is provided for tests and analytic
 // cross-checks.
+//
+// Derived behaviors (measurement noise, fault injection, straggler
+// rebalancing) are expressed as *decorators* over a base model:
+// WrappingCostModel forwards every query to the wrapped model so a
+// decorator overrides only what it perturbs, and CostModelStack owns a
+// chain of decorators behind a single CostModel reference — the one
+// object engine/iteration/planner code takes, instead of bespoke
+// adapter plumbing per combination.
 #ifndef MEPIPE_SIM_COST_MODEL_H_
 #define MEPIPE_SIM_COST_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/units.h"
 #include "sched/op.h"
 
 namespace mepipe::sim {
+
+struct FaultPlan;  // sim/fault.h
+class FaultPlanRef;
 
 class CostModel {
  public:
@@ -33,29 +49,129 @@ class CostModel {
   // Number of individual GEMMs the weight-gradient computation of this
   // (micro, slice, chunk) decomposes into (§5). Must be >= 1.
   virtual int WeightGradGemmCount(const sched::OpId& wgrad) const = 0;
+
+  // Duration of the data-parallel gradient all-reduce of one bucket
+  // (kDpSync op; the bucket is `op.chunk`'s gradients). 0 means the
+  // model does not price DP sync per bucket — the engine then has
+  // nothing to overlap and EngineOptions::dp_overlap is a no-op.
+  virtual Seconds DpSyncTime(const sched::OpId& bucket) const {
+    (void)bucket;
+    return 0.0;
+  }
 };
 
 // Uniform costs: F = `f`, B = `b`, W = `w` seconds, transfers = `transfer`
 // seconds, one activation unit per forward. Used by tests to compare the
 // engine against Table 3's closed forms (which assume balanced stages and
-// free communication).
+// free communication). `dp_sync` prices one gradient bucket (per chunk).
 class UniformCostModel : public CostModel {
  public:
   UniformCostModel(Seconds f, Seconds b, Seconds w, Seconds transfer, Bytes act_bytes = 1,
-                   Bytes act_grad_bytes = 0, int wgrad_gemms = 1)
+                   Bytes act_grad_bytes = 0, int wgrad_gemms = 1, Seconds dp_sync = 0)
       : f_(f), b_(b), w_(w), transfer_(transfer), act_bytes_(act_bytes),
-        act_grad_bytes_(act_grad_bytes), wgrad_gemms_(wgrad_gemms) {}
+        act_grad_bytes_(act_grad_bytes), wgrad_gemms_(wgrad_gemms), dp_sync_(dp_sync) {}
 
   Seconds ComputeTime(const sched::OpId& op) const override;
   Seconds TransferTime(const sched::OpId& producer) const override;
   Bytes ActivationBytes(const sched::OpId& forward) const override;
   Bytes ActGradBytes(const sched::OpId& backward) const override;
   int WeightGradGemmCount(const sched::OpId& wgrad) const override;
+  Seconds DpSyncTime(const sched::OpId& bucket) const override;
 
  private:
   Seconds f_, b_, w_, transfer_;
   Bytes act_bytes_, act_grad_bytes_;
   int wgrad_gemms_;
+  Seconds dp_sync_;
+};
+
+// Decorator base: forwards every query to the wrapped model. Concrete
+// decorators (NoisyCostModel, FaultyCostModel, RebalancedCostModel)
+// derive from this and override only the queries they perturb.
+//
+// Holds `base` by reference: the wrapped model must outlive the wrapper.
+// Prefer building chains through CostModelStack, which owns the
+// intermediate layers and makes the lifetime structural.
+class WrappingCostModel : public CostModel {
+ public:
+  explicit WrappingCostModel(const CostModel& base) : base_(base) {}
+
+  Seconds ComputeTime(const sched::OpId& op) const override { return base_.ComputeTime(op); }
+  Seconds TransferTime(const sched::OpId& producer) const override {
+    return base_.TransferTime(producer);
+  }
+  Bytes ActivationBytes(const sched::OpId& forward) const override {
+    return base_.ActivationBytes(forward);
+  }
+  Bytes ActGradBytes(const sched::OpId& backward) const override {
+    return base_.ActGradBytes(backward);
+  }
+  int WeightGradGemmCount(const sched::OpId& wgrad) const override {
+    return base_.WeightGradGemmCount(wgrad);
+  }
+  Seconds DpSyncTime(const sched::OpId& bucket) const override {
+    return base_.DpSyncTime(bucket);
+  }
+
+ protected:
+  const CostModel& base() const { return base_; }
+
+ private:
+  const CostModel& base_;
+};
+
+// Owning builder for decorator chains:
+//
+//   sim::CostModelStack stack(costs);
+//   stack.Noisy(0.03, seed)                         // sim/noise.h
+//        .Faulty(plan, stages)                      // sim/fault.h
+//        .Wrap<core::RebalancedCostModel>(problem, plan);
+//   Simulate(schedule, stack.model(), engine);
+//
+// Layers apply bottom-up: the first call wraps the base, later calls
+// wrap the result. The stack owns every layer it builds (only the
+// original base must outlive it), so the chain has value-like lifetime
+// instead of a web of must-outlive references.
+//
+// Order matters where the math does not commute: Faulty() integrates
+// straggler windows over the durations it wraps, so Noisy-then-Faulty
+// dilates the *jittered* durations (the paper's measurement model),
+// while Faulty's time-aware queries applied before scaling layers would
+// misplace window boundaries. Multiplicative rescalers (Noisy,
+// Rebalanced) commute with each other. See test_cost_model_stack.cc.
+class CostModelStack {
+ public:
+  explicit CostModelStack(const CostModel& base) : top_(&base) {}
+
+  CostModelStack(const CostModelStack&) = delete;
+  CostModelStack& operator=(const CostModelStack&) = delete;
+  CostModelStack(CostModelStack&&) = default;
+  CostModelStack& operator=(CostModelStack&&) = default;
+
+  // Pushes decorator `M`, constructed as M(current_top, args...). Works
+  // for any WrappingCostModel (or CostModel taking a base reference
+  // first), including ones from layers sim cannot see (core).
+  template <typename M, typename... Args>
+  CostModelStack& Wrap(Args&&... args) {
+    auto layer = std::make_unique<M>(*top_, std::forward<Args>(args)...);
+    top_ = layer.get();
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  // Fluent names for the in-tree decorators. Defined in the headers
+  // declaring the decorator (sim/noise.h, sim/fault.h) — include those
+  // to use them.
+  CostModelStack& Noisy(double sigma, std::uint64_t seed);
+  CostModelStack& Faulty(FaultPlanRef plan, int stages);
+
+  // The top of the stack (the base model when nothing was wrapped).
+  const CostModel& model() const { return *top_; }
+  int depth() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  const CostModel* top_;
+  std::vector<std::unique_ptr<const CostModel>> layers_;
 };
 
 }  // namespace mepipe::sim

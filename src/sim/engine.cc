@@ -57,8 +57,8 @@ class Engine {
         MEPIPE_CHECK_GE(budget, 0) << "negative activation budget";
       }
     }
-    if (options_.fault_plan != nullptr) {
-      faulty_.emplace(costs, *options_.fault_plan, problem_.stages);
+    if (options_.fault_plan) {
+      faulty_.emplace(costs, options_.fault_plan, problem_.stages);
     }
   }
 
@@ -208,6 +208,112 @@ class Engine {
     }
   }
 
+  // Schedules every stage's DP gradient buckets on that stage's comm
+  // stream against the finished timeline. Each bucket starts at
+  // max(stream free, last gradient producer done); with dp_link_shared
+  // its transmission is additionally suspended while pipeline transfers
+  // touching the stage hold the fabric. Fills result.dp and, per stage,
+  // dp_busy. Correctness of the hidden/exposed split: every bucket
+  // dependency and every pipeline transfer ends by result.makespan, so
+  // past the makespan the stream runs gap-free and unstretched — the
+  // exposed tail per stage is at most that stage's summed bucket cost,
+  // hence exposed <= serialized and hidden >= 0.
+  void RunDpSync(SimResult& result, std::vector<Seconds>& dp_busy) {
+    // Merged fabric-busy intervals per stage (either endpoint of a
+    // pipeline transfer contends with that stage's DP ring).
+    std::vector<std::vector<std::pair<Seconds, Seconds>>> fabric_busy(
+        static_cast<std::size_t>(problem_.stages));
+    if (options_.dp_link_shared) {
+      for (const OpSpan& span : timeline_) {
+        if (!span.is_transfer) {
+          continue;
+        }
+        const int to = span.op.kind == OpKind::kForward
+                           ? problem_.stage_of_chunk(span.op.chunk + 1)
+                           : problem_.stage_of_chunk(span.op.chunk - 1);
+        fabric_busy[static_cast<std::size_t>(span.stage)].push_back({span.start, span.end});
+        if (to != span.stage) {
+          fabric_busy[static_cast<std::size_t>(to)].push_back({span.start, span.end});
+        }
+      }
+      for (auto& intervals : fabric_busy) {
+        std::sort(intervals.begin(), intervals.end());
+        std::vector<std::pair<Seconds, Seconds>> merged;
+        for (const auto& interval : intervals) {
+          if (!merged.empty() && interval.first <= merged.back().second) {
+            merged.back().second = std::max(merged.back().second, interval.second);
+          } else {
+            merged.push_back(interval);
+          }
+        }
+        intervals = std::move(merged);
+      }
+    }
+    // End of a transmission of `work` seconds entering at `start`,
+    // suspended across the sorted disjoint busy `intervals`.
+    const auto advance = [](const std::vector<std::pair<Seconds, Seconds>>& intervals,
+                            Seconds start, Seconds work) {
+      Seconds t = start;
+      Seconds remaining = work;
+      for (const auto& [begin, end] : intervals) {
+        if (end <= t) {
+          continue;  // already past this interval
+        }
+        if (t + remaining <= begin) {
+          break;  // finishes before the fabric is next claimed
+        }
+        if (t >= begin) {
+          t = end;  // entered mid-interval: wait it out
+          continue;
+        }
+        remaining -= begin - t;  // transmit until the pipeline claims the link
+        t = end;                 // suspended while its transfer runs
+      }
+      return t + remaining;
+    };
+
+    for (int stage = 0; stage < problem_.stages; ++stage) {
+      std::vector<std::pair<Seconds, OpId>> buckets;  // (ready, bucket)
+      Seconds total = 0;
+      for (const OpId& bucket : sched::DpSyncOps(problem_, stage)) {
+        const Seconds duration = costs_.DpSyncTime(bucket);
+        if (duration <= 0) {
+          continue;  // the model does not price this bucket
+        }
+        Seconds ready = 0;
+        for (const Dep& dep : sched::DependenciesOf(problem_, bucket)) {
+          const auto it = done_.find(dep.op);
+          MEPIPE_CHECK(it != done_.end())
+              << "DP bucket scheduled before its gradients completed";
+          ready = std::max(ready, it->second);
+        }
+        buckets.push_back({ready, bucket});
+        total += duration;
+      }
+      // NCCL-style launch order: buckets enqueue as their gradients
+      // become ready (stable on chunk order for deterministic ties).
+      std::stable_sort(buckets.begin(), buckets.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      Seconds stream = 0;
+      for (const auto& [ready, bucket] : buckets) {
+        const Seconds start = std::max(stream, ready);
+        const Seconds end =
+            options_.dp_link_shared
+                ? advance(fabric_busy[static_cast<std::size_t>(stage)], start,
+                          costs_.DpSyncTime(bucket))
+                : start + costs_.DpSyncTime(bucket);
+        timeline_.push_back({stage, bucket, start, end, /*is_transfer=*/true});
+        dp_busy[static_cast<std::size_t>(stage)] += end - start;
+        stream = end;
+        ++result.dp.buckets;
+      }
+      result.dp.serialized = std::max(result.dp.serialized, total);
+      result.dp.last_end = std::max(result.dp.last_end, stream);
+    }
+    result.dp.exposed = std::max(0.0, result.dp.last_end - result.makespan);
+    result.dp.hidden = std::max(0.0, result.dp.serialized - result.dp.exposed);
+  }
+
   // Runs a W item (whole or remaining GEMMs) to completion immediately.
   void DrainWgradItem(int stage, WgradItem& item) {
     double& clock = clock_[static_cast<std::size_t>(stage)];
@@ -317,6 +423,9 @@ SimResult Engine::Run() {
           case OpKind::kWeightGradGemm:
             MEPIPE_CHECK(false) << "per-GEMM ops cannot appear in static orders";
             break;
+          case OpKind::kDpSync:
+            MEPIPE_CHECK(false) << "DP-sync ops run on comm streams, never in static orders";
+            break;
         }
         ++cursor;
         --remaining;
@@ -342,6 +451,17 @@ SimResult Engine::Run() {
       result.makespan = std::max(result.makespan, span.end);
     }
   }
+
+  // Overlapped data-parallel gradient sync: a post-pass over the now
+  // fixed compute/transfer timeline. Buckets only read completed
+  // gradients, and under dp_link_shared DP yields the fabric to the
+  // pipeline, so nothing above moves — how much sync hides in bubbles
+  // and how much tail is exposed past the makespan simply emerges.
+  std::vector<Seconds> dp_busy(static_cast<std::size_t>(problem_.stages), 0.0);
+  if (options_.dp_overlap) {
+    RunDpSync(result, dp_busy);
+  }
+
   result.stages.resize(static_cast<std::size_t>(problem_.stages));
   double bubble_sum = 0;
   for (int stage = 0; stage < problem_.stages; ++stage) {
@@ -360,6 +480,7 @@ SimResult Engine::Run() {
     }
     metrics.budget_violations = overflow_count_[static_cast<std::size_t>(stage)];
     metrics.budget_overflow_bytes = overflow_bytes_[static_cast<std::size_t>(stage)];
+    metrics.dp_sync = dp_busy[static_cast<std::size_t>(stage)];
     result.budget_violations += metrics.budget_violations;
     bubble_sum += metrics.bubble_ratio;
 

@@ -53,8 +53,25 @@ struct EngineOptions {
   // degraded links and retries stretch transfers, and fail-stop events
   // suspend every stage for detection + restart + replay of the work
   // lost since the plan's last checkpoint. The plan's windows are
-  // exported in SimResult::fault_spans. Must outlive the Simulate call.
-  const FaultPlan* fault_plan = nullptr;
+  // exported in SimResult::fault_spans. Value-semantic: assigning a
+  // FaultPlan copies it into shared storage.
+  FaultPlanRef fault_plan;
+  // Overlap the per-bucket data-parallel gradient all-reduce with the
+  // pipeline. After the compute/transfer timeline is fixed, each stage's
+  // gradient buckets (one kDpSync op per chunk, sched::DpSyncOps) launch
+  // on that stage's DP comm stream as soon as their last gradient
+  // producer completes, serialized per stream. Buckets only *read*
+  // finished gradients and (under dp_link_shared) yield the fabric to
+  // pipeline transfers, so the pipeline timeline is provably unchanged;
+  // only how much sync hides inside it emerges. No-op when the cost
+  // model does not price buckets (CostModel::DpSyncTime == 0).
+  bool dp_overlap = false;
+  // The DP ring shares the fabric with inter-stage pipeline transfers
+  // (single PCIe/IB NIC per device, §3): while a pipeline transfer
+  // touching a bucket's stage is in flight, that bucket's transmission
+  // is suspended. DP always yields, so pipeline transfers are never
+  // delayed — contention shows up purely as later sync completion.
+  bool dp_link_shared = false;
 };
 
 // One point of a stage's activation-memory series.
@@ -87,6 +104,26 @@ struct StageMetrics {
   // queue ran dry with the stage still over budget.
   int budget_violations = 0;
   Bytes budget_overflow_bytes = 0;  // worst overshoot past the budget
+  // Wall time this stage's DP comm stream spent on gradient buckets
+  // (includes fabric-contention stretch; 0 unless dp_overlap ran).
+  Seconds dp_sync = 0;
+};
+
+// Data-parallel gradient-sync accounting (all zero unless
+// EngineOptions::dp_overlap is set and the cost model prices buckets).
+// Invariant: exposed + hidden == serialized, with both terms >= 0 —
+// every bucket's dependencies complete by the makespan, so sync work
+// past the makespan runs gap-free and the tail can never exceed the
+// serialized total.
+struct DpSyncStats {
+  // Added iteration time if sync ran back-to-back after the pipeline
+  // flush instead: max over stages of the stage's summed bucket cost
+  // (stages' DP groups all-reduce concurrently).
+  Seconds serialized = 0;
+  Seconds hidden = 0;      // portion absorbed inside pipeline bubbles
+  Seconds exposed = 0;     // tail past the pipeline makespan
+  Seconds last_end = 0;    // completion instant of the last bucket
+  int buckets = 0;         // buckets scheduled across all stages
 };
 
 struct SimResult {
@@ -95,7 +132,11 @@ struct SimResult {
   Bytes peak_activation = 0;    // max over stages
   int budget_violations = 0;    // total over stages
   std::vector<StageMetrics> stages;
-  std::vector<OpSpan> timeline;  // compute spans + transfers
+  // Overlapped-DP-sync accounting (see DpSyncStats).
+  DpSyncStats dp;
+  // Compute spans + transfers; kDpSync bucket spans appear here with
+  // is_transfer == true when dp_overlap ran.
+  std::vector<OpSpan> timeline;
   // Fault windows applied to this run (only when fault_plan is set).
   std::vector<FaultSpan> fault_spans;
   // Per-stage memory series (only when record_memory_timeline is set).

@@ -27,6 +27,8 @@ bool FaultPlan::empty() const {
          fail_stops.empty();
 }
 
+bool FaultPlanRef::empty() const { return plan_ == nullptr || plan_->empty(); }
+
 void FaultPlan::Validate(int stages) const {
   for (const StragglerFault& s : stragglers) {
     MEPIPE_CHECK(s.stage >= 0 && s.stage < stages) << "straggler stage " << s.stage;
@@ -89,8 +91,9 @@ const char* ToString(FaultKind kind) {
   return "?";
 }
 
-FaultyCostModel::FaultyCostModel(const CostModel& base, const FaultPlan& plan, int stages)
-    : base_(base), plan_(plan) {
+FaultyCostModel::FaultyCostModel(const CostModel& base, FaultPlanRef plan_ref, int stages)
+    : WrappingCostModel(base), plan_(std::move(plan_ref)) {
+  const FaultPlan& plan = *plan_;  // throws on an empty ref
   plan.Validate(stages);
 
   stage_windows_.resize(static_cast<std::size_t>(stages));
@@ -146,22 +149,6 @@ FaultyCostModel::FaultyCostModel(const CostModel& base, const FaultPlan& plan, i
   }
 }
 
-Seconds FaultyCostModel::ComputeTime(const sched::OpId& op) const {
-  return base_.ComputeTime(op);
-}
-Seconds FaultyCostModel::TransferTime(const sched::OpId& producer) const {
-  return base_.TransferTime(producer);
-}
-Bytes FaultyCostModel::ActivationBytes(const sched::OpId& forward) const {
-  return base_.ActivationBytes(forward);
-}
-Bytes FaultyCostModel::ActGradBytes(const sched::OpId& backward) const {
-  return base_.ActGradBytes(backward);
-}
-int FaultyCostModel::WeightGradGemmCount(const sched::OpId& wgrad) const {
-  return base_.WeightGradGemmCount(wgrad);
-}
-
 Seconds FaultyCostModel::NextUpTime(Seconds t) const {
   for (const Downtime& d : downtimes_) {
     if (t < d.begin) {
@@ -211,7 +198,7 @@ Seconds FaultyCostModel::AdvanceWork(const std::vector<Window>& windows, Seconds
 Seconds FaultyCostModel::ComputeEndAt(int stage, const sched::OpId& op, Seconds start) const {
   MEPIPE_CHECK(stage >= 0 && stage < static_cast<int>(stage_windows_.size()));
   return AdvanceWork(stage_windows_[static_cast<std::size_t>(stage)], start,
-                     base_.ComputeTime(op));
+                     base().ComputeTime(op));
 }
 
 Seconds FaultyCostModel::TransferEndAt(int from, int to, const sched::OpId& producer,
@@ -224,9 +211,9 @@ Seconds FaultyCostModel::TransferEndAt(int from, int to, const sched::OpId& prod
       break;
     }
   }
-  const Seconds duration = base_.TransferTime(producer);
+  const Seconds duration = base().TransferTime(producer);
   Seconds t = NextUpTime(start);
-  for (const TransferRetryFault& r : plan_.transfer_retries) {
+  for (const TransferRetryFault& r : plan_->transfer_retries) {
     if (r.from != from || r.to != to || t < r.begin || t >= r.end) {
       continue;
     }
@@ -243,15 +230,15 @@ Seconds FaultyCostModel::TransferEndAt(int from, int to, const sched::OpId& prod
 
 std::vector<FaultSpan> FaultyCostModel::Spans() const {
   std::vector<FaultSpan> spans;
-  for (const StragglerFault& s : plan_.stragglers) {
+  for (const StragglerFault& s : plan_->stragglers) {
     spans.push_back({FaultKind::kStraggler, s.stage, -1, -1, s.begin, s.end,
                      StrFormat("stage %d x%.2f slower", s.stage, s.slowdown)});
   }
-  for (const LinkDegradeFault& d : plan_.link_degrades) {
+  for (const LinkDegradeFault& d : plan_->link_degrades) {
     spans.push_back({FaultKind::kLinkDegrade, -1, d.from, d.to, d.begin, d.end,
                      StrFormat("link %d->%d x%.2f slower", d.from, d.to, d.factor)});
   }
-  for (const TransferRetryFault& r : plan_.transfer_retries) {
+  for (const TransferRetryFault& r : plan_->transfer_retries) {
     spans.push_back({FaultKind::kTransferRetry, -1, r.from, r.to, r.begin, r.end,
                      StrFormat("link %d->%d %d retries", r.from, r.to, r.retries)});
   }

@@ -20,9 +20,12 @@
 #ifndef MEPIPE_SIM_FAULT_H_
 #define MEPIPE_SIM_FAULT_H_
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/units.h"
 #include "sim/cost_model.h"
 
@@ -86,6 +89,40 @@ struct FaultPlan {
   void Validate(int stages) const;
 };
 
+// Value-semantic handle to a FaultPlan. Replaces the raw
+// `const FaultPlan*` must-outlive-the-call option fields: constructing a
+// FaultPlanRef from a plan copies (or moves) it into shared storage, so
+// every holder — EngineOptions, IterationOptions, PlannerOptions, a
+// FaultyCostModel deep in a decorator stack — keeps the plan alive by
+// construction instead of by comment. Cheap to copy (one shared_ptr).
+// A default-constructed ref means "no plan" (a clean run).
+class FaultPlanRef {
+ public:
+  FaultPlanRef() = default;
+  FaultPlanRef(std::nullptr_t) {}  // NOLINT: `options.fault_plan = nullptr` clears
+  // Takes ownership of a copy/move of `plan`.
+  FaultPlanRef(FaultPlan plan)  // NOLINT: implicit `options.fault_plan = plan`
+      : plan_(std::make_shared<const FaultPlan>(std::move(plan))) {}
+  // Shares an already-shared plan (no copy).
+  FaultPlanRef(std::shared_ptr<const FaultPlan> plan) : plan_(std::move(plan)) {}  // NOLINT
+
+  bool has_value() const { return plan_ != nullptr; }
+  explicit operator bool() const { return has_value(); }
+  // True when there is no plan or the plan injects nothing.
+  bool empty() const;
+
+  // Throws CheckError when no plan is held.
+  const FaultPlan& operator*() const {
+    MEPIPE_CHECK(plan_ != nullptr) << "dereferencing an empty FaultPlanRef";
+    return *plan_;
+  }
+  const FaultPlan* operator->() const { return &**this; }
+  const FaultPlan* get() const { return plan_.get(); }
+
+ private:
+  std::shared_ptr<const FaultPlan> plan_;
+};
+
 enum class FaultKind { kStraggler, kLinkDegrade, kTransferRetry, kFailStop };
 
 const char* ToString(FaultKind kind);
@@ -105,23 +142,21 @@ struct FaultSpan {
 // Applies a FaultPlan to a base cost model.
 //
 // The plain CostModel interface delegates to `base` (fault-free
-// durations); the time-aware queries below price an op *started at a
-// given instant*, integrating straggler / link windows piecewise and
-// suspending across fail-stop downtime. The engine uses the time-aware
-// path when EngineOptions::fault_plan is set.
+// durations, inherited from WrappingCostModel); the time-aware queries
+// below price an op *started at a given instant*, integrating straggler
+// / link windows piecewise and suspending across fail-stop downtime.
+// The engine uses the time-aware path when EngineOptions::fault_plan is
+// set.
 //
-// Holds `base` and `plan` by reference: both must outlive this wrapper.
-class FaultyCostModel : public CostModel {
+// Holds `base` by reference (it must outlive this wrapper — or build
+// through CostModelStack, which owns the chain); the plan is held by
+// value through FaultPlanRef.
+class FaultyCostModel : public WrappingCostModel {
  public:
-  // Validates the plan against `stages` (throws CheckError).
-  FaultyCostModel(const CostModel& base, const FaultPlan& plan, int stages);
-
-  // CostModel interface: the fault-free view.
-  Seconds ComputeTime(const sched::OpId& op) const override;
-  Seconds TransferTime(const sched::OpId& producer) const override;
-  Bytes ActivationBytes(const sched::OpId& forward) const override;
-  Bytes ActGradBytes(const sched::OpId& backward) const override;
-  int WeightGradGemmCount(const sched::OpId& wgrad) const override;
+  // Validates the plan against `stages` (throws CheckError; a held plan
+  // is required — pass an empty FaultPlan{} for a plan that injects
+  // nothing).
+  FaultyCostModel(const CostModel& base, FaultPlanRef plan, int stages);
 
   // First instant >= t at which the cluster is up (skips fail-stop
   // downtime windows).
@@ -158,12 +193,16 @@ class FaultyCostModel : public CostModel {
   // `windows` (sorted, per stage or link) and the global downtimes.
   Seconds AdvanceWork(const std::vector<Window>& windows, Seconds start, Seconds work) const;
 
-  const CostModel& base_;
-  const FaultPlan& plan_;
+  FaultPlanRef plan_;
   std::vector<std::vector<Window>> stage_windows_;          // per stage
   std::vector<std::pair<std::pair<int, int>, std::vector<Window>>> link_windows_;
   std::vector<Downtime> downtimes_;                         // sorted, disjoint
 };
+
+// Fluent CostModelStack layer (declared in sim/cost_model.h).
+inline CostModelStack& CostModelStack::Faulty(FaultPlanRef plan, int stages) {
+  return Wrap<FaultyCostModel>(std::move(plan), stages);
+}
 
 }  // namespace mepipe::sim
 

@@ -16,7 +16,7 @@
 
 namespace mepipe::sim {
 
-class NoisyCostModel : public CostModel {
+class NoisyCostModel : public WrappingCostModel {
  public:
   // `sigma` is the lognormal shape parameter (~relative std-dev; 0.03 ≈
   // 3% duration jitter); must be >= 0. Each instance is an independent
@@ -26,25 +26,23 @@ class NoisyCostModel : public CostModel {
   // Holds `base` by reference: the base model must outlive this wrapper.
   // In particular, never construct one from a temporary —
   //   NoisyCostModel bad(UniformCostModel(...), 0.03, 1);  // dangling!
+  // Prefer `CostModelStack stack(base); stack.Noisy(0.03, 1);`, which
+  // owns the wrapper and pins the lifetime structurally.
   NoisyCostModel(const CostModel& base, double sigma, std::uint64_t seed)
-      : base_(base), sigma_(sigma), seed_(seed) {
+      : WrappingCostModel(base), sigma_(sigma), seed_(seed) {
     MEPIPE_CHECK_GE(sigma, 0.0) << "noise sigma must be non-negative";
   }
 
   Seconds ComputeTime(const sched::OpId& op) const override {
-    return base_.ComputeTime(op) * Multiplier(op, /*salt=*/0x9e3779b9);
+    return base().ComputeTime(op) * Multiplier(op, /*salt=*/0x9e3779b9);
   }
   Seconds TransferTime(const sched::OpId& producer) const override {
-    return base_.TransferTime(producer) * Multiplier(producer, /*salt=*/0x85ebca6b);
+    return base().TransferTime(producer) * Multiplier(producer, /*salt=*/0x85ebca6b);
   }
-  Bytes ActivationBytes(const sched::OpId& forward) const override {
-    return base_.ActivationBytes(forward);
-  }
-  Bytes ActGradBytes(const sched::OpId& backward) const override {
-    return base_.ActGradBytes(backward);
-  }
-  int WeightGradGemmCount(const sched::OpId& wgrad) const override {
-    return base_.WeightGradGemmCount(wgrad);
+  // DP sync rides the same NCCL rings real jitter hits; perturb it like
+  // any other comm op so the overlap window sees dispersion too.
+  Seconds DpSyncTime(const sched::OpId& bucket) const override {
+    return base().DpSyncTime(bucket) * Multiplier(bucket, /*salt=*/0xc2b2ae35);
   }
 
  private:
@@ -59,10 +57,14 @@ class NoisyCostModel : public CostModel {
     return std::exp(sigma_ * GaussianFromKey(key));
   }
 
-  const CostModel& base_;
   double sigma_;
   std::uint64_t seed_;
 };
+
+// Fluent CostModelStack layer (declared in sim/cost_model.h).
+inline CostModelStack& CostModelStack::Noisy(double sigma, std::uint64_t seed) {
+  return Wrap<NoisyCostModel>(sigma, seed);
+}
 
 }  // namespace mepipe::sim
 

@@ -60,6 +60,9 @@ std::string RenderTimeline(const sim::SimResult& result, int stages, int columns
       case sched::OpKind::kWeightGradGemm:
         cell = '.';
         break;
+      case sched::OpKind::kDpSync:
+        cell = '~';  // unreachable: sync spans are transfers, skipped above
+        break;
     }
     int begin = static_cast<int>(span.start * scale);
     int end = static_cast<int>(span.end * scale);

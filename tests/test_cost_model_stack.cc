@@ -1,0 +1,157 @@
+// Tests for the cost-model decorator API: WrappingCostModel forwarding,
+// CostModelStack ownership/fluency, and how the in-tree decorators
+// (Noisy, Faulty, Rebalanced) compose.
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/rebalance.h"
+#include "sched/baselines.h"
+#include "sim/fault.h"
+#include "sim/noise.h"
+
+namespace mepipe {
+namespace {
+
+using sched::OpId;
+using sched::OpKind;
+
+const OpId kForward{OpKind::kForward, 1, 0, 0};
+const OpId kBackward{OpKind::kBackward, 1, 0, 0};
+const OpId kWgrad{OpKind::kWeightGrad, 1, 0, 0};
+const OpId kBucket{OpKind::kDpSync, 0, 0, 0};
+
+TEST(WrappingCostModel, ForwardsEveryQuery) {
+  const sim::UniformCostModel base(1.0, 2.0, 0.5, 0.1, /*act=*/7, /*act_grad=*/3,
+                                   /*wgrad_gemms=*/4, /*dp_sync=*/0.25);
+  const sim::WrappingCostModel wrapped(base);
+  EXPECT_DOUBLE_EQ(wrapped.ComputeTime(kForward), base.ComputeTime(kForward));
+  EXPECT_DOUBLE_EQ(wrapped.ComputeTime(kBackward), base.ComputeTime(kBackward));
+  EXPECT_DOUBLE_EQ(wrapped.TransferTime(kForward), base.TransferTime(kForward));
+  EXPECT_EQ(wrapped.ActivationBytes(kForward), base.ActivationBytes(kForward));
+  EXPECT_EQ(wrapped.ActGradBytes(kBackward), base.ActGradBytes(kBackward));
+  EXPECT_EQ(wrapped.WeightGradGemmCount(kWgrad), base.WeightGradGemmCount(kWgrad));
+  EXPECT_DOUBLE_EQ(wrapped.DpSyncTime(kBucket), base.DpSyncTime(kBucket));
+}
+
+TEST(CostModelStack, EmptyStackIsTheBase) {
+  const sim::UniformCostModel base(1.0, 2.0, 0.0, 0.0);
+  const sim::CostModelStack stack(base);
+  EXPECT_EQ(stack.depth(), 0);
+  EXPECT_EQ(&stack.model(), static_cast<const sim::CostModel*>(&base));
+}
+
+TEST(CostModelStack, NoisyLayerMatchesDirectConstruction) {
+  const sim::UniformCostModel base(1.0, 2.0, 0.5, 0.1, 1, 0, 1, /*dp_sync=*/0.25);
+  const sim::NoisyCostModel direct(base, /*sigma=*/0.1, /*seed=*/42);
+  sim::CostModelStack stack(base);
+  stack.Noisy(0.1, 42);
+  EXPECT_EQ(stack.depth(), 1);
+  for (const OpId& op : {kForward, kBackward, kWgrad}) {
+    EXPECT_DOUBLE_EQ(stack.model().ComputeTime(op), direct.ComputeTime(op));
+    EXPECT_DOUBLE_EQ(stack.model().TransferTime(op), direct.TransferTime(op));
+  }
+  // The DP bucket rides the same jitter machinery.
+  EXPECT_DOUBLE_EQ(stack.model().DpSyncTime(kBucket), direct.DpSyncTime(kBucket));
+  EXPECT_NE(stack.model().DpSyncTime(kBucket), base.DpSyncTime(kBucket));
+  // Non-perturbed queries fall through to the base.
+  EXPECT_EQ(stack.model().WeightGradGemmCount(kWgrad), base.WeightGradGemmCount(kWgrad));
+}
+
+TEST(CostModelStack, FaultyLayerValidatesThePlan) {
+  const sim::UniformCostModel base(1.0, 2.0, 0.0, 0.0);
+  sim::FaultPlan bad;
+  bad.stragglers.push_back({/*stage=*/7, /*begin=*/0.0, /*end=*/1.0, /*slowdown=*/2.0});
+  sim::CostModelStack stack(base);
+  EXPECT_THROW(stack.Faulty(bad, /*stages=*/4), CheckError);
+
+  sim::FaultPlan good;
+  good.stragglers.push_back({/*stage=*/1, /*begin=*/0.0, /*end=*/100.0, /*slowdown=*/2.0});
+  sim::CostModelStack ok(base);
+  ok.Faulty(good, /*stages=*/4);
+  EXPECT_EQ(ok.depth(), 1);
+  // The plain interface stays fault-free (the engine uses the time-aware
+  // queries); durations forward to the base.
+  EXPECT_DOUBLE_EQ(ok.model().ComputeTime(kForward), base.ComputeTime(kForward));
+}
+
+TEST(CostModelStack, FaultyDilatesTheLayersBelowIt) {
+  // Noisy-then-Faulty: the straggler window integrates over the
+  // *jittered* duration — the decorator order the measurement protocol
+  // wants (see the ordering note in sim/cost_model.h).
+  const sim::UniformCostModel base(1.0, 2.0, 0.0, 0.0);
+  sim::FaultPlan plan;
+  plan.stragglers.push_back({/*stage=*/0, /*begin=*/0.0, /*end=*/1e9, /*slowdown=*/2.0});
+  sim::CostModelStack stack(base);
+  stack.Noisy(0.2, 7).Faulty(plan, /*stages=*/2);
+  EXPECT_EQ(stack.depth(), 2);
+  const auto& faulty = static_cast<const sim::FaultyCostModel&>(stack.model());
+  const Seconds jittered = sim::NoisyCostModel(base, 0.2, 7).ComputeTime(kForward);
+  EXPECT_NE(jittered, base.ComputeTime(kForward));
+  EXPECT_NEAR(faulty.ComputeEndAt(/*stage=*/0, kForward, /*start=*/0.0), 2.0 * jittered,
+              1e-12);
+}
+
+TEST(CostModelStack, MultiplicativeLayersCommute) {
+  // Rebalanced and Noisy both rescale durations per op, so the two stack
+  // orders price every op identically.
+  const auto schedule = sched::OneFOneBSchedule(2, 4);
+  core::StageProfile profile;
+  profile.slowdown = {2.0, 1.0};
+  core::RebalanceOptions options;
+  options.units_per_chunk = 8;
+  options.rebalance_slices = false;
+  options.retune_caps = false;
+  const core::RebalancePlan plan = Rebalance(profile, schedule.problem, options);
+  ASSERT_TRUE(plan.repartitioned());
+
+  const sim::UniformCostModel base(1.0, 2.0, 0.5, 0.1, 1, 0, 1, /*dp_sync=*/0.25);
+  sim::CostModelStack noisy_first(base);
+  noisy_first.Noisy(0.1, 3).Wrap<core::RebalancedCostModel>(schedule.problem, plan);
+  sim::CostModelStack rebalanced_first(base);
+  rebalanced_first.Wrap<core::RebalancedCostModel>(schedule.problem, plan).Noisy(0.1, 3);
+  EXPECT_EQ(noisy_first.depth(), 2);
+  EXPECT_EQ(rebalanced_first.depth(), 2);
+
+  for (int chunk = 0; chunk < 2; ++chunk) {
+    for (const OpKind kind : {OpKind::kForward, OpKind::kBackward}) {
+      const OpId op{kind, 0, 0, chunk};
+      EXPECT_DOUBLE_EQ(noisy_first.model().ComputeTime(op),
+                       rebalanced_first.model().ComputeTime(op))
+          << "chunk " << chunk;
+    }
+    const OpId bucket{OpKind::kDpSync, 0, 0, chunk};
+    EXPECT_DOUBLE_EQ(noisy_first.model().DpSyncTime(bucket),
+                     rebalanced_first.model().DpSyncTime(bucket));
+  }
+  // And the rebalanced layer really changed something.
+  const OpId moved{OpKind::kForward, 0, 0, 0};
+  EXPECT_NE(core::RebalancedCostModel(base, schedule.problem, plan).ComputeTime(moved),
+            base.ComputeTime(moved));
+}
+
+TEST(CostModelStack, RebalancedScalesDpBucketsWithUnitShare) {
+  // A chunk that sheds layers sheds gradient bytes: its bucket shrinks by
+  // the same unit ratio.
+  const auto schedule = sched::OneFOneBSchedule(2, 4);
+  core::StageProfile profile;
+  profile.slowdown = {2.0, 1.0};
+  core::RebalanceOptions options;
+  options.units_per_chunk = 8;
+  options.rebalance_slices = false;
+  options.retune_caps = false;
+  const core::RebalancePlan plan = Rebalance(profile, schedule.problem, options);
+  ASSERT_TRUE(plan.repartitioned());
+
+  const sim::UniformCostModel base(1.0, 2.0, 0.0, 0.0, 1, 0, 1, /*dp_sync=*/0.4);
+  const core::RebalancedCostModel rebalanced(base, schedule.problem, plan);
+  for (int chunk = 0; chunk < 2; ++chunk) {
+    const OpId bucket{OpKind::kDpSync, 0, 0, chunk};
+    EXPECT_DOUBLE_EQ(rebalanced.DpSyncTime(bucket), 0.4 * plan.unit_ratio(chunk))
+        << "chunk " << chunk;
+  }
+}
+
+}  // namespace
+}  // namespace mepipe

@@ -1,0 +1,297 @@
+// Tests for overlapped data-parallel gradient synchronization: the
+// kDpSync bucket ops, the engine's comm-stream post-pass (hidden vs
+// exposed accounting, fabric sharing), and the iteration-level
+// decomposition.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/iteration.h"
+#include "core/svpp.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "sched/baselines.h"
+#include "sched/dependency.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace mepipe {
+namespace {
+
+using sched::OpId;
+using sched::OpKind;
+
+// Prices DP buckets per chunk (everything else forwarded): lets a test
+// hide one stage's bucket while leaving another unpriced.
+class ChunkPricedDpSync : public sim::WrappingCostModel {
+ public:
+  ChunkPricedDpSync(const sim::CostModel& base, std::map<int, Seconds> per_chunk)
+      : WrappingCostModel(base), per_chunk_(std::move(per_chunk)) {}
+
+  Seconds DpSyncTime(const OpId& bucket) const override {
+    const auto it = per_chunk_.find(bucket.chunk);
+    return it == per_chunk_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<int, Seconds> per_chunk_;
+};
+
+Seconds MaxEnd(const sim::SimResult& result, OpKind kind, int chunk) {
+  Seconds end = 0;
+  for (const sim::OpSpan& span : result.timeline) {
+    if (span.op.kind == kind && span.op.chunk == chunk) {
+      end = std::max(end, span.end);
+    }
+  }
+  return end;
+}
+
+TEST(DpOverlap, DisabledOrUnpricedProducesNoBuckets) {
+  const auto schedule = sched::OneFOneBSchedule(2, 4);
+  const sim::UniformCostModel unpriced(1.0, 2.0, 0.0, 0.0);
+  sim::EngineOptions options;
+  options.dp_overlap = true;
+  const sim::SimResult no_price = Simulate(schedule, unpriced, options);
+  EXPECT_EQ(no_price.dp.buckets, 0);
+  EXPECT_DOUBLE_EQ(no_price.dp.serialized, 0.0);
+  EXPECT_DOUBLE_EQ(no_price.dp.exposed, 0.0);
+
+  const sim::UniformCostModel priced(1.0, 2.0, 0.0, 0.0, 1, 0, 1, /*dp_sync=*/0.5);
+  const sim::SimResult off = Simulate(schedule, priced, {});
+  EXPECT_EQ(off.dp.buckets, 0);
+  for (const sim::OpSpan& span : off.timeline) {
+    EXPECT_NE(span.op.kind, OpKind::kDpSync);
+  }
+}
+
+TEST(DpOverlap, FullyHiddenBucketHasZeroExposed) {
+  // 1F1B, p=2: stage 0 runs the last backward, so stage 1's gradients
+  // finish a full backward early. Price only stage 1's bucket — it fits
+  // entirely inside that window, so nothing is exposed.
+  const auto schedule = sched::OneFOneBSchedule(2, 4);
+  const sim::UniformCostModel base(1.0, 2.0, 0.0, 0.0);
+  const ChunkPricedDpSync costs(base, {{1, 0.5}});
+  sim::EngineOptions options;
+  options.dp_overlap = true;
+  const sim::SimResult result = Simulate(schedule, costs, options);
+  EXPECT_EQ(result.dp.buckets, 1);
+  EXPECT_DOUBLE_EQ(result.dp.serialized, 0.5);
+  EXPECT_DOUBLE_EQ(result.dp.exposed, 0.0);
+  EXPECT_DOUBLE_EQ(result.dp.hidden, 0.5);
+  EXPECT_LE(result.dp.last_end, result.makespan);
+}
+
+TEST(DpOverlap, CriticalStageBucketIsFullyExposed) {
+  // The stage whose compute sets the makespan produces its last gradient
+  // at the makespan; its bucket has zero overlap capacity and must be
+  // exposed in full — the classic last-bucket effect.
+  const auto schedule = sched::OneFOneBSchedule(2, 4);
+  const sim::UniformCostModel base(1.0, 2.0, 0.0, 0.0);
+  const ChunkPricedDpSync costs(base, {{0, 0.5}});  // stage 0 is critical
+  sim::EngineOptions options;
+  options.dp_overlap = true;
+  const sim::SimResult result = Simulate(schedule, costs, options);
+  EXPECT_DOUBLE_EQ(result.dp.serialized, 0.5);
+  EXPECT_DOUBLE_EQ(result.dp.exposed, 0.5);
+  EXPECT_DOUBLE_EQ(result.dp.hidden, 0.0);
+}
+
+TEST(DpOverlap, MultiChunkStagesHidePartOfTheirSync) {
+  // Interleaved vp=2: each stage's first-half chunk backwards last, but
+  // its second-half chunk finishes early — that bucket hides, so the
+  // exposed tail is strictly below the serialized total.
+  const auto schedule = sched::VppSchedule(4, 2, 8);
+  const sim::UniformCostModel costs(1.0, 2.0, 0.0, 0.0, 1, 0, 1, /*dp_sync=*/0.4);
+  sim::EngineOptions options;
+  options.dp_overlap = true;
+  const sim::SimResult result = Simulate(schedule, costs, options);
+  EXPECT_EQ(result.dp.buckets, 8);  // 2 chunks on each of 4 stages
+  EXPECT_DOUBLE_EQ(result.dp.serialized, 0.8);
+  EXPECT_GT(result.dp.hidden, 0.0);
+  EXPECT_LT(result.dp.exposed, result.dp.serialized);
+  EXPECT_NEAR(result.dp.exposed + result.dp.hidden, result.dp.serialized, 1e-9);
+}
+
+TEST(DpOverlap, ExposedPlusHiddenEqualsSerializedAcrossTheGrid) {
+  std::vector<sched::Schedule> schedules;
+  schedules.push_back(sched::OneFOneBSchedule(4, 8));
+  schedules.push_back(sched::VppSchedule(4, 2, 8));
+  schedules.push_back(
+      core::GenerateSvpp({.stages = 4, .virtual_chunks = 1, .slices = 4, .micros = 8}));
+  schedules.push_back(
+      core::GenerateSvpp({.stages = 4, .virtual_chunks = 2, .slices = 2, .micros = 8}));
+  for (const auto& schedule : schedules) {
+    for (const Seconds dp_sync : {0.01, 0.5, 5.0}) {
+      for (const Seconds transfer : {0.0, 0.05}) {
+        for (const bool shared : {false, true}) {
+          const sim::UniformCostModel costs(1.0, 1.0, 1.0, transfer, 1, 0, 1, dp_sync);
+          sim::EngineOptions options;
+          options.dp_overlap = true;
+          options.dp_link_shared = shared;
+          const sim::SimResult result = Simulate(schedule, costs, options);
+          const sim::SimResult baseline = Simulate(schedule, costs, {});
+          // Overlap is a post-pass: the pipeline timeline cannot move.
+          EXPECT_DOUBLE_EQ(result.makespan, baseline.makespan)
+              << schedule.method << " dp=" << dp_sync << " shared=" << shared;
+          EXPECT_GE(result.dp.exposed, 0.0);
+          EXPECT_GE(result.dp.hidden, 0.0);
+          EXPECT_NEAR(result.dp.exposed + result.dp.hidden, result.dp.serialized, 1e-9)
+              << schedule.method << " dp=" << dp_sync << " transfer=" << transfer
+              << " shared=" << shared;
+        }
+      }
+    }
+  }
+}
+
+TEST(DpOverlap, SerializedIsTheWorstStageBucketSum) {
+  const auto schedule = sched::VppSchedule(4, 2, 8);
+  const sim::UniformCostModel costs(1.0, 1.0, 0.0, 0.0, 1, 0, 1, /*dp_sync=*/0.25);
+  sim::EngineOptions options;
+  options.dp_overlap = true;
+  const sim::SimResult result = Simulate(schedule, costs, options);
+  Seconds worst = 0;
+  for (int stage = 0; stage < 4; ++stage) {
+    Seconds total = 0;
+    for (const OpId& bucket : sched::DpSyncOps(schedule.problem, stage)) {
+      total += costs.DpSyncTime(bucket);
+    }
+    worst = std::max(worst, total);
+  }
+  EXPECT_DOUBLE_EQ(result.dp.serialized, worst);
+}
+
+TEST(DpOverlap, BucketSpansAreCommStreamTransfers) {
+  const auto schedule = sched::VppSchedule(4, 2, 8);
+  const sim::UniformCostModel costs(1.0, 1.0, 0.0, 0.05, 1, 0, 1, /*dp_sync=*/0.25);
+  sim::EngineOptions options;
+  options.dp_overlap = true;
+  const sim::SimResult result = Simulate(schedule, costs, options);
+  std::vector<Seconds> per_stage(4, 0.0);
+  int buckets = 0;
+  for (const sim::OpSpan& span : result.timeline) {
+    if (span.op.kind != OpKind::kDpSync) {
+      continue;
+    }
+    EXPECT_TRUE(span.is_transfer);  // comm stream, not compute
+    EXPECT_LT(span.start, span.end);
+    per_stage[static_cast<std::size_t>(span.stage)] += span.end - span.start;
+    ++buckets;
+  }
+  EXPECT_EQ(buckets, result.dp.buckets);
+  for (int stage = 0; stage < 4; ++stage) {
+    EXPECT_NEAR(result.stages[static_cast<std::size_t>(stage)].dp_sync,
+                per_stage[static_cast<std::size_t>(stage)], 1e-12);
+  }
+}
+
+TEST(DpOverlap, BucketsWaitForTheLastWeightGradient) {
+  // Split-backward SVPP: a chunk's bucket may only start once every
+  // deferred W (or W GEMM) of that chunk has completed.
+  const auto schedule =
+      core::GenerateSvpp({.stages = 4, .virtual_chunks = 1, .slices = 2, .micros = 6});
+  const sim::UniformCostModel costs(1.0, 1.0, 1.0, 0.02, 1, 0, 4, /*dp_sync=*/0.3);
+  sim::EngineOptions options;
+  options.dp_overlap = true;
+  const sim::SimResult result = Simulate(schedule, costs, options);
+  ASSERT_GT(result.dp.buckets, 0);
+  for (const sim::OpSpan& span : result.timeline) {
+    if (span.op.kind != OpKind::kDpSync) {
+      continue;
+    }
+    const Seconds grads_done =
+        std::max(MaxEnd(result, OpKind::kWeightGrad, span.op.chunk),
+                 MaxEnd(result, OpKind::kWeightGradGemm, span.op.chunk));
+    EXPECT_GE(span.start, grads_done - 1e-12) << "chunk " << span.op.chunk;
+  }
+}
+
+TEST(DpOverlap, SharedFabricOnlyDelaysSyncCompletion) {
+  // With dp_link_shared the buckets yield to pipeline transfers: the
+  // makespan is untouched, sync completion can only slip later, and the
+  // exposed/hidden split still sums to the serialized total.
+  const auto schedule = sched::VppSchedule(4, 2, 8);
+  const sim::UniformCostModel costs(1.0, 1.0, 0.0, /*transfer=*/0.4, 1, 0, 1,
+                                    /*dp_sync=*/0.5);
+  sim::EngineOptions free_fabric;
+  free_fabric.dp_overlap = true;
+  sim::EngineOptions shared = free_fabric;
+  shared.dp_link_shared = true;
+  const sim::SimResult without = Simulate(schedule, costs, free_fabric);
+  const sim::SimResult with = Simulate(schedule, costs, shared);
+  EXPECT_DOUBLE_EQ(with.makespan, without.makespan);
+  EXPECT_GE(with.dp.last_end, without.dp.last_end - 1e-12);
+  EXPECT_GE(with.dp.exposed, without.dp.exposed - 1e-12);
+  EXPECT_NEAR(with.dp.exposed + with.dp.hidden, with.dp.serialized, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Iteration-level decomposition
+// ---------------------------------------------------------------------------
+
+TEST(DpOverlapIteration, DecompositionAndBounds) {
+  const model::TransformerConfig config = model::Llama13B();
+  const hw::ClusterSpec cluster = hw::Rtx4090Cluster();
+  core::Strategy strategy;
+  strategy.method = core::Method::kSvpp;
+  strategy.pp = 8;
+  strategy.dp = 8;
+  strategy.spp = 4;
+
+  core::IterationOptions serialized;
+  core::IterationOptions overlapped;
+  overlapped.dp_overlap = true;
+  const auto serial = SimulateIteration(config, strategy, cluster, 64, serialized);
+  const auto overlap = SimulateIteration(config, strategy, cluster, 64, overlapped);
+  ASSERT_TRUE(serial.feasible) << serial.note;
+  ASSERT_TRUE(overlap.feasible) << overlap.note;
+
+  // The pipeline itself is untouched by overlap.
+  EXPECT_NEAR(overlap.pipeline_time, serial.pipeline_time, 1e-9);
+
+  // Serialized mode: everything exposed, nothing hidden.
+  EXPECT_FALSE(serial.dp.overlapped);
+  EXPECT_DOUBLE_EQ(serial.dp.exposed, serial.dp.serialized);
+  EXPECT_DOUBLE_EQ(serial.dp.hidden, 0.0);
+  EXPECT_DOUBLE_EQ(serial.dp_sync_time, serial.dp.exposed);
+
+  // Overlapped mode: the invariant and the sandwich bound
+  // pipeline <= iteration <= pipeline + serialized sync + optimizer.
+  EXPECT_TRUE(overlap.dp.overlapped);
+  EXPECT_NEAR(overlap.dp.exposed + overlap.dp.hidden, overlap.dp.serialized, 1e-9);
+  EXPECT_DOUBLE_EQ(overlap.dp_sync_time, overlap.dp.exposed);
+  EXPECT_NEAR(overlap.iteration_time,
+              overlap.pipeline_time + overlap.dp_sync_time + Milliseconds(15), 1e-9);
+  EXPECT_GE(overlap.iteration_time, overlap.pipeline_time);
+  EXPECT_LE(overlap.iteration_time,
+            overlap.pipeline_time + overlap.dp.serialized + Milliseconds(15) + 1e-9);
+}
+
+TEST(DpOverlapIteration, InterleavedChunksYieldStrictImprovement) {
+  // vp=2 gives every stage an early-finishing chunk whose bucket hides,
+  // so overlapping strictly beats serializing the sync.
+  const model::TransformerConfig config = model::Llama7B();
+  const hw::ClusterSpec cluster = hw::Rtx4090Cluster();
+  core::Strategy strategy;
+  strategy.method = core::Method::kSvpp;
+  strategy.pp = 8;
+  strategy.dp = 8;
+  strategy.spp = 2;
+  strategy.vp = 2;
+
+  core::IterationOptions serialized;
+  core::IterationOptions overlapped;
+  overlapped.dp_overlap = true;
+  const auto serial = SimulateIteration(config, strategy, cluster, 64, serialized);
+  const auto overlap = SimulateIteration(config, strategy, cluster, 64, overlapped);
+  ASSERT_TRUE(serial.feasible) << serial.note;
+  ASSERT_TRUE(overlap.feasible) << overlap.note;
+  EXPECT_GT(overlap.dp.hidden, 0.0);
+  EXPECT_LT(overlap.iteration_time, serial.iteration_time);
+}
+
+}  // namespace
+}  // namespace mepipe

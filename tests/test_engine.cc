@@ -215,7 +215,7 @@ TEST(Engine, StragglerShowsUpAsNeighborSteadyIdle) {
   FaultPlan plan;
   plan.stragglers.push_back({2, 0.0, 1e9, 2.0});
   EngineOptions options;
-  options.fault_plan = &plan;
+  options.fault_plan = plan;
   const SimResult faulted = Simulate(schedule, costs, options);
 
   EXPECT_GT(faulted.stages[1].steady_idle, clean.stages[1].steady_idle);

@@ -125,7 +125,7 @@ TEST(Fault, EngineMeasuresStragglerDegradation) {
   FaultPlan plan;
   plan.stragglers = {{1, 1.0, 3.0, 2.0}};  // stage 1 halves through [1, 3)
   EngineOptions options;
-  options.fault_plan = &plan;
+  options.fault_plan = plan;
   const SimResult faulted = Simulate(schedule, costs, options);
   // F1 dilates to [1,3), B1 runs clean [3,5), B0 [5,7).
   EXPECT_DOUBLE_EQ(faulted.makespan, 7.0);
@@ -141,7 +141,7 @@ TEST(Fault, EngineSuspendsAcrossFailStop) {
   plan.checkpoints = {1.0};
   plan.fail_stops = {{1, 2.0, 0.5, 1.0}};  // lost 1.0 -> downtime [2, 4.5)
   EngineOptions options;
-  options.fault_plan = &plan;
+  options.fault_plan = plan;
   const SimResult result = Simulate(schedule, costs, options);
   // B1 would start at 2 but the cluster is down until 4.5: [4.5, 6.5),
   // then B0 [6.5, 8.5).
@@ -159,7 +159,7 @@ TEST(Fault, DeterministicUnderIdenticalPlan) {
   plan.checkpoints = {10.0};
   plan.fail_stops = {{3, 12.0, 0.5, 2.0}};
   EngineOptions options;
-  options.fault_plan = &plan;
+  options.fault_plan = plan;
   const SimResult a = Simulate(schedule, costs, options);
   const SimResult b = Simulate(schedule, costs, options);
   ASSERT_EQ(a.timeline.size(), b.timeline.size());
@@ -182,7 +182,7 @@ TEST(Fault, ExportersCarryFaultEvents) {
   plan.stragglers = {{0, 0.0, 2.0, 1.5}};
   plan.fail_stops = {{1, 3.0, 0.0, 1.0}};
   EngineOptions options;
-  options.fault_plan = &plan;
+  options.fault_plan = plan;
   const SimResult result = Simulate(schedule, costs, options);
 
   const std::string json = trace::ToChromeTraceJson(result);

@@ -201,7 +201,7 @@ TEST(Planner, FaultPlanDisablesPruningAndDegradesTheWinner) {
 
   sim::FaultPlan faults;
   faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
-  options.fault_plan = &faults;
+  options.fault_plan = faults;
   const auto faulted = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
   ASSERT_TRUE(faulted.best.has_value());
   EXPECT_EQ(faulted.pruned, 0);  // lower bound invalid under dilation
@@ -217,7 +217,7 @@ TEST(Planner, SearchRebalancedVariantsBeatOrMatchTheFaultedSearch) {
   options.vp_candidates = {1};
   sim::FaultPlan faults;
   faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
-  options.fault_plan = &faults;
+  options.fault_plan = faults;
 
   const auto plain = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
   options.search_rebalanced = true;

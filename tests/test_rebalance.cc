@@ -129,7 +129,7 @@ TEST(EstimateStageSlowdowns, RecoversAPersistentStragglerFromBusyTimes) {
   sim::FaultPlan faults;
   faults.stragglers.push_back({2, 0.0, 1e9, 2.0});
   sim::EngineOptions engine;
-  engine.fault_plan = &faults;
+  engine.fault_plan = faults;
   const sim::SimResult faulted = sim::Simulate(schedule, costs, engine);
 
   const StageProfile profile = EstimateStageSlowdowns(clean, faulted);
