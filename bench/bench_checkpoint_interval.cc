@@ -1,0 +1,147 @@
+// Checkpoint-interval optimization and restart scopes, §9's reliability
+// discussion carried one step further: instead of measuring the overhead
+// of a *given* checkpoint interval (bench_sec9_reliability_sim), solve
+// for the goodput-optimal interval per (fleet size × write cost × MTBF)
+// and cross-validate the Young/Daly closed form + simulation refinement
+// against a brute-force scan of the simulated optimum. The companion
+// table compares full-pipeline restart against DP-replica-local restart
+// (only the lost replica replays the interrupted iteration) across
+// data-parallel widths.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/resilience.h"
+
+namespace mepipe {
+namespace {
+
+constexpr Seconds kIterationTime = 5.0;
+
+// Brute-force simulated optimum over a denser log-spaced interval grid
+// than the solver's coarse scan uses.
+struct SimulatedOptimum {
+  Seconds interval = 0;
+  double goodput = 0;
+};
+
+SimulatedOptimum BruteForceOptimum(const core::ResilienceOptions& base, Seconds lo,
+                                   Seconds hi, int points) {
+  SimulatedOptimum best;
+  for (int i = 0; i < points; ++i) {
+    const Seconds interval =
+        lo * std::pow(hi / lo, static_cast<double>(i) / (points - 1));
+    core::ResilienceOptions run = base;
+    run.reliability.checkpoint_interval = interval;
+    const double goodput =
+        core::SimulateTrainingRun(kIterationTime, run).goodput;
+    if (goodput > best.goodput) {
+      best = {interval, goodput};
+    }
+  }
+  return best;
+}
+
+void EmitCheckpointInterval() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"gpus", "write_cost_s", "mtbf_s", "young_s", "daly_s", "refined_s",
+                  "sim_opt_s", "goodput_refined", "goodput_sim_opt", "goodput_gap"});
+  for (int gpus : {1024, 4096, 16384}) {
+    for (double write_cost : {2.0, 10.0, 30.0}) {
+      for (double mtbf_per_1000_h : {6.0, 12.0, 24.0}) {
+        core::ResilienceOptions options;
+        options.gpus = gpus;
+        options.seed = 2025;
+        options.reliability.mtbf_per_1000_gpus = mtbf_per_1000_h * 3600.0;
+        options.reliability.checkpoint_write_cost = write_cost;
+        const Seconds mtbf =
+            options.reliability.mtbf_per_1000_gpus * 1000.0 / gpus;
+        options.target_useful_time = 200.0 * mtbf;  // ~200 expected failures
+
+        const core::CheckpointIntervalSolution sol =
+            core::OptimalCheckpointInterval(kIterationTime, options);
+        const SimulatedOptimum opt =
+            BruteForceOptimum(options, sol.daly / 16.0, sol.daly * 16.0, 33);
+        const double gap = (opt.goodput - sol.goodput) / opt.goodput;
+        rows.push_back({std::to_string(gpus), StrFormat("%.0f", write_cost),
+                        StrFormat("%.0f", mtbf), StrFormat("%.1f", sol.young),
+                        StrFormat("%.1f", sol.daly), StrFormat("%.1f", sol.refined),
+                        StrFormat("%.1f", opt.interval), bench::Pct(sol.goodput),
+                        bench::Pct(opt.goodput), bench::Pct(gap)});
+      }
+    }
+  }
+  bench::EmitTable(
+      "checkpoint-interval solver: Young/Daly + refinement vs brute-force simulated optimum",
+      "checkpoint_interval", rows);
+  std::printf("acceptance: goodput at the solver interval within 5%% of the simulated optimum\n");
+}
+
+void EmitReplicaRestart() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"dp", "lost_full_s", "lost_replica_s", "lost_shrink", "goodput_full",
+                  "goodput_replica", "restarts_full", "restarts_replica"});
+  for (int dp : {1, 2, 4, 8, 16}) {
+    core::ResilienceOptions options;
+    options.gpus = 4096;
+    // Distinct failure trajectory per row (dp itself only gates the
+    // scope, not the Poisson draws).
+    options.seed = 2025 + static_cast<std::uint64_t>(dp);
+    options.reliability.checkpoint_write_cost = 10.0;
+    const Seconds mtbf =
+        options.reliability.mtbf_per_1000_gpus * 1000.0 / options.gpus;
+    options.target_useful_time = 200.0 * mtbf;
+    options.dp_replicas = dp;
+
+    options.restart_scope = sim::RestartScope::kFullPipeline;
+    const core::ResilienceMetrics full =
+        core::SimulateTrainingRun(kIterationTime, options);
+    options.restart_scope = sim::RestartScope::kDpReplicaLocal;
+    const core::ResilienceMetrics replica =
+        core::SimulateTrainingRun(kIterationTime, options);
+
+    const double shrink =
+        full.lost_time > 0 ? 1.0 - replica.lost_time / full.lost_time : 0.0;
+    rows.push_back({std::to_string(dp), StrFormat("%.1f", full.lost_time),
+                    StrFormat("%.1f", replica.lost_time), bench::Pct(shrink),
+                    bench::Pct(full.goodput), bench::Pct(replica.goodput),
+                    std::to_string(full.restarts), std::to_string(replica.restarts)});
+  }
+  bench::EmitTable(
+      "restart scope: full-pipeline rollback vs DP-replica-local replay (4096 GPUs)",
+      "replica_restart", rows);
+  std::printf("dp=1 has no surviving peer (scopes coincide); dp>1 must strictly shrink lost time\n");
+}
+
+void EmitAll() {
+  EmitCheckpointInterval();
+  EmitReplicaRestart();
+}
+
+void BM_OptimalCheckpointInterval(benchmark::State& state) {
+  core::ResilienceOptions options;
+  options.gpus = static_cast<int>(state.range(0));
+  options.seed = 7;
+  options.target_useful_time = 1e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::OptimalCheckpointInterval(kIterationTime, options).refined);
+  }
+}
+BENCHMARK(BM_OptimalCheckpointInterval)->Arg(1024)->Arg(16384);
+
+void BM_ReplicaRestartRun(benchmark::State& state) {
+  core::ResilienceOptions options;
+  options.gpus = 4096;
+  options.target_useful_time = 1e6;
+  options.restart_scope = sim::RestartScope::kDpReplicaLocal;
+  options.dp_replicas = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimulateTrainingRun(kIterationTime, options).lost_time);
+  }
+}
+BENCHMARK(BM_ReplicaRestartRun)->Arg(1)->Arg(8);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitAll)

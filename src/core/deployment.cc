@@ -51,7 +51,21 @@ double CostParityYears(const hw::ClusterSpec& cheap, const hw::ClusterSpec& refe
   if (power_gap_per_year <= 0.0) {
     return std::numeric_limits<double>::infinity();
   }
+  // No acquisition advantage to erase: the power-hungry cluster is not
+  // actually cheaper to buy, so parity holds from day one. Clamp instead
+  // of returning a (meaningless) negative horizon.
+  if (acquisition_gap <= 0.0) {
+    return 0.0;
+  }
   return acquisition_gap / power_gap_per_year;
+}
+
+Seconds CheckpointWriteCost(Bytes worst_shard_bytes, const CheckpointCostOptions& options) {
+  MEPIPE_CHECK_GE(worst_shard_bytes, 0);
+  MEPIPE_CHECK_GT(options.write_bandwidth_bytes_per_s, 0.0);
+  MEPIPE_CHECK_GE(options.barrier, 0.0);
+  return options.barrier +
+         static_cast<double>(worst_shard_bytes) / options.write_bandwidth_bytes_per_s;
 }
 
 double TotalCostUsd(const hw::ClusterSpec& cluster, double years,

@@ -32,6 +32,23 @@ struct ReliabilityOptions {
 // a cluster of `gpus` accelerators. §9's claim: < 5% at 1000 GPUs.
 double FailureOverheadFraction(int gpus, const ReliabilityOptions& options = {});
 
+// Cost model for writing one checkpoint with §9's memory-based
+// checkpointing: every rank streams its shard to the checkpoint store in
+// parallel, so the stall is governed by the worst (largest) per-rank
+// shard, plus a fixed quiesce/consistency barrier.
+struct CheckpointCostOptions {
+  // Per-rank bandwidth to the checkpoint store (host DRAM / NIC bound on
+  // commodity nodes).
+  double write_bandwidth_bytes_per_s = 3.0e9;
+  // Quiesce + consistency-barrier overhead paid once per checkpoint.
+  Seconds barrier = 1.0;
+};
+
+// Stall of one checkpoint write whose largest per-rank shard is
+// `worst_shard_bytes` (see TrainingCostModel::CheckpointShardBytes).
+// Throws CheckError on non-positive bandwidth or negative sizes.
+Seconds CheckpointWriteCost(Bytes worst_shard_bytes, const CheckpointCostOptions& options = {});
+
 struct OperatingCostOptions {
   double electricity_usd_per_kwh = 0.10;  // §9: industrial rate, Feb 2025
   // Non-GPU server power (CPUs, fans, NICs) per 8-GPU node, watts.
@@ -47,7 +64,10 @@ double OperatingCostUsd(const hw::ClusterSpec& cluster, Seconds duration,
 // Years of continuous operation after which the cheaper-to-buy cluster's
 // higher power bill erases its acquisition advantage against the
 // reference cluster, assuming both deliver the same training throughput.
-// Returns +infinity when the cheaper cluster also consumes less power.
+// Returns +infinity when the cheaper cluster also consumes less power,
+// and 0 when there is no acquisition advantage to erase (the
+// power-hungry cluster is not actually cheaper to buy — parity holds
+// from day one, never a negative horizon).
 // §9 computes ≈ 24 years for 2×4090-per-A100-equivalent fleets.
 double CostParityYears(const hw::ClusterSpec& cheap, const hw::ClusterSpec& reference,
                        const OperatingCostOptions& options = {});

@@ -232,6 +232,8 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
   result.bubble_ratio = sim.bubble_ratio;
   result.static_memory = costs.MaxStaticMemory();
   result.peak_activation = sim.peak_activation;
+  result.checkpoint_shard = costs.CheckpointShardBytes();
+  result.checkpoint_state = costs.CheckpointStateBytes();
 
   // Worst stage overall: static of that stage (scaled by the adopted
   // re-partition's layer share) + its activation peak.

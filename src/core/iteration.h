@@ -85,6 +85,24 @@ struct IterationResult {
   Bytes static_memory = 0;       // worst stage
   Bytes peak_activation = 0;     // worst stage (measured)
   Bytes peak_memory = 0;         // static + activations
+  // Checkpoint sizing of this strategy (TrainingCostModel): the worst
+  // single rank's parallel write and the total restorable state. Feeds
+  // the planner's goodput objective via core::CheckpointWriteCost.
+  Bytes checkpoint_shard = 0;
+  Bytes checkpoint_state = 0;
+
+  // Goodput pricing (PlannerObjective::kGoodput; zero/false until the
+  // planner prices this result under its failure model).
+  struct GoodputOutcome {
+    bool priced = false;
+    Seconds checkpoint_interval = 0;    // solver-chosen (Young/Daly refined)
+    Seconds checkpoint_write_cost = 0;  // from checkpoint_shard
+    double goodput = 0;                 // useful/wall under the failure model
+    // Wall-clock seconds per useful iteration: iteration_time / goodput.
+    // The quantity the goodput objective minimizes.
+    Seconds effective_iteration_time = 0;
+  };
+  GoodputOutcome goodput;
 
   double per_gpu_flops = 0;      // achieved FLOPS per GPU
   double mfu = 0;                // model FLOPS utilization

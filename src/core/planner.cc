@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/deployment.h"
 
 namespace mepipe::core {
 namespace {
@@ -89,6 +90,36 @@ std::optional<Seconds> IterationLowerBound(Method method,
   }
 }
 
+// Prices a feasible result under the goodput objective's failure model:
+// per-strategy checkpoint write cost from its worst shard, Young/Daly +
+// refinement for the interval, then a simulated training run for the
+// delivered goodput. No-op on infeasible results.
+void PriceGoodput(IterationResult& result, const PlannerOptions& options) {
+  if (!result.feasible || options.objective != PlannerObjective::kGoodput) {
+    return;
+  }
+  ResilienceOptions res = options.resilience;
+  res.reliability.checkpoint_write_cost =
+      CheckpointWriteCost(result.checkpoint_shard, options.checkpoint_cost);
+  res.dp_replicas = result.strategy.dp;
+  const CheckpointIntervalSolution sol =
+      OptimalCheckpointInterval(result.iteration_time, res, options.interval_solver);
+  result.goodput.priced = true;
+  result.goodput.checkpoint_interval = sol.refined;
+  result.goodput.checkpoint_write_cost = res.reliability.checkpoint_write_cost;
+  result.goodput.goodput = sol.goodput;
+  result.goodput.effective_iteration_time =
+      result.iteration_time / std::max(sol.goodput, 1e-12);
+}
+
+// The quantity the search minimizes for `result` under `options`'
+// objective. Feasible results only.
+Seconds Score(const IterationResult& result, const PlannerOptions& options) {
+  return options.objective == PlannerObjective::kGoodput
+             ? result.goodput.effective_iteration_time
+             : result.iteration_time;
+}
+
 }  // namespace
 
 PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& config,
@@ -139,9 +170,14 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
               continue;
             }
             if (prune && out.best) {
+              // Sound under both objectives: the goodput score
+              // iteration_time / goodput never falls below the
+              // iteration time itself (goodput <= 1), so a compute
+              // bound above the incumbent's score bounds the candidate
+              // out either way.
               const auto bound = IterationLowerBound(method, config, strategy, cluster,
                                                      global_batch, eval_options);
-              if (bound && *bound >= out.best->iteration_time) {
+              if (bound && *bound >= Score(*out.best, options)) {
                 ++out.pruned;
                 IterationResult skipped;
                 skipped.strategy = strategy;
@@ -153,19 +189,22 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
             IterationResult result =
                 SimulateIteration(config, strategy, cluster, global_batch, eval_options);
             ++out.simulated;
+            PriceGoodput(result, options);
             if (options.search_rebalanced && faulted && !eval_options.rebalance_stragglers) {
               IterationOptions mitigated_options = eval_options;
               mitigated_options.rebalance_stragglers = true;
               IterationResult mitigated =
                   SimulateIteration(config, strategy, cluster, global_batch, mitigated_options);
               ++out.simulated;
+              PriceGoodput(mitigated, options);
               if (mitigated.feasible &&
-                  (!result.feasible || mitigated.iteration_time < result.iteration_time)) {
+                  (!result.feasible ||
+                   Score(mitigated, options) < Score(result, options))) {
                 result = std::move(mitigated);
               }
             }
             if (result.feasible) {
-              if (!out.best || result.iteration_time < out.best->iteration_time) {
+              if (!out.best || Score(result, options) < Score(*out.best, options)) {
                 out.best = result;
               }
             }
@@ -176,7 +215,8 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
     }
   }
 
-  // Re-simulate the winner with its timeline for downstream rendering.
+  // Re-simulate the winner with its timeline for downstream rendering
+  // (and re-price it: the re-simulation resets the goodput fields).
   if (out.best) {
     IterationOptions final_options = eval_options;
     final_options.keep_timeline = true;
@@ -185,6 +225,7 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
     *out.best =
         SimulateIteration(config, out.best->strategy, cluster, global_batch, final_options);
     MEPIPE_CHECK(out.best->feasible);
+    PriceGoodput(*out.best, options);
   }
   return out;
 }

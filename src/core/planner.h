@@ -9,8 +9,24 @@
 #include <vector>
 
 #include "core/iteration.h"
+#include "core/resilience.h"
 
 namespace mepipe::core {
+
+// What the grid search optimizes.
+//  - kIterationTime: fault-free iteration time — the paper's §7 setup.
+//  - kGoodput: delivered training throughput under a failure model.
+//    Each feasible candidate is priced end-to-end: its checkpoint write
+//    cost follows from the strategy's worst checkpoint shard
+//    (IterationResult::checkpoint_shard through CheckpointWriteCost),
+//    OptimalCheckpointInterval picks the Young/Daly-refined interval for
+//    that write cost, and SimulateTrainingRun measures the goodput the
+//    strategy actually delivers. Candidates are ranked by
+//    goodput.effective_iteration_time = iteration_time / goodput — the
+//    wall-clock cost of one useful iteration — so a slightly slower
+//    schedule with cheaper checkpoints or a friendlier restart scope can
+//    out-rank the fault-free winner.
+enum class PlannerObjective { kIterationTime, kGoodput };
 
 struct PlannerOptions {
   IterationOptions iteration;
@@ -36,6 +52,19 @@ struct PlannerOptions {
   // (core/rebalance) and keep the better of the two. Only meaningful
   // together with a fault plan.
   bool search_rebalanced = false;
+  // Ranking objective (see PlannerObjective).
+  PlannerObjective objective = PlannerObjective::kIterationTime;
+  // Failure model pricing the goodput objective: fleet size, MTBF,
+  // recovery cost, restart scope, run length, seed. The checkpoint
+  // interval and write cost are overridden per candidate (solver-chosen
+  // interval; write cost from the strategy's checkpoint shard), and
+  // dp_replicas is set to the candidate's dp. The default 1024-GPU fleet
+  // mirrors §7.1's large-cluster emulation.
+  ResilienceOptions resilience;
+  // Checkpoint-store bandwidth/barrier pricing the per-strategy write.
+  CheckpointCostOptions checkpoint_cost;
+  // Refinement effort of the per-candidate interval solver.
+  CheckpointIntervalOptions interval_solver;
 };
 
 struct PlannerResult {

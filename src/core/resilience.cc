@@ -12,6 +12,7 @@ ResilienceMetrics SimulateTrainingRun(Seconds iteration_time,
                                       const ResilienceOptions& options) {
   MEPIPE_CHECK_GT(iteration_time, 0.0);
   MEPIPE_CHECK_GT(options.gpus, 0);
+  MEPIPE_CHECK_GE(options.dp_replicas, 1);
   const ReliabilityOptions& rel = options.reliability;
   MEPIPE_CHECK_GT(rel.mtbf_per_1000_gpus, 0.0);
   MEPIPE_CHECK_GT(rel.checkpoint_interval, 0.0);
@@ -26,19 +27,73 @@ ResilienceMetrics SimulateTrainingRun(Seconds iteration_time,
   const Seconds mtbf =
       rel.mtbf_per_1000_gpus * 1000.0 / static_cast<double>(options.gpus);
   SplitMixRng rng(options.seed);
+  const bool replica_local =
+      options.restart_scope == sim::RestartScope::kDpReplicaLocal &&
+      options.dp_replicas > 1;
 
   ResilienceMetrics m;
   m.iteration_time = iteration_time;
 
   Seconds wall = 0;       // elapsed cluster time, stalls included
   Seconds useful = 0;     // durable + tentative training progress
-  Seconds ckpt = 0;       // progress covered by the last checkpoint
-  Seconds next_fail = rng.NextExponential(mtbf);  // up-time to next failure
+  Seconds ckpt = 0;       // progress covered by the last durable checkpoint
+  // Wall-clock time to the next failure: checkpoint writes and recovery
+  // stalls tick it down just like forward progress does, so failures can
+  // strike mid-write (aborting the checkpoint) and mid-recovery
+  // (restarting the recovery).
+  Seconds next_fail = rng.NextExponential(mtbf);
 
   // The run fails to converge when the cluster MTBF is so short that no
   // checkpoint interval ever completes; bound the restart count so such
   // configurations surface as an error instead of a hung loop.
   const double expected_failures = target / mtbf + 10.0;
+
+  const auto record_failure = [&](Seconds lost) {
+    if (m.failures.size() < options.max_failure_records) {
+      const auto iteration = static_cast<std::int64_t>(useful / iteration_time);
+      m.failures.push_back({wall, lost, rel.recovery_time, iteration,
+                            useful - static_cast<Seconds>(iteration) * iteration_time});
+    }
+  };
+
+  // Hardware failure at the current wall instant: record it, roll
+  // progress back to the restore target, then stall for detection +
+  // restart. The recovery stall runs on the wall clock too — a failure
+  // striking mid-recovery loses nothing further (progress is already
+  // rolled back) but restarts the recovery from scratch.
+  const auto fail = [&]() {
+    Seconds restore = ckpt;
+    if (replica_local) {
+      // Surviving replicas hold the state of the last completed
+      // iteration (the last DP sync point); the lost replica restores
+      // from a peer and replays only the interrupted iteration.
+      const Seconds sync =
+          std::floor(useful / iteration_time + 1e-9) * iteration_time;
+      restore = std::max(restore, std::min(sync, useful));
+    }
+    const Seconds lost = useful - restore;
+    record_failure(lost);
+    useful = restore;
+    m.lost_time += lost;
+    ++m.restarts;
+    MEPIPE_CHECK_LT(m.restarts, 100.0 * expected_failures)
+        << "MTBF " << mtbf << "s is too short for the run to make durable "
+        << "progress past its " << rel.checkpoint_interval << "s checkpoint interval";
+    next_fail = rng.NextExponential(mtbf);
+    while (next_fail <= rel.recovery_time) {
+      wall += next_fail;
+      m.recovery_time += next_fail;
+      record_failure(0.0);
+      ++m.restarts;
+      MEPIPE_CHECK_LT(m.restarts, 100.0 * expected_failures)
+          << "MTBF " << mtbf << "s is shorter than the " << rel.recovery_time
+          << "s recovery stall; the run can never come back up";
+      next_fail = rng.NextExponential(mtbf);
+    }
+    wall += rel.recovery_time;
+    m.recovery_time += rel.recovery_time;
+    next_fail -= rel.recovery_time;
+  };
 
   while (useful < target) {
     const Seconds to_ckpt = ckpt + rel.checkpoint_interval - useful;
@@ -48,35 +103,36 @@ ResilienceMetrics SimulateTrainingRun(Seconds iteration_time,
     useful += run;
     next_fail -= run;
     if (next_fail <= 0.0) {
-      // Hardware failure: record it, roll progress back to the last
-      // checkpoint, stall for detection + restart; the lost work is then
-      // replayed as ordinary forward progress.
-      const Seconds lost = useful - ckpt;
-      if (m.failures.size() < options.max_failure_records) {
-        const auto iteration = static_cast<std::int64_t>(useful / iteration_time);
-        m.failures.push_back({wall, lost, rel.recovery_time, iteration,
-                              useful - static_cast<Seconds>(iteration) * iteration_time});
-      }
-      useful = ckpt;
-      m.lost_time += lost;
-      m.recovery_time += rel.recovery_time;
-      wall += rel.recovery_time;
-      ++m.restarts;
-      MEPIPE_CHECK_LT(m.restarts, 100.0 * expected_failures)
-          << "MTBF " << mtbf << "s is too short for the run to make durable "
-          << "progress past its " << rel.checkpoint_interval << "s checkpoint interval";
-      next_fail = rng.NextExponential(mtbf);
+      fail();
     } else if (run == to_ckpt && useful < target) {
-      wall += rel.checkpoint_write_cost;
-      m.checkpoint_time += rel.checkpoint_write_cost;
-      ckpt = useful;
-      ++m.checkpoints_written;
+      if (next_fail <= rel.checkpoint_write_cost) {
+        // Failure strikes mid-write: the elapsed write time is spent but
+        // the checkpoint never becomes durable.
+        wall += next_fail;
+        m.checkpoint_time += next_fail;
+        next_fail = 0.0;
+        ++m.checkpoints_aborted;
+        fail();
+      } else {
+        wall += rel.checkpoint_write_cost;
+        next_fail -= rel.checkpoint_write_cost;
+        m.checkpoint_time += rel.checkpoint_write_cost;
+        ckpt = useful;
+        ++m.checkpoints_written;
+      }
     }
   }
 
   m.wall_time = wall;
   m.useful_time = useful;
-  m.iterations_completed = static_cast<std::int64_t>(useful / iteration_time);
+  // Count completed iterations exactly: float accumulation of `useful`
+  // can land a hair under an iteration boundary, so snap near-integer
+  // quotients before truncating.
+  const double iterations = useful / iteration_time;
+  const double rounded = std::nearbyint(iterations);
+  m.iterations_completed = std::abs(iterations - rounded) <= 1e-6 * std::max(1.0, rounded)
+                               ? static_cast<std::int64_t>(rounded)
+                               : static_cast<std::int64_t>(iterations);
   m.goodput = wall > 0 ? useful / wall : 1.0;
   m.overhead_fraction = 1.0 - m.goodput;
   return m;
@@ -91,17 +147,115 @@ ResilienceMetrics SimulateTrainingRun(const sched::Schedule& schedule,
 }
 
 sim::FaultPlan FaultPlanForFailure(const FailureRecord& failure, Seconds iteration_time,
-                                   const ReliabilityOptions& reliability) {
+                                   const ReliabilityOptions& reliability,
+                                   sim::RestartScope scope) {
   MEPIPE_CHECK_GT(iteration_time, 0.0);
   sim::FaultPlan plan;
   // Iteration-local view: restart from the iteration start (the implicit
-  // t=0 checkpoint), stalled for the run-level detection + restart cost.
+  // t=0 checkpoint — under replica scope also the last DP sync point),
+  // stalled for the run-level detection + restart cost.
   const Seconds offset =
       std::clamp(failure.iteration_offset, 0.0, iteration_time);
   plan.fail_stops.push_back({/*stage=*/0, offset,
                              /*detection_delay=*/0.0,
                              /*restart_time=*/reliability.recovery_time});
+  plan.restart_scope = scope;
+  if (scope == sim::RestartScope::kDpReplicaLocal) {
+    plan.sync_points.push_back(0.0);
+  }
   return plan;
+}
+
+CheckpointIntervalSolution OptimalCheckpointInterval(
+    Seconds iteration_time, const ResilienceOptions& base,
+    const CheckpointIntervalOptions& options) {
+  MEPIPE_CHECK_GT(iteration_time, 0.0);
+  MEPIPE_CHECK_GT(base.gpus, 0);
+  const Seconds w = base.reliability.checkpoint_write_cost;
+  MEPIPE_CHECK_GT(w, 0.0) << "a free checkpoint has no optimal interval";
+  MEPIPE_CHECK_GE(options.coarse_points, 3);
+  MEPIPE_CHECK_GE(options.golden_iterations, 0);
+
+  CheckpointIntervalSolution sol;
+  sol.mtbf = base.reliability.mtbf_per_1000_gpus * 1000.0 /
+             static_cast<double>(base.gpus);
+  sol.young = std::sqrt(2.0 * w * sol.mtbf);
+  if (w < 2.0 * sol.mtbf) {
+    const double ratio = w / (2.0 * sol.mtbf);
+    sol.daly =
+        sol.young * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - w;
+  } else {
+    sol.daly = sol.mtbf;  // Daly's regime boundary: checkpoint every MTBF
+  }
+
+  const auto goodput_at = [&](Seconds interval) {
+    ResilienceOptions run = base;
+    run.reliability.checkpoint_interval = interval;
+    try {
+      return SimulateTrainingRun(iteration_time, run).goodput;
+    } catch (const CheckError&) {
+      // The scan legitimately probes intervals the MTBF cannot sustain
+      // (no durable progress before the restart bound trips); score them
+      // as zero goodput instead of aborting the search.
+      return 0.0;
+    }
+  };
+
+  Seconds lo = options.min_interval > 0 ? options.min_interval
+                                        : std::max(sol.daly / 16.0, w);
+  Seconds hi = options.max_interval > 0 ? options.max_interval : sol.daly * 16.0;
+  lo = std::max(lo, 1e-3);
+  hi = std::max(hi, lo * 2.0);
+  MEPIPE_CHECK_LT(lo, hi);
+
+  // Coarse log-spaced bracketing scan: the simulated goodput curve is
+  // unimodal in expectation but Monte-Carlo-stepped locally, so bracket
+  // globally before polishing.
+  const int n = options.coarse_points;
+  std::vector<Seconds> grid(static_cast<std::size_t>(n));
+  int best = 0;
+  double best_goodput = -1.0;
+  for (int i = 0; i < n; ++i) {
+    grid[static_cast<std::size_t>(i)] =
+        lo * std::pow(hi / lo, static_cast<double>(i) / (n - 1));
+    const double g = goodput_at(grid[static_cast<std::size_t>(i)]);
+    if (g > best_goodput) {
+      best_goodput = g;
+      best = i;
+    }
+  }
+  sol.refined = grid[static_cast<std::size_t>(best)];
+  sol.goodput = best_goodput;
+
+  // Golden-section maximization between the bracket's neighbours.
+  Seconds a = grid[static_cast<std::size_t>(std::max(0, best - 1))];
+  Seconds b = grid[static_cast<std::size_t>(std::min(n - 1, best + 1))];
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  Seconds x1 = b - inv_phi * (b - a);
+  Seconds x2 = a + inv_phi * (b - a);
+  double f1 = goodput_at(x1);
+  double f2 = goodput_at(x2);
+  for (int i = 0; i < options.golden_iterations; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = goodput_at(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = goodput_at(x1);
+    }
+    const double f_best = std::max(f1, f2);
+    if (f_best > sol.goodput) {
+      sol.goodput = f_best;
+      sol.refined = f1 > f2 ? x1 : x2;
+    }
+  }
+  return sol;
 }
 
 }  // namespace mepipe::core

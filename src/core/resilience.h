@@ -41,6 +41,16 @@ struct ResilienceOptions {
   // Cap on the per-failure records kept in ResilienceMetrics::failures
   // (counters are always exact).
   std::size_t max_failure_records = 1024;
+  // How far a fail-stop rolls the run back. kFullPipeline restores the
+  // last durable checkpoint for everyone. kDpReplicaLocal (requires
+  // dp_replicas > 1; silently equivalent to full at dp_replicas == 1,
+  // where no surviving peer exists) restores the lost replica from a
+  // surviving peer at the last completed iteration (the last DP sync
+  // point), so only the interrupted iteration's work is replayed while
+  // the survivors idle.
+  sim::RestartScope restart_scope = sim::RestartScope::kFullPipeline;
+  // Data-parallel replica count of the simulated job (for restart_scope).
+  int dp_replicas = 1;
 };
 
 // One fail-stop event of the simulated run.
@@ -57,11 +67,14 @@ struct ResilienceMetrics {
   Seconds wall_time = 0;           // total elapsed, stalls included
   Seconds useful_time = 0;         // training progress delivered
   Seconds lost_time = 0;           // work redone after rollbacks
-  Seconds checkpoint_time = 0;     // spent writing checkpoints
+  Seconds checkpoint_time = 0;     // spent writing checkpoints (incl. aborted)
   Seconds recovery_time = 0;       // detection + restart stalls
   std::int64_t iterations_completed = 0;
   int restarts = 0;
-  int checkpoints_written = 0;
+  int checkpoints_written = 0;     // durable writes only
+  // Writes a failure struck mid-stream: their elapsed time counts toward
+  // checkpoint_time, but the checkpoint never became durable.
+  int checkpoints_aborted = 0;
   double goodput = 0;              // useful_time / wall_time
   // 1 - goodput: the measured analogue of FailureOverheadFraction.
   double overhead_fraction = 0;
@@ -84,9 +97,49 @@ ResilienceMetrics SimulateTrainingRun(const sched::Schedule& schedule,
 // iteration: a fail-stop at the failure's offset into the iteration with
 // the record's detection + restart stall, restarting from the iteration
 // start. Feed to EngineOptions::fault_plan to see the failure disrupt an
-// actual timeline (trace export, schedule-sensitivity studies).
-sim::FaultPlan FaultPlanForFailure(const FailureRecord& failure, Seconds iteration_time,
-                                   const ReliabilityOptions& reliability);
+// actual timeline (trace export, schedule-sensitivity studies). Under
+// kDpReplicaLocal the plan carries the replica scope and marks the
+// iteration start as a DP sync point, so the engine's downtime window is
+// labelled as a replica-local replay.
+sim::FaultPlan FaultPlanForFailure(
+    const FailureRecord& failure, Seconds iteration_time,
+    const ReliabilityOptions& reliability,
+    sim::RestartScope scope = sim::RestartScope::kFullPipeline);
+
+// ---- Young/Daly checkpoint-interval solver --------------------------------
+//
+// For write cost w and cluster MTBF M, Young's first-order optimum is
+// sqrt(2 w M); Daly's second-order refinement
+//   T = sqrt(2 w M) · [1 + (1/3)·sqrt(w/(2M)) + (1/9)·(w/(2M))] − w
+// (valid for w < 2M; T = M otherwise). Both derive from the analytic
+// overhead model; `refined` then hones the answer against the
+// SimulateTrainingRun Monte-Carlo itself — a coarse log-spaced bracket
+// scan followed by golden-section maximization of simulated goodput.
+
+struct CheckpointIntervalOptions {
+  // Search bounds for the refinement; 0 = derive from the Daly point
+  // ([daly/16, daly·16], floored at the write cost).
+  Seconds min_interval = 0;
+  Seconds max_interval = 0;
+  int coarse_points = 17;      // log-spaced bracketing scan
+  int golden_iterations = 32;  // golden-section steps inside the bracket
+};
+
+struct CheckpointIntervalSolution {
+  Seconds mtbf = 0;     // cluster-level MTBF the solver used
+  Seconds young = 0;    // sqrt(2 w M)
+  Seconds daly = 0;     // Young + second-order correction
+  Seconds refined = 0;  // simulation-refined goodput argmax
+  double goodput = 0;   // simulated goodput at `refined`
+};
+
+// Solves for the goodput-optimal checkpoint interval of a run whose
+// clean iteration takes `iteration_time` under `base`'s failure model
+// (base.reliability.checkpoint_interval is ignored — it is the unknown).
+// Throws CheckError on non-positive write cost or iteration time.
+CheckpointIntervalSolution OptimalCheckpointInterval(
+    Seconds iteration_time, const ResilienceOptions& base,
+    const CheckpointIntervalOptions& options = {});
 
 }  // namespace mepipe::core
 

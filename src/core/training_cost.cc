@@ -298,6 +298,27 @@ Bytes TrainingCostModel::MaxStaticMemory() const {
   return max_bytes;
 }
 
+Bytes TrainingCostModel::CheckpointShardBytes() const {
+  Bytes worst = 0;
+  for (const Bytes params : param_bytes_per_stage_) {
+    const std::int64_t param_count = params / options_.memory.bytes_per_param;
+    const Bytes optimizer_shard = param_count * options_.memory.optimizer_bytes_per_param /
+                                  (strategy_.dp * strategy_.cp);
+    // The dp-rank-0 writer of the biggest stage pays params + its shard.
+    worst = std::max(worst, params + optimizer_shard);
+  }
+  return worst;
+}
+
+Bytes TrainingCostModel::CheckpointStateBytes() const {
+  Bytes total = 0;
+  for (const Bytes params : param_bytes_per_stage_) {
+    const std::int64_t param_count = params / options_.memory.bytes_per_param;
+    total += params + param_count * options_.memory.optimizer_bytes_per_param;
+  }
+  return total;
+}
+
 Seconds TrainingCostModel::DpSyncTime() const {
   Seconds worst = 0;
   for (const Bytes params : param_bytes_per_stage_) {

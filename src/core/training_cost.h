@@ -86,6 +86,15 @@ class TrainingCostModel : public sim::CostModel {
   // worst (most-loaded) chunk — the unit the §4.5 variant selector
   // divides the remaining memory budget by.
   Bytes PerForwardActivationBytes() const;
+  // Checkpoint sizing for §9's memory-based checkpointing. Every rank
+  // persists its ZeRO-1 optimizer shard (fp32 master + Adam moments);
+  // the first data-parallel rank of each stage additionally writes the
+  // stage's bf16 parameters. CheckpointShardBytes is the worst single
+  // rank's write (it governs the parallel write stall, see
+  // core::CheckpointWriteCost); CheckpointStateBytes is the total unique
+  // state a restore needs.
+  Bytes CheckpointShardBytes() const;
+  Bytes CheckpointStateBytes() const;
 
   const Strategy& strategy() const { return strategy_; }
 

@@ -79,6 +79,9 @@ void FaultPlan::Validate(int stages) const {
   for (Seconds c : checkpoints) {
     MEPIPE_CHECK_GE(c, 0.0) << "checkpoint time";
   }
+  for (Seconds s : sync_points) {
+    MEPIPE_CHECK_GE(s, 0.0) << "sync-point time";
+  }
 }
 
 const char* ToString(FaultKind kind) {
@@ -87,6 +90,14 @@ const char* ToString(FaultKind kind) {
     case FaultKind::kLinkDegrade: return "link-degrade";
     case FaultKind::kTransferRetry: return "transfer-retry";
     case FaultKind::kFailStop: return "fail-stop";
+  }
+  return "?";
+}
+
+const char* ToString(RestartScope scope) {
+  switch (scope) {
+    case RestartScope::kFullPipeline: return "full-pipeline";
+    case RestartScope::kDpReplicaLocal: return "dp-replica-local";
   }
   return "?";
 }
@@ -124,9 +135,15 @@ FaultyCostModel::FaultyCostModel(const CostModel& base, FaultPlanRef plan_ref, i
   // Derive the global downtime windows. Fail-stop times are progress
   // instants; each failure pushes everything after it by its own
   // detection + restart + replay, so wall-clock begins accumulate the
-  // lengths of the earlier windows.
+  // lengths of the earlier windows. Under kDpReplicaLocal the restore
+  // target additionally includes the DP sync points: only the lost
+  // replica replays (survivors idle for the same window), so the replay
+  // reaches back only to the most recent of checkpoint and sync point.
   std::vector<Seconds> ckpts = plan.checkpoints;
   ckpts.push_back(0.0);
+  if (plan.restart_scope == RestartScope::kDpReplicaLocal) {
+    ckpts.insert(ckpts.end(), plan.sync_points.begin(), plan.sync_points.end());
+  }
   std::sort(ckpts.begin(), ckpts.end());
   std::vector<FailStopFault> fails = plan.fail_stops;
   std::sort(fails.begin(), fails.end(),
@@ -144,7 +161,7 @@ FaultyCostModel::FaultyCostModel(const CostModel& base, FaultPlanRef plan_ref, i
     const Seconds lost = f.time - last_ckpt;
     const Seconds begin = f.time + offset;
     const Seconds length = f.detection_delay + f.restart_time + lost;
-    downtimes_.push_back({begin, begin + length, f.stage, lost});
+    downtimes_.push_back({begin, begin + length, f.stage, lost, plan.restart_scope});
     offset += length;
   }
 }
@@ -243,8 +260,11 @@ std::vector<FaultSpan> FaultyCostModel::Spans() const {
                      StrFormat("link %d->%d %d retries", r.from, r.to, r.retries)});
   }
   for (const Downtime& d : downtimes_) {
+    const char* replayer =
+        d.scope == RestartScope::kDpReplicaLocal ? "lost replica replays" : "replay";
     spans.push_back({FaultKind::kFailStop, d.stage, -1, -1, d.begin, d.end,
-                     StrFormat("stage %d lost: replay %.1fs after restart", d.stage, d.lost)});
+                     StrFormat("stage %d lost: %s %.1fs after restart", d.stage, replayer,
+                               d.lost)});
   }
   std::sort(spans.begin(), spans.end(),
             [](const FaultSpan& a, const FaultSpan& b) { return a.begin < b.begin; });

@@ -73,6 +73,19 @@ struct FailStopFault {
   Seconds restart_time = 0;
 };
 
+// How far a fail-stop rolls the job back.
+//  - kFullPipeline: every replica restores the last durable checkpoint
+//    and the whole cluster replays the work since it.
+//  - kDpReplicaLocal: surviving data-parallel replicas keep their state;
+//    the lost replica restores from a peer at the last DP sync point
+//    (FaultPlan::sync_points) and replays only the work since that sync
+//    while the survivors idle. The restore target is the most recent of
+//    the last checkpoint and the last sync point, so replica-local
+//    replay is never longer than a full restart's.
+enum class RestartScope { kFullPipeline, kDpReplicaLocal };
+
+const char* ToString(RestartScope scope);
+
 struct FaultPlan {
   std::vector<StragglerFault> stragglers;
   std::vector<LinkDegradeFault> link_degrades;
@@ -81,6 +94,12 @@ struct FaultPlan {
   // Progress-time instants at which a consistent checkpoint exists (the
   // restart target of a fail-stop). t=0 always counts as one.
   std::vector<Seconds> checkpoints;
+  // Rollback scope of the fail-stops (see RestartScope).
+  RestartScope restart_scope = RestartScope::kFullPipeline;
+  // Progress-time instants at which all DP replicas hold an identical,
+  // peer-fetchable copy of the state (iteration boundaries). Only
+  // consulted under kDpReplicaLocal; t=0 always counts as one.
+  std::vector<Seconds> sync_points;
 
   bool empty() const;
   // Throws CheckError on malformed plans: windows with end <= begin,
@@ -187,6 +206,7 @@ class FaultyCostModel : public WrappingCostModel {
     Seconds end = 0;
     int stage = 0;
     Seconds lost = 0;  // replayed work included in [begin, end)
+    RestartScope scope = RestartScope::kFullPipeline;
   };
 
   // Advances `work` seconds of dilated progress from `start` through

@@ -81,6 +81,40 @@ TEST(CostParity, InfiniteWhenCheaperAlsoUsesLessPower) {
   EXPECT_TRUE(std::isinf(years));
 }
 
+TEST(CostParity, ZeroWhenThereIsNoAcquisitionAdvantage) {
+  // Regression: a power-hungry cluster that is *also* more expensive to
+  // buy has no acquisition gap to erase. The horizon is zero — parity
+  // holds from day one — never a negative number of years.
+  hw::ClusterSpec pricey = hw::Rtx4090Cluster();
+  pricey.gpu.server_price_usd *= 100.0;
+  const double years = CostParityYears(pricey, hw::A100Cluster());
+  EXPECT_DOUBLE_EQ(years, 0.0);
+
+  // Exactly equal acquisition cost: the gap is zero, the horizon is too.
+  const auto reference = hw::A100Cluster();
+  hw::ClusterSpec matched = hw::Rtx4090Cluster();
+  matched.gpu.server_price_usd =
+      static_cast<double>(reference.nodes) * reference.gpu.server_price_usd /
+      static_cast<double>(matched.nodes);
+  EXPECT_DOUBLE_EQ(CostParityYears(matched, reference), 0.0);
+}
+
+TEST(CheckpointCost, BarrierPlusBandwidth) {
+  CheckpointCostOptions options;  // 3 GB/s, 1s barrier
+  EXPECT_DOUBLE_EQ(CheckpointWriteCost(0, options), 1.0);
+  EXPECT_DOUBLE_EQ(CheckpointWriteCost(3'000'000'000, options), 2.0);
+  // Monotone in the shard size.
+  EXPECT_LT(CheckpointWriteCost(1'000'000'000, options),
+            CheckpointWriteCost(2'000'000'000, options));
+}
+
+TEST(CheckpointCost, RejectsBadInput) {
+  CheckpointCostOptions zero_bw;
+  zero_bw.write_bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(CheckpointWriteCost(1'000'000, zero_bw), CheckError);
+  EXPECT_THROW(CheckpointWriteCost(-1), CheckError);
+}
+
 TEST(TotalCost, AcquisitionDominatesShortHorizons) {
   const auto rtx = hw::Rtx4090Cluster();
   const double one_year = TotalCostUsd(rtx, 1.0);

@@ -78,6 +78,41 @@ TEST(Fault, FailStopDowntimeAndCheckpoints) {
   }
 }
 
+TEST(Fault, ReplicaScopeRestoresFromSyncPoints) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  FaultPlan plan;
+  plan.checkpoints = {1.0};
+  plan.sync_points = {4.0};
+  plan.fail_stops = {{1, 5.0, 1.0, 3.0}};
+  {
+    // Full-pipeline restart ignores the sync point: replay 5-1=4s, so
+    // downtime is detection(1) + restart(3) + replay(4) = [5, 13).
+    const FaultyCostModel faulty(base, plan, 2);
+    EXPECT_DOUBLE_EQ(faulty.NextUpTime(5.0), 13.0);
+  }
+  {
+    // Replica-local restart restores from the surviving peers' last DP
+    // sync at t=4: replay only 1s, downtime [5, 10).
+    FaultPlan replica = plan;
+    replica.restart_scope = RestartScope::kDpReplicaLocal;
+    const FaultyCostModel faulty(base, replica, 2);
+    EXPECT_DOUBLE_EQ(faulty.NextUpTime(5.0), 10.0);
+    const auto spans = faulty.Spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_NE(spans[0].label.find("lost replica replays"), std::string::npos);
+  }
+}
+
+TEST(Fault, SyncPointsValidateAndStringify) {
+  FaultPlan plan;
+  plan.sync_points = {-1.0};
+  EXPECT_THROW(plan.Validate(2), CheckError);
+  plan.sync_points = {0.0, 4.0};
+  EXPECT_NO_THROW(plan.Validate(2));
+  EXPECT_STREQ(ToString(RestartScope::kFullPipeline), "full-pipeline");
+  EXPECT_STREQ(ToString(RestartScope::kDpReplicaLocal), "dp-replica-local");
+}
+
 TEST(Fault, LaterFailStopsShiftByEarlierDowntime) {
   const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
   FaultPlan plan;

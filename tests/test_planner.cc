@@ -228,5 +228,114 @@ TEST(Planner, SearchRebalancedVariantsBeatOrMatchTheFaultedSearch) {
   EXPECT_LE(rebalanced.best->iteration_time, plain.best->iteration_time + 1e-9);
 }
 
+TEST(Planner, GoodputObjectivePricesEveryFeasibleCandidate) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions options;
+  options.pp_candidates = {8};
+  options.slice_candidates = {1, 2};
+  options.vp_candidates = {1};
+  options.objective = PlannerObjective::kGoodput;
+  options.resilience.seed = 2025;
+  const auto result = SearchBestStrategy(Method::kDapple, config, cluster, 64, options);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.best->goodput.priced);
+  EXPECT_GT(result.best->goodput.checkpoint_interval, 0.0);
+  // The write cost includes the consistency barrier plus the shard.
+  EXPECT_GT(result.best->goodput.checkpoint_write_cost, 1.0);
+  EXPECT_GT(result.best->goodput.goodput, 0.0);
+  EXPECT_LE(result.best->goodput.goodput, 1.0);
+  // Effective time is the wall-clock cost of one useful iteration.
+  EXPECT_GE(result.best->goodput.effective_iteration_time,
+            result.best->iteration_time);
+  for (const auto& e : result.evaluated) {
+    if (e.feasible) {
+      EXPECT_TRUE(e.goodput.priced) << e.strategy.ToString();
+    } else {
+      EXPECT_FALSE(e.goodput.priced) << e.strategy.ToString();
+    }
+  }
+}
+
+TEST(Planner, IterationTimeObjectiveLeavesGoodputUnpriced) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  const auto result = SearchBestStrategy(Method::kDapple, config, cluster, 64);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_FALSE(result.best->goodput.priced);
+  EXPECT_GT(result.best->checkpoint_shard, 0);  // sized regardless
+  EXPECT_GT(result.best->checkpoint_state, result.best->checkpoint_shard);
+}
+
+TEST(Planner, GoodputObjectiveCanFlipTheWinner) {
+  // The acceptance scenario: on Llama-7B (32 partition units, so pp=32
+  // is admissible) DAPPLE's fault-free winner is pp=4/dp=16 — but its
+  // dp-rank-0 checkpoint writers carry 8x the bf16 parameter shard of
+  // the pp=32 layout. On a 16384-GPU fleet (MTBF ~22 min) with a slow
+  // 50 MB/s checkpoint store, the cheaper checkpoints buy more goodput
+  // than the slightly faster schedule does, and the ranking flips.
+  const auto config = model::Llama7B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions options;
+  options.pp_candidates = {4, 32};
+  options.slice_candidates = {1};
+  options.vp_candidates = {1};
+  options.allow_recompute = false;
+  options.resilience.gpus = 16384;
+  options.resilience.reliability.mtbf_per_1000_gpus = 6.0 * 3600.0;
+  options.resilience.seed = 2025;
+  const Seconds mtbf = 6.0 * 3600.0 * 1000.0 / 16384.0;
+  options.resilience.target_useful_time = 60.0 * mtbf;
+  options.checkpoint_cost.write_bandwidth_bytes_per_s = 0.05e9;
+  options.interval_solver.coarse_points = 9;
+  options.interval_solver.golden_iterations = 8;
+
+  const auto fastest = SearchBestStrategy(Method::kDapple, config, cluster, 128, options);
+  options.objective = PlannerObjective::kGoodput;
+  const auto sturdiest = SearchBestStrategy(Method::kDapple, config, cluster, 128, options);
+  ASSERT_TRUE(fastest.best.has_value());
+  ASSERT_TRUE(sturdiest.best.has_value());
+  EXPECT_EQ(fastest.best->strategy.pp, 4);
+  EXPECT_EQ(sturdiest.best->strategy.pp, 32);
+  EXPECT_NE(fastest.best->strategy.ToString(), sturdiest.best->strategy.ToString());
+  // The flip is real: the goodput winner is slower fault-free but
+  // cheaper per useful iteration once failures are priced in.
+  EXPECT_GT(sturdiest.best->iteration_time, fastest.best->iteration_time);
+  const IterationResult* fault_free_choice = nullptr;
+  for (const auto& e : sturdiest.evaluated) {
+    if (e.feasible &&
+        e.strategy.ToString() == fastest.best->strategy.ToString()) {
+      fault_free_choice = &e;
+    }
+  }
+  ASSERT_NE(fault_free_choice, nullptr);
+  EXPECT_LT(sturdiest.best->goodput.effective_iteration_time,
+            fault_free_choice->goodput.effective_iteration_time);
+}
+
+TEST(Planner, GoodputPruningKeepsTheWinner) {
+  // The compute lower bound stays sound under the goodput score
+  // (goodput <= 1 implies score >= iteration_time): pruned and
+  // exhaustive searches agree.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions full;
+  full.pp_candidates = {4, 8};
+  full.slice_candidates = {1, 2};
+  full.vp_candidates = {1};
+  full.objective = PlannerObjective::kGoodput;
+  full.resilience.seed = 7;
+  PlannerOptions pruned = full;
+  pruned.prune = true;
+  const auto a = SearchBestStrategy(Method::kDapple, config, cluster, 64, full);
+  const auto b = SearchBestStrategy(Method::kDapple, config, cluster, 64, pruned);
+  ASSERT_TRUE(a.best.has_value());
+  ASSERT_TRUE(b.best.has_value());
+  EXPECT_EQ(a.best->strategy.ToString(), b.best->strategy.ToString());
+  EXPECT_NEAR(a.best->goodput.effective_iteration_time,
+              b.best->goodput.effective_iteration_time, 1e-9);
+  EXPECT_EQ(a.evaluated.size(), b.evaluated.size());
+}
+
 }  // namespace
 }  // namespace mepipe::core

@@ -126,6 +126,227 @@ TEST(Resilience, FaultPlanForFailureScriptsTheFailStop) {
   EXPECT_NO_THROW(plan.Validate(1));
 }
 
+TEST(Resilience, ExactIterationCountFaultFree) {
+  // iterations_completed must count exactly even when the iteration time
+  // is not representable in binary (0.1): the quotient of the float
+  // accumulation is snapped to the integer it is epsilon-close to
+  // instead of truncating to iterations - 1.
+  ResilienceOptions options;
+  options.reliability.mtbf_per_1000_gpus = 1e18;
+  options.gpus = 1024;
+  options.iterations = 12345;
+  const ResilienceMetrics m = SimulateTrainingRun(/*iteration_time=*/0.1, options);
+  EXPECT_EQ(m.restarts, 0);
+  EXPECT_EQ(m.iterations_completed, options.iterations);
+}
+
+TEST(Resilience, FailuresStrikeDuringCheckpointWrites) {
+  // Failure arrivals run on the wall clock, so a write lasting a sizable
+  // fraction of the MTBF gets hit mid-stream: the elapsed write time is
+  // paid but the checkpoint never becomes durable.
+  ResilienceOptions options;
+  options.gpus = 4096;
+  options.seed = 11;
+  options.reliability.checkpoint_write_cost = 2000.0;  // ~19% of the MTBF
+  options.reliability.checkpoint_interval = 3000.0;
+  const Seconds mtbf =
+      options.reliability.mtbf_per_1000_gpus * 1000.0 / options.gpus;
+  options.target_useful_time = 100.0 * mtbf;
+  const ResilienceMetrics m = SimulateTrainingRun(10.0, options);
+  EXPECT_GT(m.checkpoints_aborted, 0);
+  EXPECT_GT(m.checkpoints_written, 0);
+  // Aborted write time still lands in checkpoint_time, so the wall-clock
+  // identity holds exactly.
+  EXPECT_NEAR(m.wall_time,
+              m.useful_time + m.lost_time + m.checkpoint_time + m.recovery_time,
+              1e-6 * m.wall_time);
+  // More write time was paid than the durable writes alone account for.
+  EXPECT_GT(m.checkpoint_time,
+            m.checkpoints_written * options.reliability.checkpoint_write_cost);
+}
+
+TEST(Resilience, FailuresDuringRecoveryRestartTheRecovery) {
+  // With a recovery stall comparable to the MTBF, failures strike while
+  // the cluster is still coming back up. Those failures lose no further
+  // work (progress is already rolled back) but restart the recovery.
+  ResilienceOptions options;
+  options.gpus = 4096;
+  options.seed = 3;
+  options.reliability.recovery_time = 5000.0;  // ~47% of the 10546s MTBF
+  const Seconds mtbf =
+      options.reliability.mtbf_per_1000_gpus * 1000.0 / options.gpus;
+  options.target_useful_time = 100.0 * mtbf;
+  const ResilienceMetrics m = SimulateTrainingRun(10.0, options);
+  int zero_loss = 0;
+  for (const FailureRecord& f : m.failures) {
+    if (f.lost_work == 0.0) {
+      ++zero_loss;
+    }
+  }
+  EXPECT_GT(zero_loss, 0);
+  EXPECT_EQ(m.restarts, static_cast<int>(m.failures.size()));
+  EXPECT_NEAR(m.wall_time,
+              m.useful_time + m.lost_time + m.checkpoint_time + m.recovery_time,
+              1e-6 * m.wall_time);
+}
+
+TEST(Resilience, CrossValidatesAnalyticAcrossGrid) {
+  // Property check: across a (fleet × interval × write-cost) grid the
+  // measured overhead tracks FailureOverheadFraction's closed form.
+  for (int gpus : {256, 1024}) {
+    for (Seconds interval : {300.0, 900.0}) {
+      for (Seconds write_cost : {5.0, 20.0}) {
+        ReliabilityOptions rel;
+        rel.checkpoint_interval = interval;
+        rel.checkpoint_write_cost = write_cost;
+        ResilienceOptions options;
+        options.reliability = rel;
+        options.gpus = gpus;
+        options.seed = 2025;
+        const Seconds mtbf = rel.mtbf_per_1000_gpus * 1000.0 / gpus;
+        options.target_useful_time = 150.0 * mtbf;
+        const ResilienceMetrics m = SimulateTrainingRun(10.0, options);
+        const double analytic = FailureOverheadFraction(gpus, rel);
+        const double rel_error = std::abs(m.overhead_fraction - analytic) / analytic;
+        EXPECT_LT(rel_error, 0.25)
+            << gpus << " GPUs, interval " << interval << "s, write " << write_cost
+            << "s: measured " << m.overhead_fraction << " vs analytic " << analytic;
+      }
+    }
+  }
+}
+
+TEST(Resilience, ReplicaLocalRestartShrinksLostTime) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (int dp : {2, 8}) {
+      ResilienceOptions options;
+      options.gpus = 4096;
+      options.seed = seed;
+      options.dp_replicas = dp;
+      const Seconds mtbf =
+          options.reliability.mtbf_per_1000_gpus * 1000.0 / options.gpus;
+      options.target_useful_time = 150.0 * mtbf;
+
+      options.restart_scope = sim::RestartScope::kFullPipeline;
+      const ResilienceMetrics full = SimulateTrainingRun(10.0, options);
+      options.restart_scope = sim::RestartScope::kDpReplicaLocal;
+      const ResilienceMetrics replica = SimulateTrainingRun(10.0, options);
+
+      // Strictly less work replayed whenever a surviving peer exists.
+      EXPECT_LT(replica.lost_time, full.lost_time) << "seed " << seed << " dp " << dp;
+      EXPECT_GT(replica.goodput, full.goodput) << "seed " << seed << " dp " << dp;
+      // Under replica scope at most the interrupted iteration replays.
+      for (const FailureRecord& f : replica.failures) {
+        EXPECT_LE(f.lost_work, 10.0 + 1e-9);
+      }
+      EXPECT_NEAR(replica.wall_time,
+                  replica.useful_time + replica.lost_time + replica.checkpoint_time +
+                      replica.recovery_time,
+                  1e-6 * replica.wall_time);
+    }
+  }
+}
+
+TEST(Resilience, ReplicaScopeFallsBackToFullWithoutPeers) {
+  // dp_replicas == 1 has no surviving replica to restore from; the two
+  // scopes must produce byte-identical runs.
+  ResilienceOptions options;
+  options.gpus = 4096;
+  options.seed = 5;
+  options.dp_replicas = 1;
+  options.target_useful_time = 500'000.0;
+  options.restart_scope = sim::RestartScope::kFullPipeline;
+  const ResilienceMetrics full = SimulateTrainingRun(10.0, options);
+  options.restart_scope = sim::RestartScope::kDpReplicaLocal;
+  const ResilienceMetrics replica = SimulateTrainingRun(10.0, options);
+  EXPECT_DOUBLE_EQ(full.wall_time, replica.wall_time);
+  EXPECT_DOUBLE_EQ(full.lost_time, replica.lost_time);
+  EXPECT_EQ(full.restarts, replica.restarts);
+}
+
+TEST(Resilience, YoungDalyFormulas) {
+  // mtbf = 1800s at 1000 GPUs, write cost 10s.
+  ResilienceOptions base;
+  base.gpus = 1000;
+  base.reliability.mtbf_per_1000_gpus = 1800.0;
+  base.reliability.checkpoint_write_cost = 10.0;
+  base.target_useful_time = 100'000.0;
+  const CheckpointIntervalSolution sol = OptimalCheckpointInterval(10.0, base);
+  EXPECT_DOUBLE_EQ(sol.mtbf, 1800.0);
+  EXPECT_DOUBLE_EQ(sol.young, std::sqrt(2.0 * 10.0 * 1800.0));
+  // Daly's correction nudges upward by less than it subtracts w back.
+  EXPECT_LT(sol.daly, sol.young);
+  EXPECT_GT(sol.daly, sol.young - 10.0);
+  EXPECT_GT(sol.refined, 0.0);
+  EXPECT_GT(sol.goodput, 0.0);
+  EXPECT_LT(sol.goodput, 1.0);
+
+  // Degenerate regime w >= 2M: checkpoint every MTBF.
+  ResilienceOptions heavy = base;
+  heavy.reliability.checkpoint_write_cost = 5000.0;
+  const CheckpointIntervalSolution boundary = OptimalCheckpointInterval(10.0, heavy);
+  EXPECT_DOUBLE_EQ(boundary.daly, boundary.mtbf);
+}
+
+TEST(Resilience, RefinedIntervalBeatsTheClosedFormsInSimulation) {
+  // The refinement maximizes *simulated* goodput, so it can never do
+  // worse there than the closed-form candidates it brackets.
+  ResilienceOptions base;
+  base.gpus = 4096;
+  base.seed = 2025;
+  base.reliability.checkpoint_write_cost = 30.0;
+  const Seconds mtbf =
+      base.reliability.mtbf_per_1000_gpus * 1000.0 / base.gpus;
+  base.target_useful_time = 150.0 * mtbf;
+  const CheckpointIntervalSolution sol = OptimalCheckpointInterval(5.0, base);
+  auto goodput_at = [&](Seconds interval) {
+    ResilienceOptions run = base;
+    run.reliability.checkpoint_interval = interval;
+    return SimulateTrainingRun(5.0, run).goodput;
+  };
+  EXPECT_GE(sol.goodput, goodput_at(sol.young) - 1e-12);
+  EXPECT_GE(sol.goodput, goodput_at(sol.daly) - 1e-12);
+
+  // Acceptance bar: within 5% of a brute-force simulated optimum scan.
+  double brute = 0;
+  for (int i = 0; i < 21; ++i) {
+    const Seconds interval =
+        (sol.daly / 8.0) * std::pow(64.0, static_cast<double>(i) / 20.0);
+    brute = std::max(brute, goodput_at(interval));
+  }
+  EXPECT_GE(sol.goodput, 0.95 * brute);
+}
+
+TEST(Resilience, SolverSurvivesUnsurvivableProbeIntervals) {
+  // At 65536 GPUs the cluster MTBF is ~658s; probing a 10^6 s interval
+  // can never complete a durable checkpoint. The solver must score such
+  // probes as zero goodput, not abort the search.
+  ResilienceOptions base;
+  base.gpus = 65536;
+  base.seed = 9;
+  base.reliability.checkpoint_write_cost = 30.0;
+  base.target_useful_time = 50'000.0;
+  CheckpointIntervalOptions bounds;
+  bounds.min_interval = 100.0;
+  bounds.max_interval = 1e7;
+  const CheckpointIntervalSolution sol =
+      OptimalCheckpointInterval(5.0, base, bounds);
+  EXPECT_GT(sol.goodput, 0.0);
+  EXPECT_LT(sol.refined, 1e5);
+}
+
+TEST(Resilience, FaultPlanForFailureCarriesReplicaScope) {
+  const ReliabilityOptions rel;
+  FailureRecord failure;
+  failure.iteration_offset = 2.0;
+  const sim::FaultPlan plan = FaultPlanForFailure(
+      failure, 10.0, rel, sim::RestartScope::kDpReplicaLocal);
+  EXPECT_EQ(plan.restart_scope, sim::RestartScope::kDpReplicaLocal);
+  ASSERT_EQ(plan.sync_points.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.sync_points[0], 0.0);
+  EXPECT_NO_THROW(plan.Validate(1));
+}
+
 TEST(Resilience, RejectsDegenerateInputs) {
   EXPECT_THROW(SimulateTrainingRun(0.0, {}), CheckError);
   ResilienceOptions bad_gpus;
@@ -138,6 +359,10 @@ TEST(Resilience, RejectsDegenerateInputs) {
   doomed.reliability.mtbf_per_1000_gpus = 1.0;  // 1s MTBF, 600s interval
   doomed.target_useful_time = 10'000.0;
   EXPECT_THROW(SimulateTrainingRun(10.0, doomed), CheckError);
+  // A free checkpoint has no optimal interval.
+  ResilienceOptions free_ckpt;
+  free_ckpt.reliability.checkpoint_write_cost = 0.0;
+  EXPECT_THROW(OptimalCheckpointInterval(10.0, free_ckpt), CheckError);
 }
 
 }  // namespace

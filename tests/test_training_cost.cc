@@ -172,6 +172,25 @@ TEST(TrainingCost, TpDividesComputeAndParams) {
             a.ActivationBytes({OpKind::kForward, 0, 0, 1}));
 }
 
+TEST(TrainingCost, CheckpointShardShrinksWithPipelineDepth) {
+  // The worst writer carries its stage's bf16 parameters (∝ 1/pp) plus
+  // its ZeRO-1 optimizer shard (invariant: total·opt_bytes/(pp·dp·cp)
+  // with pp·dp·cp fixed at the world size). Deeper pipelines therefore
+  // checkpoint strictly cheaper per rank.
+  Fixture fx;
+  const Strategy shallow = fx.Mepipe(4, 16, 4);
+  const Strategy deep = fx.Mepipe(8, 8, 4);
+  TrainingCostModel a(fx.config, shallow, fx.cluster, fx.Problem(shallow));
+  TrainingCostModel b(fx.config, deep, fx.cluster, fx.Problem(deep));
+  EXPECT_GT(a.CheckpointShardBytes(), b.CheckpointShardBytes());
+  // Total restore state is layout-independent up to partition rounding.
+  EXPECT_NEAR(static_cast<double>(a.CheckpointStateBytes()),
+              static_cast<double>(b.CheckpointStateBytes()),
+              0.02 * static_cast<double>(a.CheckpointStateBytes()));
+  // A shard is one rank's slice of the state, never the whole of it.
+  EXPECT_LT(a.CheckpointShardBytes(), a.CheckpointStateBytes());
+}
+
 TEST(TrainingCost, StrategyToString) {
   Fixture fx;
   Strategy s = fx.Mepipe(8, 8, 4);
