@@ -7,6 +7,7 @@
 #include "core/analytic.h"
 #include "core/svpp.h"
 #include "sched/baselines.h"
+#include "sched/zbv.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 
@@ -44,6 +45,15 @@ std::optional<double> SimulatedBubble(Method method, const AnalyticInput& in) {
       schedule = GenerateSvpp(options);
       break;
     }
+    case Method::kZbv: {
+      // Handcrafted ZB-V splits B/W, so its closed form assumes
+      // F = B = W and zero transfer.
+      sched::ZbvOptions options;
+      options.transfer_time = 0.0;
+      schedule = sched::HandcraftedZbvSchedule(in.p, in.n, options);
+      const sim::UniformCostModel costs(1.0, 1.0, 1.0, 0.0);
+      return Simulate(schedule, costs).bubble_ratio;
+    }
     default:
       return std::nullopt;
   }
@@ -64,6 +74,7 @@ void EmitTable3() {
       {Method::kVpp, {8, 2, 1, 16}},
       {Method::kHanayo, {8, 2, 1, 16}},
       {Method::kTeraPipe, {8, 1, 4, 16}},
+      {Method::kZbv, {8, 2, 1, 16}},
       {Method::kSvpp, {8, 1, 4, 16}},
       {Method::kSvpp, {8, 2, 4, 16}},
       // Large cluster (n < p).

@@ -27,6 +27,8 @@ const char* ToString(Method method) {
       return "ZB";
     case Method::kZbv:
       return "ZBV";
+    case Method::kZbvCapped:
+      return "ZBV-capped";
     case Method::kSvpp:
       return "MEPipe";
   }
@@ -83,11 +85,26 @@ std::optional<AnalyticResult> Analyze(Method method, const AnalyticInput& input)
       return out;
 
     case Method::kZb1p:
-    case Method::kZbv:
+    case Method::kZbvCapped:
       // §4.4 deliberately excludes the zero-bubble family from Table 3
       // (its B/W split composes with every row); the simulator measures
       // these methods instead of a closed form.
       return std::nullopt;
+
+    case Method::kZbv: {
+      if (n < p) {
+        return std::nullopt;  // the ramp cannot fill; Table 3 assumes n >= p
+      }
+      // The handcrafted ZB-V construction (sched/zbv.h) reaches the
+      // chunk-chain lower bound under the table's assumptions: each
+      // stage idles exactly the (p-1) chunk-forwards of pipeline ramp,
+      // against 6n chunk-op units of work (2n each of F, B, W at v=2,
+      // uniform F = B = W). Memory is 1F1B parity: at most 2p retained
+      // chunk-forwards of A/(2p) each.
+      out.bubble_ratio = D(p - 1) / D(p - 1 + 6 * n);
+      out.activation_fraction = 1.0;
+      return out;
+    }
 
     case Method::kSvpp: {
       const double table_fraction =

@@ -20,9 +20,10 @@ enum class Method {
   kVpp,      // Megatron interleaved
   kHanayo,   // wave-like
   kTeraPipe, // sequence pipeline, GPipe-like ordering
-  kZb1p,     // zero bubble (1F1B extension)
-  kZbv,      // zero bubble (V-shape)
-  kSvpp,     // MEPipe
+  kZb1p,       // zero bubble (1F1B extension)
+  kZbv,        // zero bubble (V-shape), handcrafted construction
+  kZbvCapped,  // ZBV's former capped-generator approximation
+  kSvpp,       // MEPipe
 };
 
 const char* ToString(Method method);

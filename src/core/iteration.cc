@@ -11,13 +11,15 @@
 #include "model/flops.h"
 #include "model/slicing.h"
 #include "sched/baselines.h"
+#include "sched/zbv.h"
 #include "sim/noise.h"
 
 namespace mepipe::core {
 namespace {
 
 bool MethodSplitsBackward(Method method) {
-  return method == Method::kZb1p || method == Method::kZbv || method == Method::kSvpp;
+  return method == Method::kZb1p || method == Method::kZbv || method == Method::kZbvCapped ||
+         method == Method::kSvpp;
 }
 
 IterationResult Infeasible(const Strategy& strategy, std::string note) {
@@ -71,7 +73,8 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
       return Infeasible(strategy, "Megatron interleaving requires n % p == 0");
     }
   }
-  if (strategy.method == Method::kZbv && strategy.vp != 2) {
+  if ((strategy.method == Method::kZbv || strategy.method == Method::kZbvCapped) &&
+      strategy.vp != 2) {
     return Infeasible(strategy, "ZBV is defined for vp=2");
   }
   if ((strategy.method == Method::kDapple || strategy.method == Method::kGPipe ||
@@ -91,7 +94,8 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
   problem.slices = strategy.spp;
   problem.micros = micros;
   problem.split_backward = MethodSplitsBackward(strategy.method);
-  if (strategy.method == Method::kZbv || strategy.method == Method::kHanayo) {
+  if (strategy.method == Method::kZbv || strategy.method == Method::kZbvCapped ||
+      strategy.method == Method::kHanayo) {
     problem.placement = sched::ChunkPlacement::kVShape;
   }
 
@@ -118,8 +122,20 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
       schedule = sched::Zb1pSchedule(strategy.pp, micros);
       engine.wgrad_mode = sim::WgradMode::kFillWhole;  // ZB fills whole-W tasks
       break;
-    case Method::kZbv:
-      schedule = sched::ZbvSchedule(strategy.pp, micros);
+    case Method::kZbv: {
+      // Handcrafted construction: W ops are statically placed, so the
+      // engine's deferred-W fill modes do not apply. The builder orders
+      // ops against the measured per-op costs, not its uniform defaults.
+      sched::ZbvOptions zbv;
+      zbv.f_time = costs.ComputeTime({sched::OpKind::kForward, 0, 0, 0});
+      zbv.b_time = costs.ComputeTime({sched::OpKind::kBackward, 0, 0, 0});
+      zbv.w_time = costs.ComputeTime({sched::OpKind::kWeightGrad, 0, 0, 0});
+      zbv.transfer_time = costs.TransferTime({sched::OpKind::kForward, 0, 0, 0});
+      schedule = sched::HandcraftedZbvSchedule(strategy.pp, micros, zbv);
+      break;
+    }
+    case Method::kZbvCapped:
+      schedule = sched::ZbvCappedSchedule(strategy.pp, micros);
       engine.wgrad_mode = sim::WgradMode::kFillWhole;
       break;
     case Method::kSvpp: {

@@ -13,7 +13,8 @@ bool UsesSlices(Method method) {
 }
 
 bool SplitsBackward(Method method) {
-  return method == Method::kZb1p || method == Method::kZbv || method == Method::kSvpp;
+  return method == Method::kZb1p || method == Method::kZbv || method == Method::kZbvCapped ||
+         method == Method::kSvpp;
 }
 
 std::vector<int> VpCandidatesFor(Method method, const PlannerOptions& options) {
@@ -31,6 +32,7 @@ std::vector<int> VpCandidatesFor(Method method, const PlannerOptions& options) {
       return vps;
     }
     case Method::kZbv:
+    case Method::kZbvCapped:
     case Method::kHanayo:
       return {2};
     case Method::kSvpp:

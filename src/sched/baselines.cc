@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/format.h"
 #include "sched/generator.h"
+#include "sched/zbv.h"
 
 namespace mepipe::sched {
 namespace {
@@ -128,6 +129,10 @@ Schedule HanayoSchedule(int stages, int micros) {
 }
 
 Schedule ZbvSchedule(int stages, int micros) {
+  return HandcraftedZbvSchedule(stages, micros);
+}
+
+Schedule ZbvCappedSchedule(int stages, int micros) {
   PipelineProblem problem;
   problem.stages = stages;
   problem.virtual_chunks = 2;
@@ -140,7 +145,7 @@ Schedule ZbvSchedule(int stages, int micros) {
   options.inflight_cap = CapSchedule(stages, std::max(stages, 2), 2);
   options.wgrad = WgradPolicy::kDeferred;
   options.b_time = 1.0;
-  return GenerateCapped(problem, options, "ZBV");
+  return GenerateCapped(problem, options, "ZBV-capped");
 }
 
 }  // namespace mepipe::sched

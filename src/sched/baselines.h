@@ -29,10 +29,16 @@ Schedule TeraPipeSchedule(int stages, int slices, int micros);
 // deferred and filled into bubbles by the execution engine.
 Schedule Zb1pSchedule(int stages, int micros);
 
-// Zero-bubble ZBV: v=2 V-shape placement with split backward. This is a
-// faithful-shape approximation generated by the capped list scheduler
-// (see DESIGN.md); its bubble/memory profile matches the ZBV family.
+// Zero-bubble ZBV: the original handcrafted v=2 V-shape construction
+// with split backward (sched/zbv.h) — F/B/W statically interleaved per
+// the ZB-V recipe, 1F1B-parity activation memory.
 Schedule ZbvSchedule(int stages, int micros);
+
+// The former capped-list-scheduler approximation of ZBV (V-shape chunk
+// placement, deferred W, 1F1B-family caps). Retained as a baseline for
+// the differential tests; its bubble ratio is pessimistic relative to
+// the handcrafted construction.
+Schedule ZbvCappedSchedule(int stages, int micros);
 
 // Hanayo wave-like schedule: two model chunks per stage in a V
 // (wave) placement without weight replication, fused backward. A

@@ -1,0 +1,100 @@
+// Reusable schedule-invariant validator and the tabular schedule
+// abstraction it checks over.
+//
+// A hand-built schedule is only as trustworthy as its checker, so every
+// schedule test suite funnels through this harness instead of ad-hoc
+// partial dependency checks. Following the tabular-schedule idea
+// (Barley et al., arXiv:2605.24006), a Schedule's per-stage program
+// orders are first flattened into a declarative (op, stage, start, end)
+// table under abstract costs — list semantics: each stage runs its ops
+// in order the instant dependencies allow — and the invariants are then
+// stated as predicates over that table:
+//
+//   multiset        every stage lists exactly its owned ops, once
+//   executable      the joint program order admits a complete execution
+//                   (dependency completeness and acyclicity)
+//   w-after-b       a static weight gradient runs after its backward,
+//                   per (micro, slice, chunk)
+//   slice-kv        causal slice order: F(m,t,g) after F(m,t-1,g) and
+//                   B(m,t,g) after B(m,t+1,g) on the same stage
+//   chunk-chain     cross-chunk dependencies are respected in table
+//                   time, including the inter-stage transfer delay
+//   activation-cap  the running count of retained forwards (released by
+//                   W when W is static, by B otherwise) never exceeds
+//                   the per-stage cap — the accounting core/memory_model
+//                   prices in bytes, checked here in forward units
+//   one-op-per-stream
+//                   a stage's compute stream never runs two ops at the
+//                   same instant (table spans do not overlap)
+//
+// CheckScheduleInvariants collects every violation; the Validate
+// wrapper throws CheckError on the first. ValidateSchedule
+// (sched/schedule.h) remains the cheap structural subset generators
+// call on every construction.
+#ifndef MEPIPE_SCHED_VALIDATE_H_
+#define MEPIPE_SCHED_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace mepipe::sched {
+
+// Abstract durations used to build the table. Transfers delay
+// cross-stage dependencies only.
+struct TableCosts {
+  double f_time = 1.0;
+  double b_time = 1.0;
+  double w_time = 1.0;
+  double transfer_time = 0.0;
+};
+
+struct TableRow {
+  int stage = 0;
+  OpId op;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+// The flattened (op, stage, time) table, rows grouped by stage in
+// program order. Requires a schedule that already passes the structural
+// ValidateSchedule; throws CheckError otherwise.
+struct ScheduleTable {
+  std::vector<TableRow> rows;
+  double makespan = 0.0;
+};
+
+ScheduleTable BuildScheduleTable(const Schedule& schedule, const TableCosts& costs = {});
+
+struct InvariantOptions {
+  TableCosts costs;
+  // Per-stage cap on retained forwards for the activation-accounting
+  // invariant; empty skips the check. (Callers derive the cap from
+  // core/memory_model's byte budget divided by the per-forward unit, or
+  // from the construction's documented bound.)
+  std::vector<int> retained_cap;
+};
+
+struct Violation {
+  std::string invariant;  // e.g. "w-after-b", "activation-cap"
+  std::string detail;
+};
+
+struct InvariantReport {
+  std::vector<Violation> violations;
+  bool ok() const { return violations.empty(); }
+  // Human-readable one-per-line summary ("<invariant>: <detail>").
+  std::string Summary() const;
+};
+
+// Runs every invariant, collecting violations instead of throwing.
+InvariantReport CheckScheduleInvariants(const Schedule& schedule,
+                                        const InvariantOptions& options = {});
+
+// Throws CheckError with the full summary when any invariant fails.
+void ValidateScheduleInvariants(const Schedule& schedule, const InvariantOptions& options = {});
+
+}  // namespace mepipe::sched
+
+#endif  // MEPIPE_SCHED_VALIDATE_H_

@@ -1,0 +1,69 @@
+// The original handcrafted ZB-V schedule construction (Qi et al.,
+// "Pipeline Parallelism with Controllable Memory", arXiv:2405.15362).
+//
+// ZB-V places v=2 chunks per stage in a V: stage i owns chunk i on the
+// descending leg and chunk 2p-1-i on the ascending leg, so both the
+// mid-pipeline turnaround (chunk p-1 → p on stage p-1) and the loss
+// turnaround (F → B of chunk 2p-1 on stage 0) are stage-local. With the
+// backward split into its activation-gradient half (B) and its
+// weight-gradient half (W), every stage owes 2F + 2B + 2W per
+// micro-batch, and the construction interleaves them so that under
+// uniform durations (F ≈ B ≈ W) the steady state is bubble-free while
+// at most 2p chunk-forwards — 1F1B-parity activation memory — are ever
+// retained per stage.
+//
+// Unlike the capped list-scheduler approximation (`ZbvCappedSchedule`),
+// this generator emits the V-shape F/B/W interleaving directly:
+//   1. warmup     — the chunk-0 forward wave descends the V; while a
+//                   stage waits for its ascending-leg forward to come
+//                   back up, it fills the wait with future descending-
+//                   leg forwards (memory permitting) — the closed-form
+//                   warmup depth grows as the stage nears the top;
+//   2. steady     — one B, one F, one W per chunk per period,
+//                   alternating legs, W drawn FIFO from the pending
+//                   queue its B filled;
+//   3. drain      — remaining B waves retire, then the W backlog runs
+//                   back-to-back.
+// Weight gradients are part of the static program order (the recipe
+// decides where W runs), not deferred to the execution engine.
+//
+// Four fill-policy variants are tried — whether an idle slot prefers
+// alternating F/B or strictly drains backwards, and whether pending W
+// may fill any idle slot or only memory-forced ones — and the variant
+// with the smallest abstract makespan is returned (the recipe Qi et
+// al.'s reference implementation uses).
+#ifndef MEPIPE_SCHED_ZBV_H_
+#define MEPIPE_SCHED_ZBV_H_
+
+#include "sched/schedule.h"
+
+namespace mepipe::sched {
+
+struct ZbvOptions {
+  // Abstract durations used to order the construction; real costs are
+  // applied later by the execution engine. B is the activation-gradient
+  // half only, so F ≈ B ≈ W is the zero-bubble regime.
+  double f_time = 1.0;
+  double b_time = 1.0;
+  double w_time = 1.0;
+  // Abstract inter-stage transfer delay (same role as
+  // GeneratorOptions::transfer_time).
+  double transfer_time = 0.05;
+  // Per-stage cap on retained chunk-forwards; a forward is retained
+  // until its weight gradient has run. 0 selects the construction's
+  // 1F1B-parity bound of 2p chunk-forwards (each 1/(2p) of a sample's
+  // activation footprint).
+  int max_retained = 0;
+};
+
+// Builds and validates the handcrafted ZB-V schedule. Throws CheckError
+// for malformed inputs (stages < 1, micros < 1, max_retained < 2).
+Schedule HandcraftedZbvSchedule(int stages, int micros, const ZbvOptions& options = {});
+
+// The memory bound of the construction: retained chunk-forwards on the
+// worst stage, min(2·micros, 2·stages) — 1F1B parity when n ≥ p.
+int ZbvMaxRetainedForwards(int stages, int micros);
+
+}  // namespace mepipe::sched
+
+#endif  // MEPIPE_SCHED_ZBV_H_

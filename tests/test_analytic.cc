@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "core/svpp.h"
 #include "sched/baselines.h"
+#include "sched/zbv.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 
@@ -118,9 +119,32 @@ TEST(Analytic, RejectsMalformedInput) {
   EXPECT_THROW(Analyze(Method::kSvpp, {4, 1, 1, 0}), CheckError);
 }
 
-TEST(Analytic, ZeroBubbleFamilyHasNoClosedForm) {
+TEST(Analytic, ZeroBubbleLeftoversHaveNoClosedForm) {
   EXPECT_FALSE(Analyze(Method::kZb1p, {8, 1, 1, 8}).has_value());
-  EXPECT_FALSE(Analyze(Method::kZbv, {8, 2, 1, 8}).has_value());
+  EXPECT_FALSE(Analyze(Method::kZbvCapped, {8, 2, 1, 8}).has_value());
+}
+
+TEST(Analytic, ZbvClosedForm) {
+  // Handcrafted ZB-V: (p-1) chunk-forward units of ramp against 6n
+  // chunk-op units of work; 1F1B-parity memory.
+  const auto result = Analyze(Method::kZbv, {8, 2, 1, 8});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->bubble_ratio, 7.0 / 55.0, 1e-12);
+  EXPECT_NEAR(result->activation_fraction, 1.0, 1e-12);
+  // n < p: the ramp cannot fill, Table 3 marks the regime unsupported
+  // (same convention as VPP).
+  EXPECT_FALSE(Analyze(Method::kZbv, {8, 2, 1, 4}).has_value());
+}
+
+TEST(Analytic, ZbvBeatsEveryTable3RowOnBubble) {
+  const AnalyticInput input{8, 2, 1, 8};
+  const auto zbv = Analyze(Method::kZbv, input);
+  ASSERT_TRUE(zbv.has_value());
+  for (Method m : {Method::kGPipe, Method::kDapple, Method::kVpp, Method::kHanayo}) {
+    const auto other = Analyze(m, input);
+    ASSERT_TRUE(other.has_value()) << ToString(m);
+    EXPECT_LT(zbv->bubble_ratio, other->bubble_ratio) << ToString(m);
+  }
 }
 
 // --- simulation cross-checks -------------------------------------------------
@@ -160,6 +184,12 @@ TEST_P(AnalyticVsSim, BubbleRatioMatches) {
       schedule = GenerateSvpp(options);
       break;
     }
+    case Method::kZbv: {
+      sched::ZbvOptions options;
+      options.transfer_time = 0.0;  // the table ignores communication
+      schedule = sched::HandcraftedZbvSchedule(c.input.p, c.input.n, options);
+      break;
+    }
     default:
       FAIL() << "unhandled method";
   }
@@ -169,8 +199,10 @@ TEST_P(AnalyticVsSim, BubbleRatioMatches) {
   // Table 3 memory bound leaves no steady-state slack for the slice
   // round-trip and the bound is not jointly achievable with the bubble
   // claim — see EXPERIMENTS.md.
+  const bool split_b = c.method == Method::kZbv;  // B is the dgrad half: B ≈ F, W ≈ F
   const bool slice_method = c.input.s > 1;
-  const sim::UniformCostModel costs(1.0, slice_method ? 1.0 : 2.0, 0.0, 0.0);
+  const sim::UniformCostModel costs(1.0, slice_method || split_b ? 1.0 : 2.0,
+                                    split_b ? 1.0 : 0.0, 0.0);
   const sim::SimResult result = Simulate(schedule, costs);
   EXPECT_NEAR(result.bubble_ratio, expected->bubble_ratio, 0.03)
       << ToString(c.method) << " p=" << c.input.p << " v=" << c.input.v << " s=" << c.input.s
@@ -185,7 +217,9 @@ INSTANTIATE_TEST_SUITE_P(
                       XCase{Method::kTeraPipe, {4, 1, 4, 8}},
                       XCase{Method::kTeraPipe, {8, 1, 2, 4}},
                       XCase{Method::kSvpp, {4, 1, 2, 8}}, XCase{Method::kSvpp, {4, 1, 4, 8}},
-                      XCase{Method::kSvpp, {8, 1, 4, 4}}),
+                      XCase{Method::kSvpp, {8, 1, 4, 4}},
+                      XCase{Method::kZbv, {4, 2, 1, 8}}, XCase{Method::kZbv, {8, 2, 1, 8}},
+                      XCase{Method::kZbv, {8, 2, 1, 16}}),
     [](const auto& info) {
       const XCase& c = info.param;
       return std::string(ToString(c.method)) + "_p" + std::to_string(c.input.p) + "v" +

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "sched/validate.h"
+#include "sched/zbv.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 
@@ -113,6 +115,24 @@ TEST(Zbv, VShapePlacesBothEndsOnStageZero) {
   EXPECT_EQ(schedule.problem.stage_of_chunk(7), 0);
 }
 
+TEST(Zbv, HandcraftedPlacesWStatically) {
+  const Schedule schedule = ZbvSchedule(4, 8);
+  EXPECT_FALSE(schedule.deferred_wgrad);
+  for (const auto& ops : schedule.stage_ops) {
+    EXPECT_EQ(ops.size(), 48u);  // 2n each of F, B, W
+  }
+}
+
+TEST(ZbvCapped, KeepsTheOldDeferredWShape) {
+  const Schedule schedule = ZbvCappedSchedule(4, 8);
+  EXPECT_TRUE(schedule.deferred_wgrad);
+  EXPECT_EQ(schedule.problem.placement, ChunkPlacement::kVShape);
+  EXPECT_LE(PeakRetainedForwards(schedule, 0), 4);
+  for (const auto& ops : schedule.stage_ops) {
+    EXPECT_EQ(ops.size(), 32u);  // F and B only; W executed by the engine
+  }
+}
+
 TEST(Hanayo, WaveScheduleValidatesAndExecutes) {
   const Schedule schedule = HanayoSchedule(4, 8);
   EXPECT_EQ(schedule.problem.virtual_chunks, 2);
@@ -142,14 +162,28 @@ class BaselineSweep : public ::testing::TestWithParam<BaselineCase> {};
 
 TEST_P(BaselineSweep, AllConstructionsValidate) {
   const auto [p, n] = GetParam();
-  EXPECT_NO_THROW(GPipeSchedule(p, n));
-  EXPECT_NO_THROW(OneFOneBSchedule(p, n));
-  EXPECT_NO_THROW(TeraPipeSchedule(p, 4, n));
-  EXPECT_NO_THROW(Zb1pSchedule(p, n));
-  EXPECT_NO_THROW(ZbvSchedule(p, n));
-  EXPECT_NO_THROW(HanayoSchedule(p, n));
+  std::vector<Schedule> schedules;
+  schedules.push_back(GPipeSchedule(p, n));
+  schedules.push_back(OneFOneBSchedule(p, n));
+  schedules.push_back(TeraPipeSchedule(p, 4, n));
+  schedules.push_back(Zb1pSchedule(p, n));
+  schedules.push_back(ZbvSchedule(p, n));
+  schedules.push_back(ZbvCappedSchedule(p, n));
+  schedules.push_back(HanayoSchedule(p, n));
   if (n % p == 0) {
-    EXPECT_NO_THROW(VppSchedule(p, 2, n));
+    schedules.push_back(VppSchedule(p, 2, n));
+  }
+  // Every construction passes the full tabular invariant validator, not
+  // just the structural checks its generator already ran.
+  for (const Schedule& schedule : schedules) {
+    SCOPED_TRACE(schedule.method);
+    InvariantOptions invariants;
+    invariants.costs.transfer_time = 0.05;
+    if (schedule.method == "ZBV") {
+      invariants.retained_cap.assign(static_cast<std::size_t>(p),
+                                     ZbvMaxRetainedForwards(p, n));
+    }
+    ValidateScheduleInvariants(schedule, invariants);
   }
 }
 

@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "sched/baselines.h"
 #include "sched/schedule.h"
+#include "sched/validate.h"
+#include "sched/zbv.h"
 
 namespace mepipe::sched {
 namespace {
@@ -127,12 +131,16 @@ TEST_P(GeneratorSweep, ValidCappedSchedules) {
   GeneratorOptions options;
   options.inflight_cap = CapSchedule(c.p, c.f, c.v * c.s);
   const Schedule schedule = GenerateCapped(problem, options, "sweep");
+  InvariantOptions invariants;
+  invariants.costs.transfer_time = 0.05;
   for (int stage = 0; stage < c.p; ++stage) {
     EXPECT_EQ(schedule.stage_ops[static_cast<std::size_t>(stage)].size(),
               static_cast<std::size_t>(2 * c.n * c.s * c.v));
     EXPECT_LE(PeakRetainedForwards(schedule, stage),
               std::max(c.v * c.s, c.f - stage));
+    invariants.retained_cap.push_back(std::max(c.v * c.s, c.f - stage));
   }
+  ValidateScheduleInvariants(schedule, invariants);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -147,6 +155,88 @@ INSTANTIATE_TEST_SUITE_P(
       return "p" + std::to_string(c.p) + "v" + std::to_string(c.v) + "s" + std::to_string(c.s) +
              "n" + std::to_string(c.n) + "f" + std::to_string(c.f);
     });
+
+// Randomized (seeded, splitmix64 — bit-identical across toolchains)
+// sweep of generator options: every generated schedule must pass every
+// invariant of the tabular validator, not just the structural checks.
+TEST(GeneratorFuzz, RandomOptionShapesPassEveryInvariant) {
+  SplitMixRng rng(0x5eedc0de2025ull);
+  for (int trial = 0; trial < 64; ++trial) {
+    const int p = 2 + static_cast<int>(rng.NextU64() % 7);  // 2..8
+    const int v = 1 + static_cast<int>(rng.NextU64() % 2);  // 1..2
+    const int s = 1 << (rng.NextU64() % 3);                 // 1, 2, 4
+    const int n = 1 + static_cast<int>(rng.NextU64() % 8);  // 1..8
+    const bool split = rng.NextU64() & 1;
+    PipelineProblem problem = MakeProblem(p, v, s, n, split);
+    if (v == 2 && (rng.NextU64() & 1)) {
+      problem.placement = ChunkPlacement::kVShape;
+    }
+
+    GeneratorOptions options;
+    const int floor = v * s;
+    const int f = floor + static_cast<int>(rng.NextU64() % static_cast<std::uint64_t>(2 * p));
+    options.inflight_cap = CapSchedule(p, f, floor);
+    options.backward_first = rng.NextU64() & 1;
+    options.child_count_backward_priority = rng.NextU64() & 1;
+    if (split) {
+      options.wgrad =
+          (rng.NextU64() & 1) ? WgradPolicy::kDeferred : WgradPolicy::kLowestPriority;
+      options.b_time = 1.0;
+    }
+
+    const Schedule schedule = GenerateCapped(problem, options, "fuzz");
+    InvariantOptions invariants;
+    invariants.costs.b_time = options.b_time;
+    invariants.costs.transfer_time = options.transfer_time;
+    // The generator's cap releases retained forwards at B; the
+    // activation-cap invariant counts releases at W for static-split
+    // schedules, so the cap is only asserted for the other shapes.
+    if (!(split && options.wgrad == WgradPolicy::kLowestPriority)) {
+      for (int stage = 0; stage < p; ++stage) {
+        invariants.retained_cap.push_back(std::max(floor, f - stage));
+      }
+    }
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": p=" + std::to_string(p) +
+                 " v=" + std::to_string(v) + " s=" + std::to_string(s) +
+                 " n=" + std::to_string(n) + " f=" + std::to_string(f) +
+                 " split=" + std::to_string(split));
+    ValidateScheduleInvariants(schedule, invariants);
+  }
+}
+
+// Same harness over every baseline construction: randomized shapes, all
+// invariants.
+TEST(GeneratorFuzz, RandomBaselineShapesPassEveryInvariant) {
+  SplitMixRng rng(0xba5e11e2025ull);
+  for (int trial = 0; trial < 32; ++trial) {
+    const int p = 2 + static_cast<int>(rng.NextU64() % 7);   // 2..8
+    const int n = 1 + static_cast<int>(rng.NextU64() % 12);  // 1..12
+    const int s = 1 + static_cast<int>(rng.NextU64() % 4);   // 1..4
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": p=" + std::to_string(p) +
+                 " n=" + std::to_string(n) + " s=" + std::to_string(s));
+    std::vector<Schedule> schedules;
+    schedules.push_back(GPipeSchedule(p, n));
+    schedules.push_back(OneFOneBSchedule(p, n));
+    schedules.push_back(TeraPipeSchedule(p, s, n));
+    schedules.push_back(Zb1pSchedule(p, n));
+    schedules.push_back(ZbvSchedule(p, n));
+    schedules.push_back(ZbvCappedSchedule(p, n));
+    schedules.push_back(HanayoSchedule(p, n));
+    if (n % p == 0) {
+      schedules.push_back(VppSchedule(p, 2, n));
+    }
+    for (const Schedule& schedule : schedules) {
+      SCOPED_TRACE(schedule.method);
+      InvariantOptions invariants;
+      invariants.costs.transfer_time = 0.05;
+      if (schedule.method == "ZBV") {
+        invariants.retained_cap.assign(static_cast<std::size_t>(p),
+                                       ZbvMaxRetainedForwards(p, n));
+      }
+      ValidateScheduleInvariants(schedule, invariants);
+    }
+  }
+}
 
 TEST(Generator, ChildCountPriorityStillValidates) {
   const PipelineProblem problem = MakeProblem(4, 2, 2, 4);

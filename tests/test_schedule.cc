@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "sched/baselines.h"
+#include "sched/validate.h"
 
 namespace mepipe::sched {
 namespace {
@@ -23,6 +24,36 @@ Schedule TwoStageOneMicro() {
 
 TEST(Schedule, HandBuiltValidates) {
   EXPECT_NO_THROW(ValidateSchedule(TwoStageOneMicro()));
+  // The full tabular validator agrees with the structural check.
+  EXPECT_TRUE(CheckScheduleInvariants(TwoStageOneMicro()).ok());
+}
+
+TEST(Schedule, TableTimingOfHandBuilt) {
+  // F0@s0 [0,1] → F0@s1 [1,2] → B0@s1 [2,3] → B0@s0 [3,4] under unit
+  // costs and free transfers.
+  const ScheduleTable table = BuildScheduleTable(TwoStageOneMicro());
+  ASSERT_EQ(table.rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(table.makespan, 4.0);
+  for (const TableRow& row : table.rows) {
+    EXPECT_DOUBLE_EQ(row.end - row.start, 1.0);
+  }
+}
+
+TEST(Schedule, InvariantValidatorFlagsCapOverrun) {
+  // GPipe retains all n forwards; a cap below n is a reported violation
+  // on every stage, and the throwing wrapper throws.
+  const Schedule schedule = GPipeSchedule(3, 7);
+  InvariantOptions options;
+  options.retained_cap = {3, 3, 3};
+  const InvariantReport report = CheckScheduleInvariants(schedule, options);
+  EXPECT_EQ(report.violations.size(), 3u);
+  EXPECT_EQ(report.violations.front().invariant, "activation-cap");
+  EXPECT_THROW(ValidateScheduleInvariants(schedule, options), CheckError);
+  options.retained_cap = {7, 7, 7};
+  EXPECT_TRUE(CheckScheduleInvariants(schedule, options).ok());
+  // A 0 entry marks the stage unbudgeted.
+  options.retained_cap = {0, 0, 0};
+  EXPECT_TRUE(CheckScheduleInvariants(schedule, options).ok());
 }
 
 TEST(Schedule, MissingOpRejected) {

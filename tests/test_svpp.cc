@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "common/check.h"
+#include "sched/serialize.h"
+#include "sched/validate.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 
@@ -146,10 +151,46 @@ TEST_P(SvppSweep, AllVariantsValid) {
   for (int f = floor; f <= ceiling; ++f) {
     options.max_inflight = f;
     const Schedule schedule = GenerateSvpp(options);
+    sched::InvariantOptions invariants;
+    invariants.costs.transfer_time = 0.02;
     for (int stage = 0; stage < c.p; ++stage) {
       EXPECT_LE(sched::PeakRetainedForwards(schedule, stage), std::max(floor, f - stage))
           << "f=" << f << " stage=" << stage;
+      invariants.retained_cap.push_back(std::max(floor, f - stage));
     }
+    sched::ValidateScheduleInvariants(schedule, invariants);
+  }
+}
+
+// Golden snapshots: the generation is deterministic, so the serialized
+// form of two canonical configs is pinned byte-for-byte (see
+// tests/golden/README.md for the regeneration contract).
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MEPIPE_CHECK(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(SvppGolden, SnapshotsAreByteStable) {
+  struct GoldenCase {
+    SvppOptions options;
+    const char* file;
+  };
+  const GoldenCase cases[] = {
+      {Options(4, 1, 2, 6, /*f=*/5), "svpp_p4_v1_s2_n6_f5.txt"},
+      {Options(8, 2, 2, 8), "svpp_p8_v2_s2_n8.txt"},
+  };
+  for (const GoldenCase& c : cases) {
+    SCOPED_TRACE(c.file);
+    const std::string golden =
+        ReadFileOrDie(std::string(MEPIPE_TESTS_DIR) + "/golden/" + c.file);
+    const Schedule schedule = GenerateSvpp(c.options);
+    EXPECT_EQ(sched::SerializeSchedule(schedule), golden);
+    const Schedule parsed = sched::ParseSchedule(golden);
+    EXPECT_EQ(sched::SerializeSchedule(parsed), golden);
+    EXPECT_EQ(parsed.stage_ops, schedule.stage_ops);
   }
 }
 

@@ -1,0 +1,199 @@
+// Differential and golden tests for the handcrafted ZB-V construction
+// (sched/zbv.h) against the retained capped-generator approximation and
+// the core/analytic Table 3 row.
+#include "sched/zbv.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "core/analytic.h"
+#include "sched/baselines.h"
+#include "sched/serialize.h"
+#include "sched/validate.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace mepipe::sched {
+namespace {
+
+struct Grid {
+  int stages;
+  int micros;
+};
+
+// The differential grid from the issue: p in {4, 8} crossed with
+// microbatch counts below, at, and above p (ZBV fixes s=1, v=2).
+std::vector<Grid> DifferentialGrid() {
+  std::vector<Grid> grid;
+  for (int p : {4, 8}) {
+    for (int n : {2, p - 1, p, 2 * p, 3 * p, 16}) {
+      if (n >= 1) {
+        grid.push_back({p, n});
+      }
+    }
+  }
+  return grid;
+}
+
+InvariantOptions ZbvInvariantOptions(int stages, int micros) {
+  InvariantOptions options;
+  options.costs.transfer_time = 0.05;  // the construction's default
+  options.retained_cap.assign(static_cast<std::size_t>(stages),
+                              ZbvMaxRetainedForwards(stages, micros));
+  return options;
+}
+
+TEST(Zbv, PassesEveryInvariant) {
+  for (const Grid& g : DifferentialGrid()) {
+    const Schedule schedule = HandcraftedZbvSchedule(g.stages, g.micros);
+    const InvariantReport report =
+        CheckScheduleInvariants(schedule, ZbvInvariantOptions(g.stages, g.micros));
+    EXPECT_TRUE(report.ok()) << "p=" << g.stages << " n=" << g.micros << "\n"
+                             << report.Summary();
+  }
+}
+
+TEST(Zbv, BubbleNoWorseThanCappedApproximation) {
+  for (const Grid& g : DifferentialGrid()) {
+    const Schedule hand = ZbvSchedule(g.stages, g.micros);
+    const Schedule capped = ZbvCappedSchedule(g.stages, g.micros);
+    const sim::UniformCostModel costs(1.0, 1.0, 1.0, 0.05);
+    sim::EngineOptions fill_whole;
+    fill_whole.wgrad_mode = sim::WgradMode::kFillWhole;
+    const sim::SimResult hand_result = Simulate(hand, costs);
+    const sim::SimResult capped_result = Simulate(capped, costs, fill_whole);
+    EXPECT_LE(hand_result.bubble_ratio, capped_result.bubble_ratio + 1e-9)
+        << "p=" << g.stages << " n=" << g.micros;
+  }
+}
+
+TEST(Zbv, IdenticalOpMultisetsPerStage) {
+  for (const Grid& g : DifferentialGrid()) {
+    const Schedule hand = ZbvSchedule(g.stages, g.micros);
+    const Schedule capped = ZbvCappedSchedule(g.stages, g.micros);
+    ASSERT_FALSE(hand.deferred_wgrad);   // W is part of the construction
+    ASSERT_TRUE(capped.deferred_wgrad);  // W is filled by the engine
+    for (int stage = 0; stage < g.stages; ++stage) {
+      // Modulo the W placement the two variants schedule the same work.
+      std::vector<OpId> hand_ops = hand.stage_ops[static_cast<std::size_t>(stage)];
+      std::erase_if(hand_ops, [](const OpId& op) { return op.kind == OpKind::kWeightGrad; });
+      std::vector<OpId> capped_ops = capped.stage_ops[static_cast<std::size_t>(stage)];
+      std::sort(hand_ops.begin(), hand_ops.end());
+      std::sort(capped_ops.begin(), capped_ops.end());
+      EXPECT_EQ(hand_ops, capped_ops) << "p=" << g.stages << " n=" << g.micros
+                                      << " stage=" << stage;
+    }
+  }
+}
+
+TEST(Zbv, PeakActivationWithinTable3Bound) {
+  for (const Grid& g : DifferentialGrid()) {
+    const Schedule schedule = ZbvSchedule(g.stages, g.micros);
+    // 1F1B parity: at most 2·min(n,p) chunk-forwards of A/(2p) each, so
+    // the worst stage's fraction of A is min(n,p)/p (= Table 3's bound
+    // of 1 in the n >= p regime the table covers).
+    const double bound =
+        static_cast<double>(std::min(g.micros, g.stages)) / g.stages;
+    const auto row = core::Analyze(core::Method::kZbv, {g.stages, 2, 1, g.micros});
+    if (row.has_value()) {
+      EXPECT_LE(bound, row->activation_fraction + 1e-12);
+    }
+    for (int stage = 0; stage < g.stages; ++stage) {
+      const double fraction =
+          PeakRetainedForwards(schedule, stage) / (2.0 * g.stages);
+      EXPECT_LE(fraction, bound + 1e-12)
+          << "p=" << g.stages << " n=" << g.micros << " stage=" << stage;
+    }
+  }
+}
+
+TEST(Zbv, SteadyStateMatchesTable3ClosedForm) {
+  // Under the table's assumptions (uniform F = B = W, zero-cost
+  // communication, n >= p) the construction reaches the chunk-chain
+  // lower bound exactly: makespan = 6n + (p-1) chunk-op units.
+  for (const Grid& g : DifferentialGrid()) {
+    if (g.micros < g.stages) {
+      continue;  // the ramp cannot fill; Analyze returns nullopt here
+    }
+    ZbvOptions options;
+    options.transfer_time = 0.0;
+    const Schedule schedule = HandcraftedZbvSchedule(g.stages, g.micros, options);
+    const sim::UniformCostModel costs(1.0, 1.0, 1.0, 0.0);
+    const sim::SimResult result = Simulate(schedule, costs);
+    const auto row = core::Analyze(core::Method::kZbv, {g.stages, 2, 1, g.micros});
+    ASSERT_TRUE(row.has_value());
+    EXPECT_NEAR(result.makespan, 6.0 * g.micros + (g.stages - 1), 1e-9)
+        << "p=" << g.stages << " n=" << g.micros;
+    EXPECT_NEAR(result.bubble_ratio, row->bubble_ratio, 1e-9)
+        << "p=" << g.stages << " n=" << g.micros;
+  }
+}
+
+TEST(Zbv, RejectsMalformedOptions) {
+  ZbvOptions negative_transfer;
+  negative_transfer.transfer_time = -0.1;
+  EXPECT_THROW(HandcraftedZbvSchedule(4, 8, negative_transfer), CheckError);
+  ZbvOptions zero_f;
+  zero_f.f_time = 0.0;
+  EXPECT_THROW(HandcraftedZbvSchedule(4, 8, zero_f), CheckError);
+  ZbvOptions tiny_cap;
+  tiny_cap.max_retained = 1;  // both legs of a micro can never be in flight
+  EXPECT_THROW(HandcraftedZbvSchedule(4, 8, tiny_cap), CheckError);
+}
+
+TEST(Zbv, ValidatorCatchesCorruptedSchedules) {
+  Schedule schedule = ZbvSchedule(4, 8);
+  // Swap a B ahead of the F it depends on within one stage.
+  auto& ops = schedule.stage_ops[0];
+  const auto first_b = std::find_if(ops.begin(), ops.end(), [](const OpId& op) {
+    return op.kind == OpKind::kBackward;
+  });
+  ASSERT_NE(first_b, ops.end());
+  std::swap(ops.front(), *first_b);
+  const InvariantReport report = CheckScheduleInvariants(schedule, ZbvInvariantOptions(4, 8));
+  EXPECT_FALSE(report.ok());
+  EXPECT_THROW(ValidateScheduleInvariants(schedule, ZbvInvariantOptions(4, 8)), CheckError);
+}
+
+// --- golden snapshots --------------------------------------------------------
+// The construction is deterministic; its serialized form for the two
+// canonical configs is pinned byte-for-byte under tests/golden/. A diff
+// here means the construction changed — regenerate the goldens (see
+// tests/golden/README.md) only when that is intentional.
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MEPIPE_CHECK(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ZbvGolden : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(ZbvGolden, SnapshotIsByteStable) {
+  const Grid g = GetParam();
+  const std::string path = std::string(MEPIPE_TESTS_DIR) + "/golden/zbv_p" +
+                           std::to_string(g.stages) + "_n" + std::to_string(g.micros) + ".txt";
+  const std::string golden = ReadFileOrDie(path);
+  const Schedule schedule = ZbvSchedule(g.stages, g.micros);
+  EXPECT_EQ(SerializeSchedule(schedule), golden);
+  // Parsing the golden text and re-serializing must reproduce it exactly.
+  const Schedule parsed = ParseSchedule(golden);
+  EXPECT_EQ(SerializeSchedule(parsed), golden);
+  EXPECT_EQ(parsed.stage_ops, schedule.stage_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Canonical, ZbvGolden,
+                         ::testing::Values(Grid{4, 8}, Grid{8, 16}), [](const auto& info) {
+                           return "p" + std::to_string(info.param.stages) + "n" +
+                                  std::to_string(info.param.micros);
+                         });
+
+}  // namespace
+}  // namespace mepipe::sched
