@@ -1,0 +1,123 @@
+// Online elastic runtime (core/elastic): frozen vs restart vs elastic
+// goodput across an MTBF × fleet × DP-width × repair-time grid. The
+// frozen policy stops the world and restores the durable checkpoint on
+// every replica loss; restart keeps survivors' state but idles them
+// through repair + recovery (the PR-4 baseline on a repair-time axis);
+// elastic re-shards to the survivors, re-solves the checkpoint interval
+// for the shrunken fleet, and trains degraded until the node returns.
+// The gap is the survivors' repair-window work: elastic must never lose
+// to restart, and must win outright wherever the repair time exceeds
+// the checkpoint interval on a ring wide enough to absorb the loss.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/elastic.h"
+
+namespace mepipe {
+namespace {
+
+core::ElasticOptions CellOptions(double mtbf_per_1000_hours, int gpus, int dp,
+                                 Seconds repair, std::uint64_t seed) {
+  core::ElasticOptions opt;
+  opt.run.gpus = gpus;
+  opt.run.dp_replicas = dp;
+  opt.run.seed = seed;
+  opt.run.reliability.mtbf_per_1000_gpus = mtbf_per_1000_hours * 3600.0;
+  opt.run.reliability.recovery_time = 120.0;
+  opt.run.reliability.checkpoint_write_cost = 20.0;
+  const Seconds mtbf = opt.run.reliability.mtbf_per_1000_gpus * 1000.0 / gpus;
+  opt.run.target_useful_time = 80.0 * mtbf;
+  opt.repair_time = repair;
+  opt.reshard_stall = 20.0;
+  opt.replan_stall = 30.0;
+  // Re-solve the checkpoint interval per surviving-fleet shape, at
+  // trimmed solver effort — it runs once per (shape, cell), memoized.
+  opt.resolve_checkpoint_interval = true;
+  opt.interval_solve_mtbfs = 20.0;
+  opt.interval_solver = {0, 0, /*coarse_points=*/7, /*golden_iterations=*/6};
+  return opt;
+}
+
+void EmitElasticRuntime() {
+  constexpr Seconds kIteration = 5.0;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"gpus", "dp", "mtbf_s", "repair_s", "interval_s",
+                  "goodput_frozen", "goodput_restart", "goodput_elastic",
+                  "degraded_frac", "reshards", "elastic_vs_restart"});
+  int violations = 0;
+  std::uint64_t seed = 1;
+  for (double mtbf_hours : {6.0, 24.0}) {
+    for (int gpus : {1024, 4096, 16384}) {
+      for (int dp : {2, 4, 8}) {
+        for (Seconds repair : {600.0, 7200.0}) {
+          ++seed;
+          core::ElasticOptions opt = CellOptions(mtbf_hours, gpus, dp, repair, seed);
+          const Seconds mtbf = opt.run.reliability.mtbf_per_1000_gpus * 1000.0 / gpus;
+
+          opt.policy = core::ElasticPolicy::kFrozen;
+          const core::ElasticMetrics frozen = core::SimulateElasticRun(kIteration, opt);
+          opt.policy = core::ElasticPolicy::kRestart;
+          const core::ElasticMetrics restart = core::SimulateElasticRun(kIteration, opt);
+          opt.policy = core::ElasticPolicy::kElastic;
+          const core::ElasticMetrics elastic = core::SimulateElasticRun(kIteration, opt);
+
+          const Seconds interval =
+              elastic.checkpoint_interval_by_survivors[static_cast<std::size_t>(dp - 1)];
+          if (elastic.goodput + 1e-9 < restart.goodput) {
+            ++violations;
+          }
+          if (dp > 2 && repair > interval &&
+              elastic.goodput <= restart.goodput) {
+            ++violations;
+          }
+          rows.push_back({std::to_string(gpus), std::to_string(dp),
+                          StrFormat("%.0f", mtbf), StrFormat("%.0f", repair),
+                          StrFormat("%.0f", interval),
+                          StrFormat("%.4f", frozen.goodput),
+                          StrFormat("%.4f", restart.goodput),
+                          StrFormat("%.4f", elastic.goodput),
+                          StrFormat("%.4f", elastic.degraded_fraction),
+                          std::to_string(elastic.reshards),
+                          StrFormat("%.3fx", elastic.goodput / restart.goodput)});
+        }
+      }
+    }
+  }
+  bench::EmitTable(
+      "Online elastic runtime — frozen vs restart vs elastic goodput "
+      "(MTBF x fleet x DP x repair)",
+      "elastic_runtime", rows);
+  std::printf("dominance violations (elastic < restart, or tie where repair > "
+              "interval at dp > 2): %d — must be 0\n",
+              violations);
+}
+
+void BM_ElasticRun(benchmark::State& state) {
+  core::ElasticOptions opt =
+      CellOptions(6.0, 4096, static_cast<int>(state.range(0)), 3600.0, 7);
+  opt.resolve_checkpoint_interval = false;  // time the control loop itself
+  opt.run.reliability.checkpoint_interval = 600.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimulateElasticRun(5.0, opt).goodput);
+  }
+}
+BENCHMARK(BM_ElasticRun)->Arg(2)->Arg(8);
+
+void BM_ElasticDetector(benchmark::State& state) {
+  core::ElasticOptions opt = CellOptions(24.0, 1024, 4, 1800.0, 11);
+  opt.resolve_checkpoint_interval = false;
+  opt.run.reliability.checkpoint_interval = 600.0;
+  opt.straggler.mtbf = 5000.0;
+  opt.straggler.slowdown = 2.0;
+  opt.straggler.duration = 2000.0;
+  opt.straggler.busy_noise_sigma = 0.02;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimulateElasticRun(5.0, opt).replans);
+  }
+}
+BENCHMARK(BM_ElasticDetector);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitElasticRuntime)

@@ -1,0 +1,707 @@
+#include "core/elastic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/format.h"
+#include "common/rng.h"
+#include "hw/comm_model.h"
+#include "sched/schedule.h"
+#include "sched/validate.h"
+
+namespace mepipe::core {
+namespace {
+
+// Independent splitmix64 stream offsets: failures, straggler onsets, and
+// observation noise never share draws, so the failure arrival sequence
+// is identical across the three policies regardless of what each policy
+// observes or re-plans.
+constexpr std::uint64_t kStragglerStream = 0x5851f42d4c957f2dULL;
+constexpr std::uint64_t kNoiseStream = 0x14057b7ef767814fULL;
+
+// Lower-median normalization: anchors per-stage factors on the majority
+// so a uniform fleet-wide dilation never reads as a straggler profile.
+void NormalizeByMedian(std::vector<double>& values) {
+  std::vector<double> sorted = values;
+  const std::size_t mid = (sorted.size() - 1) / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sorted.end());
+  const double median = sorted[mid];
+  for (double& v : values) {
+    v = std::max(1.0, median > 0 ? v / median : v);
+  }
+}
+
+}  // namespace
+
+const char* ToString(ElasticPolicy policy) {
+  switch (policy) {
+    case ElasticPolicy::kFrozen: return "frozen";
+    case ElasticPolicy::kRestart: return "restart";
+    case ElasticPolicy::kElastic: return "elastic";
+  }
+  return "?";
+}
+
+void ElasticOptions::Validate() const {
+  run.Validate();
+  MEPIPE_CHECK_GE(repair_time, 0.0);
+  MEPIPE_CHECK_GE(replan_stall, 0.0);
+  MEPIPE_CHECK_GE(reshard_stall, 0.0);
+  MEPIPE_CHECK_GE(straggler.mtbf, 0.0);
+  MEPIPE_CHECK_GE(straggler.slowdown, 1.0) << "straggler slowdown must be >= 1";
+  MEPIPE_CHECK_GE(straggler.duration, 0.0);
+  MEPIPE_CHECK_GE(straggler.busy_noise_sigma, 0.0);
+  MEPIPE_CHECK_GE(pipeline_stages, 1);
+  MEPIPE_CHECK_GE(units_per_stage, 1);
+  MEPIPE_CHECK(straggler.stage >= -1 && straggler.stage < pipeline_stages)
+      << "straggler stage " << straggler.stage << " outside [-1, " << pipeline_stages << ")";
+  detector.Validate();
+  MEPIPE_CHECK_GT(interval_solve_mtbfs, 0.0);
+
+  const auto check_len = [](std::size_t got, const char* what, std::size_t want) {
+    MEPIPE_CHECK(got == 0 || got == want)
+        << what << " has " << got << " entries, want 0 or " << want;
+  };
+  const std::size_t dp = static_cast<std::size_t>(run.dp_replicas);
+  check_len(iteration_time_by_survivors.size(), "iteration_time_by_survivors", dp);
+  check_len(useful_fraction_by_survivors.size(), "useful_fraction_by_survivors", dp);
+  check_len(reshard_stall_by_survivors.size(), "reshard_stall_by_survivors", dp);
+  check_len(shape_feasible.size(), "shape_feasible", dp);
+  const std::size_t stages = static_cast<std::size_t>(pipeline_stages);
+  check_len(clean_stage_busy.size(), "clean_stage_busy", stages);
+  check_len(straggled_stage_busy.size(), "straggled_stage_busy", stages);
+  check_len(mitigated_stage_busy.size(), "mitigated_stage_busy", stages);
+  check_len(mitigated_clean_stage_busy.size(), "mitigated_clean_stage_busy", stages);
+  for (const Seconds t : iteration_time_by_survivors) {
+    MEPIPE_CHECK_GE(t, 0.0);
+  }
+  for (const double f : useful_fraction_by_survivors) {
+    MEPIPE_CHECK_GE(f, 0.0);
+  }
+  for (const Seconds t : reshard_stall_by_survivors) {
+    MEPIPE_CHECK_GE(t, 0.0);
+  }
+  MEPIPE_CHECK_GE(straggled_iteration_time, 0.0);
+  MEPIPE_CHECK_GE(mitigated_iteration_time, 0.0);
+  MEPIPE_CHECK_GE(mitigated_clean_iteration_time, 0.0);
+}
+
+ElasticMetrics SimulateElasticRun(Seconds iteration_time, const ElasticOptions& opt) {
+  MEPIPE_CHECK_GT(iteration_time, 0.0);
+  opt.Validate();
+  const ReliabilityOptions& rel = opt.run.reliability;
+  const int dp = opt.run.dp_replicas;
+  const int stages = opt.pipeline_stages;
+  const int units0 = opt.units_per_stage;
+
+  const Seconds target = opt.run.target_useful_time > 0
+                             ? opt.run.target_useful_time
+                             : static_cast<Seconds>(opt.run.iterations) * iteration_time;
+  MEPIPE_CHECK_GT(target, 0.0) << "nothing to simulate";
+  const Seconds mtbf =
+      rel.mtbf_per_1000_gpus * 1000.0 / static_cast<double>(opt.run.gpus);
+
+  SplitMixRng rng_fail(opt.run.seed);
+  SplitMixRng rng_straggler(opt.run.seed ^ kStragglerStream);
+  SplitMixRng rng_noise(opt.run.seed ^ kNoiseStream);
+
+  ElasticMetrics m;
+  m.policy = opt.policy;
+  m.iteration_time = iteration_time;
+  m.checkpoint_interval_by_survivors.assign(static_cast<std::size_t>(dp), 0.0);
+
+  // ---- run state ----------------------------------------------------------
+  Seconds wall = 0;        // elapsed cluster time, stalls included
+  Seconds useful = 0;      // clean-equivalent progress delivered
+  Seconds ckpt_useful = 0; // progress covered by the last durable checkpoint
+  Seconds since_ckpt = 0;  // running wall since the last durable checkpoint
+  int survivors = dp;
+  std::deque<Seconds> repairs;  // wall instants outstanding repairs complete
+  // Full-fleet-equivalent hazard budget to the next failure: advancing
+  // dt of wall with `active` powered replicas consumes dt·active/dp.
+  Seconds next_fail = rng_fail.NextExponential(mtbf);
+
+  // Straggler ground truth (hw) and the plan currently executing
+  // (assumed profile + unit assignment).
+  bool straggler_active = false;
+  int straggler_stage = 0;
+  Seconds straggler_began = 0;
+  Seconds straggler_until = std::numeric_limits<Seconds>::infinity();
+  Seconds next_onset = opt.straggler.mtbf > 0
+                           ? rng_straggler.NextExponential(opt.straggler.mtbf)
+                           : std::numeric_limits<Seconds>::infinity();
+  std::vector<double> hw(static_cast<std::size_t>(stages), 1.0);
+  std::vector<double> assumed(static_cast<std::size_t>(stages), 1.0);
+  std::vector<int> units(static_cast<std::size_t>(stages), units0);
+  const std::vector<int> even_units = units;
+
+  const double failure_budget = 1000.0 * (target / mtbf + 10.0);
+
+  // ---- helpers ------------------------------------------------------------
+  const auto record_event = [&](sim::FaultKind kind, int stage, Seconds begin, Seconds end,
+                                std::string label) {
+    if (m.events.size() < opt.max_events) {
+      m.events.push_back({kind, stage, -1, -1, begin, end, std::move(label)});
+    }
+  };
+
+  // All wall advancement funnels through tick(): it keeps the
+  // degraded-time ledger (wall spent with fewer than dp live replicas,
+  // whether idling or training) consistent by construction.
+  const auto tick = [&](Seconds dt) {
+    wall += dt;
+    if (survivors < dp) {
+      m.degraded_time += dt;
+    }
+  };
+
+  struct Advance {
+    Seconds done = 0;
+    bool failed = false;
+  };
+  // Advances up to dt of wall with `active` replicas exposed to the
+  // hazard, stopping early at a failure instant.
+  const auto advance = [&](Seconds dt, int active) -> Advance {
+    const double frac = static_cast<double>(active) / static_cast<double>(dp);
+    if (frac <= 0.0 || dt <= 0.0) {
+      tick(std::max(0.0, dt));
+      return {std::max(0.0, dt), false};
+    }
+    const Seconds exposure = dt * frac;
+    if (next_fail > exposure) {
+      next_fail -= exposure;
+      tick(dt);
+      return {dt, false};
+    }
+    const Seconds done = next_fail / frac;
+    tick(done);
+    next_fail = rng_fail.NextExponential(mtbf);
+    return {done, true};
+  };
+  // Advances THROUGH dt: short barrier stalls (reshard, re-plan) are
+  // failure-atomic — the hazard budget is consumed, but a failure
+  // landing inside fires right after the stall instead of aborting it.
+  const auto advance_through = [&](Seconds dt, int active) {
+    const double frac =
+        std::max(0.0, static_cast<double>(active) / static_cast<double>(dp));
+    next_fail = std::max(0.0, next_fail - std::max(0.0, dt) * frac);
+    tick(std::max(0.0, dt));
+  };
+
+  const auto shape_ok = [&](int s) {
+    if (s < 1) {
+      return false;
+    }
+    return opt.shape_feasible.empty() ||
+           opt.shape_feasible[static_cast<std::size_t>(s - 1)] != 0;
+  };
+  const auto shape_time = [&](int s) -> Seconds {
+    if (!opt.iteration_time_by_survivors.empty()) {
+      const Seconds t = opt.iteration_time_by_survivors[static_cast<std::size_t>(s - 1)];
+      if (t > 0) {
+        return t;
+      }
+    }
+    return iteration_time * static_cast<double>(dp) / static_cast<double>(s);
+  };
+  const auto useful_credit = [&](int s) -> Seconds {
+    if (!opt.useful_fraction_by_survivors.empty()) {
+      const double f = opt.useful_fraction_by_survivors[static_cast<std::size_t>(s - 1)];
+      if (f > 0) {
+        return iteration_time * f;
+      }
+    }
+    return iteration_time;
+  };
+  const auto reshard_stall_for = [&](int s) -> Seconds {
+    if (!opt.reshard_stall_by_survivors.empty()) {
+      const Seconds t = opt.reshard_stall_by_survivors[static_cast<std::size_t>(s - 1)];
+      if (t > 0) {
+        return t;
+      }
+    }
+    return opt.reshard_stall;
+  };
+
+  // Checkpoint interval of a fleet shape, re-solved on first visit for
+  // the surviving fleet's MTBF (ISSUE tentpole (b)); memoized — the
+  // solver runs once per shape, not per checkpoint.
+  std::vector<Seconds> interval_memo(static_cast<std::size_t>(dp), 0.0);
+  const auto interval_for = [&](int s) -> Seconds {
+    Seconds& memo = interval_memo[static_cast<std::size_t>(s - 1)];
+    if (memo > 0) {
+      return memo;
+    }
+    if (!opt.resolve_checkpoint_interval) {
+      memo = rel.checkpoint_interval;
+    } else {
+      ResilienceOptions solve = opt.run;
+      solve.gpus = std::max(1, opt.run.gpus * s / dp);
+      solve.dp_replicas = s;
+      const Seconds shape_mtbf =
+          rel.mtbf_per_1000_gpus * 1000.0 / static_cast<double>(solve.gpus);
+      solve.target_useful_time = opt.interval_solve_mtbfs * shape_mtbf;
+      memo = OptimalCheckpointInterval(shape_time(s), solve, opt.interval_solver).refined;
+    }
+    m.checkpoint_interval_by_survivors[static_cast<std::size_t>(s - 1)] = memo;
+    return memo;
+  };
+
+  // Iteration-time factor of the plan currently executing relative to
+  // the clean even plan: engine-measured canonical states when the
+  // pricing overrides are set, the analytic unit bottleneck otherwise.
+  const auto plan_factor = [&]() -> double {
+    const bool even = units == even_units;
+    Seconds canonical = 0;
+    if (even) {
+      canonical = straggler_active ? opt.straggled_iteration_time : iteration_time;
+    } else {
+      canonical = straggler_active ? opt.mitigated_iteration_time
+                                   : opt.mitigated_clean_iteration_time;
+    }
+    if (canonical > 0) {
+      return canonical / iteration_time;
+    }
+    double bottleneck = 0;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      bottleneck = std::max(bottleneck, static_cast<double>(units[i]) * hw[i]);
+    }
+    return bottleneck / static_cast<double>(units0);
+  };
+
+  // Per-stage busy synthesis for the detector. `dilation` is hw (what
+  // actually ran) for observations and `assumed` (what the plan
+  // expected) for the estimator baseline.
+  const auto synth_busy = [&](const std::vector<double>& dilation) {
+    std::vector<Seconds> busy(static_cast<std::size_t>(stages));
+    for (std::size_t i = 0; i < busy.size(); ++i) {
+      const Seconds base = opt.clean_stage_busy.empty()
+                               ? iteration_time / static_cast<double>(stages)
+                               : opt.clean_stage_busy[i];
+      busy[i] = base * (static_cast<double>(units[i]) / static_cast<double>(units0)) *
+                dilation[i];
+    }
+    return busy;
+  };
+  const auto canonical_busy = [&](bool expected) -> const std::vector<Seconds>* {
+    const bool even = units == even_units;
+    // The estimator baseline expects what the plan assumed: the even
+    // plan assumed no straggler, the mitigated plan assumed one.
+    const bool strag = expected ? !even : straggler_active;
+    const std::vector<Seconds>& canon =
+        even ? (strag ? opt.straggled_stage_busy : opt.clean_stage_busy)
+             : (strag ? opt.mitigated_stage_busy : opt.mitigated_clean_stage_busy);
+    return canon.empty() ? nullptr : &canon;
+  };
+  const auto expected_busy = [&]() {
+    const std::vector<Seconds>* canon = canonical_busy(/*expected=*/true);
+    return canon ? *canon : synth_busy(assumed);
+  };
+  const auto observed_busy = [&]() {
+    const std::vector<Seconds>* canon = canonical_busy(/*expected=*/false);
+    std::vector<Seconds> busy = canon ? *canon : synth_busy(hw);
+    if (opt.straggler.busy_noise_sigma > 0) {
+      for (Seconds& b : busy) {
+        b *= std::exp(opt.straggler.busy_noise_sigma * rng_noise.NextGaussian());
+      }
+    }
+    return busy;
+  };
+
+  const bool detecting = opt.policy == ElasticPolicy::kElastic && opt.straggler.mtbf > 0;
+  SlowdownWindowEstimator estimator;
+  if (detecting) {
+    estimator = SlowdownWindowEstimator(expected_busy(), opt.detector);
+  }
+
+  const auto count_failure = [&]() {
+    ++m.failures;
+    MEPIPE_CHECK_LT(m.failures, failure_budget)
+        << "MTBF " << mtbf << "s is too short for the run to make progress under the "
+        << ToString(opt.policy) << " policy";
+  };
+
+  // A replica goes down at the current wall instant: queue its repair.
+  const auto lose_replica = [&]() {
+    count_failure();
+    --survivors;
+    record_event(sim::FaultKind::kFailStop, -1, wall, wall,
+                 StrFormat("replica lost (%d/%d live)", survivors, dp));
+    record_event(sim::FaultKind::kRepair, -1, wall, wall + opt.repair_time,
+                 StrFormat("node repair, %d outstanding", static_cast<int>(repairs.size()) + 1));
+    repairs.push_back(wall + opt.repair_time);
+  };
+
+  // Synchronous outage (frozen/restart, and the elastic fallbacks):
+  // every replica idles until each outstanding node is repaired, then
+  // the fleet pays the restore stall. Failures during the wait queue
+  // their own repairs; a failure during the restore restarts it.
+  const auto synchronous_outage = [&]() {
+    for (;;) {
+      while (!repairs.empty()) {
+        const Seconds due = repairs.front();
+        const Advance r = advance(due - wall, survivors);
+        m.repair_wait_time += r.done;
+        if (r.failed) {
+          lose_replica();
+        } else {
+          repairs.pop_front();
+          ++survivors;
+        }
+      }
+      const Advance r = advance(rel.recovery_time, survivors);
+      m.recovery_time += r.done;
+      if (!r.failed) {
+        return;
+      }
+      lose_replica();
+    }
+  };
+
+  const auto rollback_to_checkpoint = [&]() {
+    const Seconds rolled = useful - ckpt_useful;
+    m.lost_time += rolled;
+    useful = ckpt_useful;
+    since_ckpt = 0;
+  };
+
+  // Hardware failure at the current wall instant; `partial_lost` is the
+  // clean-equivalent work of the interrupted iteration (every policy
+  // loses it — survivors hold the last iteration boundary at best).
+  const auto handle_failure = [&](Seconds partial_lost) {
+    m.lost_time += partial_lost;
+    lose_replica();
+    switch (opt.policy) {
+      case ElasticPolicy::kFrozen:
+        // Full stop and restore of the durable checkpoint: survivors'
+        // in-memory state is discarded with the run.
+        rollback_to_checkpoint();
+        synchronous_outage();
+        break;
+      case ElasticPolicy::kRestart:
+        // Survivors keep their state and idle; the repaired node
+        // restores from a peer during the recovery stall.
+        synchronous_outage();
+        break;
+      case ElasticPolicy::kElastic:
+        if (survivors >= 1 && shape_ok(survivors)) {
+          // Shrink the DP ring: survivors re-cover the departed
+          // replica's ZeRO-1 shard behind a redistribution barrier,
+          // then training continues degraded.
+          const Seconds stall = reshard_stall_for(survivors);
+          const Seconds begin = wall;
+          advance_through(stall, survivors);
+          m.reshard_time += stall;
+          ++m.reshards;
+          record_event(sim::FaultKind::kReshard, -1, begin, wall,
+                       StrFormat("shrink to %d replicas", survivors));
+        } else if (survivors >= 1) {
+          // No feasible smaller shape: restart-style synchronous wait.
+          synchronous_outage();
+        } else {
+          // The last replica died — no surviving peer holds the state.
+          rollback_to_checkpoint();
+          synchronous_outage();
+        }
+        break;
+    }
+  };
+
+  // Elastic re-expansion: completed repairs rejoin at the next
+  // iteration boundary behind another reshard barrier (the rejoining
+  // replica streamed its peer state during the repair window, so no
+  // extra recovery stall is paid — DESIGN.md states the contract).
+  const auto process_repairs = [&]() {
+    while (!repairs.empty() && repairs.front() <= wall) {
+      repairs.pop_front();
+      ++survivors;
+      if (opt.policy == ElasticPolicy::kElastic) {
+        const Seconds stall = reshard_stall_for(survivors);
+        const Seconds begin = wall;
+        advance_through(stall, survivors);
+        m.reshard_time += stall;
+        ++m.expansions;
+        record_event(sim::FaultKind::kReshard, -1, begin, wall,
+                     StrFormat("expand to %d replicas", survivors));
+      }
+    }
+  };
+
+  const auto update_straggler = [&]() {
+    if (opt.straggler.mtbf <= 0) {
+      return;
+    }
+    if (straggler_active && wall >= straggler_until) {
+      straggler_active = false;
+      std::fill(hw.begin(), hw.end(), 1.0);
+      record_event(sim::FaultKind::kStraggler, straggler_stage, straggler_began,
+                   straggler_until,
+                   StrFormat("stage %d x%.2f cleared", straggler_stage,
+                             opt.straggler.slowdown));
+      next_onset = wall + rng_straggler.NextExponential(opt.straggler.mtbf);
+    }
+    if (!straggler_active && wall >= next_onset) {
+      straggler_active = true;
+      straggler_stage =
+          opt.straggler.stage >= 0
+              ? opt.straggler.stage
+              : static_cast<int>(rng_straggler.NextU64() % static_cast<std::uint64_t>(stages));
+      std::fill(hw.begin(), hw.end(), 1.0);
+      hw[static_cast<std::size_t>(straggler_stage)] = opt.straggler.slowdown;
+      straggler_began = wall;
+      straggler_until = opt.straggler.duration > 0
+                            ? wall + opt.straggler.duration
+                            : std::numeric_limits<Seconds>::infinity();
+      ++m.straggler_onsets;
+    }
+  };
+
+  // Live re-plan: fold the detected deviation into the assumed profile,
+  // re-partition units against it, pay the re-plan stall, and re-arm
+  // the detector against the new plan's expected busy times. Both
+  // adoption (a straggler appeared) and reversion (it cleared) are the
+  // same move — deviation is measured against the plan currently
+  // executing, in either direction.
+  const auto replan = [&]() {
+    const std::vector<double>& ratios = estimator.WindowRatios();
+    for (std::size_t i = 0; i < assumed.size(); ++i) {
+      assumed[i] *= ratios[i];
+    }
+    NormalizeByMedian(assumed);
+    units = PartitionUnitsBySpeed(units0 * stages, assumed, 1);
+    const Seconds begin = wall;
+    advance_through(opt.replan_stall, survivors);
+    m.replan_time += opt.replan_stall;
+    ++m.replans;
+    StageProfile profile;
+    profile.slowdown = assumed;
+    record_event(sim::FaultKind::kReplan, straggler_stage, begin, wall,
+                 StrFormat("replan: profile max x%.2f", profile.max_slowdown()));
+    estimator.Reset(expected_busy());
+  };
+
+  // ---- the control loop ---------------------------------------------------
+  while (useful + 1e-9 < target) {
+    process_repairs();
+    update_straggler();
+    const int s = survivors;
+    const Seconds tau = shape_time(s) * plan_factor();
+    const Seconds credit = useful_credit(s);
+
+    const Advance r = advance(tau, s);
+    if (r.failed) {
+      // The interrupted iteration's partial work is discarded.
+      const double frac = tau > 0 ? r.done / tau : 1.0;
+      handle_failure(frac * credit);
+      continue;
+    }
+    useful += credit;
+    since_ckpt += tau;
+    ++m.iterations_completed;
+
+    if (detecting && estimator.Observe(observed_busy()) && estimator.PersistentDeviation()) {
+      replan();
+    }
+
+    if (useful + 1e-9 < target && since_ckpt >= interval_for(survivors)) {
+      const Advance w = advance(rel.checkpoint_write_cost, survivors);
+      m.checkpoint_time += w.done;
+      if (w.failed) {
+        // Failure mid-write: the elapsed write time is spent but the
+        // checkpoint never became durable.
+        ++m.checkpoints_aborted;
+        handle_failure(0.0);
+      } else {
+        ckpt_useful = useful;
+        since_ckpt = 0;
+        ++m.checkpoints_written;
+      }
+    }
+  }
+
+  if (straggler_active) {
+    record_event(sim::FaultKind::kStraggler, straggler_stage, straggler_began, wall,
+                 StrFormat("stage %d x%.2f at run end", straggler_stage,
+                           opt.straggler.slowdown));
+  }
+  m.wall_time = wall;
+  m.useful_time = useful;
+  m.degraded_fraction = wall > 0 ? m.degraded_time / wall : 0.0;
+  m.goodput = wall > 0 ? useful / wall : 1.0;
+  m.overhead_fraction = 1.0 - m.goodput;
+  return m;
+}
+
+// ---- engine-grounded pricing ----------------------------------------------
+
+namespace {
+
+// Translates a shape's byte activation budget into the validator's
+// forward-unit cap via the engine's measured peak (bytes per retained
+// forward at the peak), then runs the full sched/validate suite.
+int CountInvariantViolations(const IterationResult& result, int stages) {
+  sched::InvariantOptions inv;
+  if (!result.activation_budget.empty()) {
+    inv.retained_cap.resize(static_cast<std::size_t>(stages));
+    for (int stage = 0; stage < stages; ++stage) {
+      const int peak_units = sched::PeakRetainedForwards(result.schedule, stage);
+      const Bytes peak_bytes =
+          result.sim.stages[static_cast<std::size_t>(stage)].peak_activation;
+      const Bytes budget = result.activation_budget[static_cast<std::size_t>(stage)];
+      int cap = peak_units;
+      if (peak_units > 0 && peak_bytes > 0) {
+        cap = static_cast<int>(static_cast<double>(budget) *
+                               static_cast<double>(peak_units) /
+                               static_cast<double>(peak_bytes));
+      }
+      inv.retained_cap[static_cast<std::size_t>(stage)] = std::max(cap, 0);
+    }
+  }
+  return static_cast<int>(sched::CheckScheduleInvariants(result.schedule, inv)
+                              .violations.size());
+}
+
+std::vector<Seconds> StageBusyOf(const sim::SimResult& sim) {
+  std::vector<Seconds> busy;
+  busy.reserve(sim.stages.size());
+  for (const sim::StageMetrics& stage : sim.stages) {
+    busy.push_back(stage.busy);
+  }
+  return busy;
+}
+
+}  // namespace
+
+ElasticPricing PriceElasticShapes(const model::TransformerConfig& config,
+                                  const Strategy& strategy, const hw::ClusterSpec& cluster,
+                                  int global_batch, ElasticOptions& options,
+                                  const IterationOptions& iteration) {
+  const int dp = strategy.dp;
+  MEPIPE_CHECK_GE(dp, 1);
+  MEPIPE_CHECK_EQ(dp, options.run.dp_replicas)
+      << "strategy.dp and options.run.dp_replicas disagree";
+  MEPIPE_CHECK_GT(global_batch, 0);
+
+  // The analytic partition model follows the strategy's real shape.
+  options.pipeline_stages = strategy.pp;
+  options.units_per_stage = std::max(
+      1, static_cast<int>(config.partition_units()) / (strategy.pp * strategy.vp));
+  options.Validate();
+
+  IterationOptions iter = iteration;
+  iter.keep_timeline = false;
+  iter.keep_schedule = true;
+
+  ElasticPricing pricing;
+  pricing.shapes.resize(static_cast<std::size_t>(dp));
+  options.iteration_time_by_survivors.assign(static_cast<std::size_t>(dp), 0.0);
+  options.useful_fraction_by_survivors.assign(static_cast<std::size_t>(dp), 0.0);
+  options.reshard_stall_by_survivors.assign(static_cast<std::size_t>(dp), 0.0);
+  options.shape_feasible.assign(static_cast<std::size_t>(dp), 0);
+
+  for (int s = dp; s >= 1; --s) {
+    ElasticShape& shape = pricing.shapes[static_cast<std::size_t>(s - 1)];
+    shape.survivors = s;
+    const int world_s = strategy.pp * s * strategy.cp * strategy.tp;
+    if (world_s % cluster.gpus_per_node != 0) {
+      shape.note = StrFormat("world %d does not fill whole %d-GPU nodes", world_s,
+                             cluster.gpus_per_node);
+      continue;
+    }
+    hw::ClusterSpec shrunk = cluster;
+    shrunk.nodes = world_s / cluster.gpus_per_node;
+    Strategy degraded = strategy;
+    degraded.dp = s;
+    // Survivors re-split the global batch; the ceil keeps per-replica
+    // micro-batches whole and the extra samples earn proportionally
+    // more clean-equivalent credit.
+    const int micros = (global_batch + s - 1) / s;
+    const int batch_s = micros * s;
+    const IterationResult result = SimulateIteration(config, degraded, shrunk, batch_s, iter);
+    shape.micros = micros;
+    shape.note = result.note;
+    if (!result.feasible) {
+      continue;
+    }
+    shape.feasible = true;
+    shape.iteration_time = result.iteration_time;
+    shape.useful_fraction =
+        static_cast<double>(batch_s) / static_cast<double>(global_batch);
+    // Reshard barrier entering this shape: all-gather of the departed
+    // replica's worst ZeRO-1 shard over the surviving DP fabric.
+    const hw::LinkSpec link = hw::DataParallelLink(shrunk, degraded.layout());
+    shape.reshard_stall = hw::CommModel::AllGather(result.checkpoint_shard, s, link);
+    shape.invariant_violations = CountInvariantViolations(result, strategy.pp);
+    if (shape.invariant_violations == 0) {
+      ++pricing.validated_schedules;
+    }
+
+    options.iteration_time_by_survivors[static_cast<std::size_t>(s - 1)] =
+        shape.iteration_time;
+    options.useful_fraction_by_survivors[static_cast<std::size_t>(s - 1)] =
+        shape.useful_fraction;
+    options.reshard_stall_by_survivors[static_cast<std::size_t>(s - 1)] =
+        shape.reshard_stall;
+    options.shape_feasible[static_cast<std::size_t>(s - 1)] = 1;
+
+    if (s == dp) {
+      options.clean_stage_busy = StageBusyOf(result.sim);
+    }
+  }
+
+  const ElasticShape& full = pricing.shapes[static_cast<std::size_t>(dp - 1)];
+  MEPIPE_CHECK(full.feasible) << "full-fleet strategy infeasible: " << full.note;
+  pricing.clean_iteration_time = full.iteration_time;
+
+  // ---- straggler plan states (only when stragglers are injected) ----------
+  if (options.straggler.mtbf > 0) {
+    MEPIPE_CHECK_GE(options.straggler.stage, 0)
+        << "engine-grounded straggler pricing needs a fixed straggler stage";
+    sim::FaultPlan plan;
+    const Seconds horizon =
+        full.iteration_time * options.straggler.slowdown * 10.0 + 1.0;
+    plan.stragglers.push_back(
+        {options.straggler.stage, 0.0, horizon, options.straggler.slowdown});
+
+    IterationOptions straggled_iter = iter;
+    straggled_iter.fault_plan = plan;
+    const IterationResult straggled =
+        SimulateIteration(config, strategy, cluster, global_batch, straggled_iter);
+    MEPIPE_CHECK(straggled.feasible) << "straggled run infeasible: " << straggled.note;
+    pricing.straggled_iteration_time = straggled.iteration_time;
+    options.straggled_iteration_time = straggled.iteration_time;
+    options.straggled_stage_busy = StageBusyOf(straggled.sim);
+
+    IterationOptions mitigated_iter = straggled_iter;
+    mitigated_iter.rebalance_stragglers = true;
+    const IterationResult mitigated =
+        SimulateIteration(config, strategy, cluster, global_batch, mitigated_iter);
+    MEPIPE_CHECK(mitigated.feasible) << "mitigated run infeasible: " << mitigated.note;
+    pricing.mitigation_adopted = mitigated.mitigation.rebalanced;
+    pricing.mitigated_iteration_time = mitigated.iteration_time;
+    options.mitigated_iteration_time = mitigated.iteration_time;
+    options.mitigated_stage_busy = StageBusyOf(mitigated.sim);
+    if (mitigated.mitigation.rebalanced &&
+        CountInvariantViolations(mitigated, strategy.pp) == 0) {
+      ++pricing.validated_schedules;
+    }
+  }
+
+  return pricing;
+}
+
+ElasticMetrics SimulateElasticRun(const model::TransformerConfig& config,
+                                  const Strategy& strategy, const hw::ClusterSpec& cluster,
+                                  int global_batch, ElasticOptions options,
+                                  const IterationOptions& iteration) {
+  const ElasticPricing pricing =
+      PriceElasticShapes(config, strategy, cluster, global_batch, options, iteration);
+  return SimulateElasticRun(pricing.clean_iteration_time, options);
+}
+
+}  // namespace mepipe::core

@@ -282,6 +282,10 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
     sim.timeline.clear();
     result.sim = std::move(sim);
   }
+  if (options.keep_schedule) {
+    result.schedule = std::move(schedule);
+    result.activation_budget = engine.activation_budget;
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 #define MEPIPE_CORE_ITERATION_H_
 
 #include <string>
+#include <vector>
 
 #include "core/training_cost.h"
 #include "hw/cluster.h"
@@ -28,6 +29,11 @@ struct IterationOptions {
   Seconds optimizer_step = Milliseconds(15);
   // Drop the (potentially large) per-op timeline from the result.
   bool keep_timeline = true;
+  // Keep the executed schedule (post-mitigation when a rebalanced one
+  // was adopted) in IterationResult::schedule, so callers can re-check
+  // sched/validate invariants — the elastic runtime does this for every
+  // live re-plan under the shrunken fleet's activation budget.
+  bool keep_schedule = false;
   // Per-op lognormal duration jitter (0 = deterministic); seeds one
   // "iteration" of the §7.1 measurement protocol (see core/experiment.h).
   double noise_sigma = 0;
@@ -108,6 +114,11 @@ struct IterationResult {
   double mfu = 0;                // model FLOPS utilization
 
   sim::SimResult sim;            // timeline (empty if !keep_timeline)
+  // The executed schedule and the per-stage activation budget (bytes)
+  // the engine ran it under (empty unless IterationOptions::keep_schedule
+  // and, for the budget, the method defers weight gradients).
+  sched::Schedule schedule;
+  std::vector<Bytes> activation_budget;
 };
 
 // Simulates one training iteration of `config` under `strategy` on

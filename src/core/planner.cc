@@ -95,7 +95,10 @@ std::optional<Seconds> IterationLowerBound(Method method,
 // Prices a feasible result under the goodput objective's failure model:
 // per-strategy checkpoint write cost from its worst shard, Young/Daly +
 // refinement for the interval, then a simulated training run for the
-// delivered goodput. No-op on infeasible results.
+// delivered goodput. No-op on infeasible results. Under a fault plan
+// `result.iteration_time` is the faulted (possibly mitigated) time, so
+// the joint mode compounds failure overhead on top of straggler
+// dilation — the PlannerOptions::fault_plan contract.
 void PriceGoodput(IterationResult& result, const PlannerOptions& options) {
   if (!result.feasible || options.objective != PlannerObjective::kGoodput) {
     return;

@@ -47,6 +47,17 @@ struct PlannerOptions {
   // Evaluate every strategy under this engine-level fault plan (empty =
   // clean; overrides iteration.fault_plan when set). Value-semantic:
   // assigning a FaultPlan copies it into shared storage.
+  //
+  // Composes with objective = kGoodput into a *joint* straggler ×
+  // goodput search: each candidate's iteration time is measured under
+  // the fault plan (and, with search_rebalanced, the better of the
+  // plain and rebalanced variants is kept), and that faulted/mitigated
+  // iteration time is what the goodput pricing runs on — so the search
+  // ranks by wall-clock cost per useful iteration with *both* straggler
+  // dilation and failure/checkpoint overhead priced in one pass. With
+  // either axis off the search reduces exactly to the other standalone
+  // mode (pinned by tests): an empty plan + kGoodput is the pure
+  // goodput search, a plan + kIterationTime the pure straggler search.
   sim::FaultPlanRef fault_plan;
   // Also evaluate each strategy's straggler-rebalanced variant
   // (core/rebalance) and keep the better of the two. Only meaningful

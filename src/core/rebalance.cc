@@ -82,6 +82,142 @@ StageProfile EstimateStageSlowdowns(const sim::FaultPlan& plan, int stages, Seco
   return profile;
 }
 
+void WindowedProfileOptions::Validate() const {
+  MEPIPE_CHECK_GE(window, 1) << "detection window must hold at least one iteration";
+  MEPIPE_CHECK(min_observations >= 1 && min_observations <= window)
+      << "min_observations " << min_observations << " outside [1, window=" << window << "]";
+  MEPIPE_CHECK_GT(trigger_threshold, 1.0) << "trigger threshold must exceed 1";
+  MEPIPE_CHECK_GE(hysteresis_windows, 1);
+}
+
+namespace {
+
+// Median-normalized per-stage busy ratios of a partial window: the raw
+// deviation of each stage from the plan's expected busy time, anchored
+// on the majority so a uniform fleet-wide dilation reads as 1 everywhere.
+std::vector<double> WindowRatiosFrom(const std::vector<Seconds>& baseline_busy,
+                                     const std::vector<Seconds>& window_busy_sum, int observed) {
+  MEPIPE_CHECK_GE(observed, 1) << "a windowed profile needs at least one observation";
+  MEPIPE_CHECK_EQ(baseline_busy.size(), window_busy_sum.size())
+      << "baseline/window busy vectors disagree on stage count";
+  MEPIPE_CHECK(!baseline_busy.empty()) << "cannot estimate a profile over zero stages";
+  std::vector<double> ratios(baseline_busy.size(), 1.0);
+  for (std::size_t i = 0; i < baseline_busy.size(); ++i) {
+    MEPIPE_CHECK_GE(baseline_busy[i], 0.0) << "negative baseline busy time";
+    MEPIPE_CHECK_GE(window_busy_sum[i], 0.0) << "negative windowed busy time";
+    const Seconds mean = window_busy_sum[i] / static_cast<double>(observed);
+    ratios[i] = baseline_busy[i] > 0 ? mean / baseline_busy[i] : 1.0;
+  }
+  std::vector<double> sorted = ratios;
+  std::nth_element(sorted.begin(), sorted.begin() + (sorted.size() - 1) / 2, sorted.end());
+  const double median = sorted[(sorted.size() - 1) / 2];  // lower median
+  if (median > 0) {
+    for (double& r : ratios) {
+      r /= median;
+    }
+  }
+  return ratios;
+}
+
+StageProfile ProfileFromRatios(const std::vector<double>& ratios) {
+  StageProfile profile;
+  profile.slowdown.reserve(ratios.size());
+  for (const double r : ratios) {
+    profile.slowdown.push_back(std::max(1.0, r));
+  }
+  return profile;
+}
+
+}  // namespace
+
+StageProfile EstimateStageSlowdowns(const std::vector<Seconds>& baseline_busy,
+                                    const std::vector<Seconds>& window_busy_sum, int observed) {
+  return ProfileFromRatios(WindowRatiosFrom(baseline_busy, window_busy_sum, observed));
+}
+
+SlowdownWindowEstimator::SlowdownWindowEstimator(std::vector<Seconds> baseline_busy,
+                                                 const WindowedProfileOptions& options)
+    : options_(options) {
+  options_.Validate();
+  Reset(std::move(baseline_busy));
+}
+
+void SlowdownWindowEstimator::Reset(std::vector<Seconds> baseline_busy) {
+  MEPIPE_CHECK(!baseline_busy.empty()) << "estimator baseline needs at least one stage";
+  for (const Seconds b : baseline_busy) {
+    MEPIPE_CHECK_GE(b, 0.0) << "negative baseline busy time";
+  }
+  baseline_ = std::move(baseline_busy);
+  accum_.assign(baseline_.size(), 0.0);
+  accum_count_ = 0;
+  window_profile_ = {};
+  window_ratios_.clear();
+  deviant_windows_ = 0;
+}
+
+bool SlowdownWindowEstimator::Observe(const std::vector<Seconds>& busy) {
+  MEPIPE_CHECK(!baseline_.empty()) << "Observe() on an estimator without a baseline";
+  MEPIPE_CHECK_EQ(busy.size(), baseline_.size()) << "observation/baseline stage mismatch";
+  for (std::size_t i = 0; i < busy.size(); ++i) {
+    MEPIPE_CHECK_GE(busy[i], 0.0) << "negative observed busy time";
+    accum_[i] += busy[i];
+  }
+  ++accum_count_;
+  if (accum_count_ < options_.window) {
+    return false;
+  }
+  CloseWindow();
+  return true;
+}
+
+bool SlowdownWindowEstimator::ClosePartialWindow() {
+  if (accum_count_ < options_.min_observations) {
+    // Under the confidence gate: too few observations to trust — drop.
+    accum_.assign(baseline_.size(), 0.0);
+    accum_count_ = 0;
+    return false;
+  }
+  CloseWindow();
+  return true;
+}
+
+void SlowdownWindowEstimator::CloseWindow() {
+  window_ratios_ = WindowRatiosFrom(baseline_, accum_, accum_count_);
+  window_profile_ = ProfileFromRatios(window_ratios_);
+  double deviation = 1.0;
+  for (const double r : window_ratios_) {
+    deviation = std::max(deviation, std::max(r, r > 0 ? 1.0 / r : deviation));
+  }
+  if (deviation >= options_.trigger_threshold) {
+    ++deviant_windows_;
+  } else {
+    deviant_windows_ = 0;  // one clean window re-arms the hysteresis
+  }
+  ++windows_closed_;
+  accum_.assign(baseline_.size(), 0.0);
+  accum_count_ = 0;
+}
+
+StageProfile SlowdownWindowEstimator::PartialProfile() const {
+  MEPIPE_CHECK(!baseline_.empty()) << "PartialProfile() on an estimator without a baseline";
+  if (accum_count_ < options_.min_observations) {
+    StageProfile flat;
+    flat.slowdown.assign(baseline_.size(), 1.0);
+    return flat;
+  }
+  return ProfileFromRatios(WindowRatiosFrom(baseline_, accum_, accum_count_));
+}
+
+const StageProfile& SlowdownWindowEstimator::WindowProfile() const { return window_profile_; }
+
+const std::vector<double>& SlowdownWindowEstimator::WindowRatios() const {
+  return window_ratios_;
+}
+
+bool SlowdownWindowEstimator::PersistentDeviation() const {
+  return deviant_windows_ >= options_.hysteresis_windows;
+}
+
 std::vector<int> PartitionUnitsBySpeed(int total_units, const std::vector<double>& slowdown,
                                        int min_units) {
   const int workers = static_cast<int>(slowdown.size());

@@ -67,6 +67,110 @@ StageProfile EstimateStageSlowdowns(const sim::SimResult& clean,
 // not slow *compute*.
 StageProfile EstimateStageSlowdowns(const sim::FaultPlan& plan, int stages, Seconds horizon);
 
+// ---- Windowed online estimation (the elastic runtime's detector) ----------
+//
+// The offline estimators above need a complete trace; the online
+// control loop (core/elastic) only ever has the last few iterations'
+// per-stage busy times — a *partial window*. The windowed overload
+// estimates from busy-time sums accumulated over `observed` iterations,
+// and SlowdownWindowEstimator adds the confidence/hysteresis gate that
+// keeps measurement noise from triggering re-plan thrashing.
+
+struct WindowedProfileOptions {
+  // Iterations per detection window.
+  int window = 8;
+  // Confidence gate: a (partial) window is only trusted once it holds at
+  // least this many observations.
+  int min_observations = 4;
+  // A window counts as deviant when some stage's busy time departs from
+  // the baseline by at least this factor (in either direction — a stage
+  // that *speeds up* relative to the adopted plan signals a cleared
+  // straggler just as a slowdown signals a new one).
+  double trigger_threshold = 1.15;
+  // Hysteresis: this many *consecutive* deviant windows are required
+  // before PersistentDeviation() reports true. A transient one-window
+  // blip can never trigger a re-plan when this is >= 2.
+  int hysteresis_windows = 2;
+
+  // Throws CheckError on window < 1, min_observations outside
+  // [1, window], trigger_threshold <= 1, or hysteresis_windows < 1.
+  void Validate() const;
+};
+
+// Estimates a profile from a partial window: `window_busy_sum[i]` is the
+// per-stage busy time accumulated over `observed` iterations, and
+// `baseline_busy[i]` the expected busy time of one iteration under the
+// current plan. Per-stage ratios are normalized by their (lower) median
+// so that a *uniform* dilation — a degraded fleet running every stage
+// proportionally slower — does not read as a straggler, then floored at
+// 1 to satisfy the StageProfile contract. Stages with zero baseline
+// report 1. Throws CheckError on size mismatch, observed < 1, or
+// negative busy times.
+StageProfile EstimateStageSlowdowns(const std::vector<Seconds>& baseline_busy,
+                                    const std::vector<Seconds>& window_busy_sum, int observed);
+
+// Sliding-window slowdown detector. Feed one Observe() per iteration;
+// every `window` observations close a window, whose median-normalized
+// busy ratios are tested against the trigger threshold. Only after
+// `hysteresis_windows` consecutive deviant windows does
+// PersistentDeviation() fire — and a single clean window re-arms it.
+// After the control loop adopts a re-plan it calls Reset() with the new
+// plan's expected busy times, so the detector always measures deviation
+// from *the plan currently executing*.
+class SlowdownWindowEstimator {
+ public:
+  // An empty baseline makes a dormant estimator (Observe() checks).
+  SlowdownWindowEstimator() = default;
+  explicit SlowdownWindowEstimator(std::vector<Seconds> baseline_busy,
+                                   const WindowedProfileOptions& options = {});
+
+  // Replaces the baseline and clears every window and hysteresis state.
+  void Reset(std::vector<Seconds> baseline_busy);
+
+  // Feeds one iteration's per-stage busy times; returns true when this
+  // observation closed a window. Throws CheckError on size mismatch or
+  // an unset baseline.
+  bool Observe(const std::vector<Seconds>& busy);
+
+  // Closes the currently accumulating window early (a state transition
+  // does not wait for a full window). Counts only when the partial
+  // window passes the confidence gate (>= min_observations); otherwise
+  // the observations are discarded. Returns true when a window closed.
+  bool ClosePartialWindow();
+
+  // Profile over the currently accumulating partial window (all-1 when
+  // under the confidence gate).
+  StageProfile PartialProfile() const;
+
+  // Profile of the last closed window (empty before the first closes).
+  const StageProfile& WindowProfile() const;
+  // Raw median-normalized busy ratios of the last closed window —
+  // unlike WindowProfile they can dip below 1 (a stage running *faster*
+  // than the plan expected). Empty before the first window closes.
+  const std::vector<double>& WindowRatios() const;
+
+  // True once >= hysteresis_windows consecutive closed windows were
+  // deviant (threshold crossed in either direction).
+  bool PersistentDeviation() const;
+
+  int deviant_windows() const { return deviant_windows_; }
+  int windows_closed() const { return windows_closed_; }
+  const WindowedProfileOptions& options() const { return options_; }
+  const std::vector<Seconds>& baseline() const { return baseline_; }
+
+ private:
+  void CloseWindow();
+
+  WindowedProfileOptions options_;
+  std::vector<Seconds> baseline_;
+  std::vector<Seconds> accum_;     // busy sums of the open window
+  int accum_count_ = 0;
+  StageProfile window_profile_;    // last closed window
+  std::vector<double> window_ratios_;
+  int deviant_windows_ = 0;        // consecutive deviant closed windows
+  int windows_closed_ = 0;
+};
+
 // Bottleneck-minimizing partitioner: splits `total_units` identical
 // units across `slowdown.size()` workers so that the maximum of
 // units_i · slowdown_i is minimized, subject to units_i >= min_units.

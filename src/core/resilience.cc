@@ -8,16 +8,27 @@
 
 namespace mepipe::core {
 
+void ResilienceOptions::Validate() const {
+  MEPIPE_CHECK_GT(gpus, 0);
+  if (restart_scope == sim::RestartScope::kDpReplicaLocal) {
+    MEPIPE_CHECK_GE(dp_replicas, 1)
+        << "kDpReplicaLocal requires dp_replicas >= 1 (dp_replicas == 1 falls "
+        << "back to the full-pipeline restore; fewer replicas than one is "
+        << "not a job)";
+  } else {
+    MEPIPE_CHECK_GE(dp_replicas, 1);
+  }
+  MEPIPE_CHECK_GT(reliability.mtbf_per_1000_gpus, 0.0);
+  MEPIPE_CHECK_GT(reliability.checkpoint_interval, 0.0);
+  MEPIPE_CHECK_GE(reliability.recovery_time, 0.0);
+  MEPIPE_CHECK_GE(reliability.checkpoint_write_cost, 0.0);
+}
+
 ResilienceMetrics SimulateTrainingRun(Seconds iteration_time,
                                       const ResilienceOptions& options) {
   MEPIPE_CHECK_GT(iteration_time, 0.0);
-  MEPIPE_CHECK_GT(options.gpus, 0);
-  MEPIPE_CHECK_GE(options.dp_replicas, 1);
+  options.Validate();
   const ReliabilityOptions& rel = options.reliability;
-  MEPIPE_CHECK_GT(rel.mtbf_per_1000_gpus, 0.0);
-  MEPIPE_CHECK_GT(rel.checkpoint_interval, 0.0);
-  MEPIPE_CHECK_GE(rel.recovery_time, 0.0);
-  MEPIPE_CHECK_GE(rel.checkpoint_write_cost, 0.0);
 
   const Seconds target = options.target_useful_time > 0
                              ? options.target_useful_time
@@ -170,7 +181,18 @@ CheckpointIntervalSolution OptimalCheckpointInterval(
     Seconds iteration_time, const ResilienceOptions& base,
     const CheckpointIntervalOptions& options) {
   MEPIPE_CHECK_GT(iteration_time, 0.0);
-  MEPIPE_CHECK_GT(base.gpus, 0);
+  // Validate the base options before the goodput scan: goodput_at below
+  // deliberately swallows CheckError for intervals the MTBF cannot
+  // sustain, which would otherwise also swallow genuinely malformed
+  // options (e.g. kDpReplicaLocal with dp_replicas < 1) into a silent
+  // all-zero-goodput search. The checkpoint interval itself is the
+  // unknown being solved for, so it is exempted from the check.
+  {
+    ResilienceOptions probe = base;
+    probe.reliability.checkpoint_interval =
+        std::max(probe.reliability.checkpoint_interval, 1.0);
+    probe.Validate();
+  }
   const Seconds w = base.reliability.checkpoint_write_cost;
   MEPIPE_CHECK_GT(w, 0.0) << "a free checkpoint has no optimal interval";
   MEPIPE_CHECK_GE(options.coarse_points, 3);

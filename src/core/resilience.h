@@ -42,15 +42,30 @@ struct ResilienceOptions {
   // (counters are always exact).
   std::size_t max_failure_records = 1024;
   // How far a fail-stop rolls the run back. kFullPipeline restores the
-  // last durable checkpoint for everyone. kDpReplicaLocal (requires
-  // dp_replicas > 1; silently equivalent to full at dp_replicas == 1,
-  // where no surviving peer exists) restores the lost replica from a
-  // surviving peer at the last completed iteration (the last DP sync
-  // point), so only the interrupted iteration's work is replayed while
-  // the survivors idle.
+  // last durable checkpoint for everyone. kDpReplicaLocal restores the
+  // lost replica from a surviving peer at the last completed iteration
+  // (the last DP sync point), so only the interrupted iteration's work
+  // is replayed while the survivors idle.
+  //
+  // Contract (enforced by Validate()): dp_replicas >= 1 always —
+  // kDpReplicaLocal with dp_replicas < 1 is rejected, not ignored. At
+  // dp_replicas == 1 kDpReplicaLocal *silently falls back* to the
+  // full-pipeline restore: a single replica has no surviving peer to
+  // fetch state from, so the scope distinction is vacuous by definition,
+  // not an error. This fallback is part of the documented contract and
+  // is pinned by tests.
   sim::RestartScope restart_scope = sim::RestartScope::kFullPipeline;
   // Data-parallel replica count of the simulated job (for restart_scope).
   int dp_replicas = 1;
+
+  // Validates every field: positive gpus/MTBF/checkpoint interval,
+  // non-negative recovery and write costs, dp_replicas >= 1 (with a
+  // scope-specific message under kDpReplicaLocal). Throws CheckError.
+  // Both SimulateTrainingRun and OptimalCheckpointInterval call this
+  // up-front — the interval solver validates *before* its goodput scan,
+  // whose CheckError-swallowing probe loop would otherwise silently
+  // score an invalid configuration as zero goodput everywhere.
+  void Validate() const;
 };
 
 // One fail-stop event of the simulated run.

@@ -14,6 +14,7 @@
 
 #include "core/analytic.h"
 #include "core/deployment.h"
+#include "core/elastic.h"
 #include "core/experiment.h"
 #include "core/iteration.h"
 #include "core/memory_model.h"

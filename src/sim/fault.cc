@@ -75,6 +75,7 @@ void FaultPlan::Validate(int stages) const {
     MEPIPE_CHECK_GE(f.time, 0.0);
     MEPIPE_CHECK_GE(f.detection_delay, 0.0);
     MEPIPE_CHECK_GE(f.restart_time, 0.0);
+    MEPIPE_CHECK_GE(f.repair_time, 0.0);
   }
   for (Seconds c : checkpoints) {
     MEPIPE_CHECK_GE(c, 0.0) << "checkpoint time";
@@ -90,6 +91,9 @@ const char* ToString(FaultKind kind) {
     case FaultKind::kLinkDegrade: return "link-degrade";
     case FaultKind::kTransferRetry: return "transfer-retry";
     case FaultKind::kFailStop: return "fail-stop";
+    case FaultKind::kReplan: return "replan";
+    case FaultKind::kReshard: return "reshard";
+    case FaultKind::kRepair: return "repair";
   }
   return "?";
 }
@@ -160,7 +164,7 @@ FaultyCostModel::FaultyCostModel(const CostModel& base, FaultPlanRef plan_ref, i
     }
     const Seconds lost = f.time - last_ckpt;
     const Seconds begin = f.time + offset;
-    const Seconds length = f.detection_delay + f.restart_time + lost;
+    const Seconds length = f.detection_delay + f.repair_time + f.restart_time + lost;
     downtimes_.push_back({begin, begin + length, f.stage, lost, plan.restart_scope});
     offset += length;
   }

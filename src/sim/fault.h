@@ -65,12 +65,18 @@ struct TransferRetryFault {
 // Fail-stop device loss on `stage` at progress time `time` (time already
 // excludes earlier failures' downtime). Work since the last checkpoint
 // at or before `time` (FaultPlan::checkpoints; t=0 is implicit) is lost;
-// the pipeline stalls for detection_delay + restart_time + lost work.
+// the pipeline stalls for detection_delay + repair_time + restart_time +
+// lost work. `repair_time` models the wall-clock wait for the lost
+// device to be replaced/repaired before the restart can begin (0 = a
+// hot spare is available immediately); the elastic runtime
+// (core/elastic) instead keeps surviving replicas training through this
+// window.
 struct FailStopFault {
   int stage = 0;
   Seconds time = 0;
   Seconds detection_delay = 0;
   Seconds restart_time = 0;
+  Seconds repair_time = 0;
 };
 
 // How far a fail-stop rolls the job back.
@@ -142,7 +148,20 @@ class FaultPlanRef {
   std::shared_ptr<const FaultPlan> plan_;
 };
 
-enum class FaultKind { kStraggler, kLinkDegrade, kTransferRetry, kFailStop };
+// Span kinds exported to the trace layer. The first four mirror the
+// FaultPlan event types; the last three are emitted by the elastic
+// runtime (core/elastic): a live schedule re-plan after straggler
+// detection, a ZeRO-shard redistribution when the DP ring shrinks or
+// re-expands, and the repair window of a lost node.
+enum class FaultKind {
+  kStraggler,
+  kLinkDegrade,
+  kTransferRetry,
+  kFailStop,
+  kReplan,
+  kReshard,
+  kRepair,
+};
 
 const char* ToString(FaultKind kind);
 

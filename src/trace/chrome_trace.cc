@@ -70,11 +70,24 @@ std::string ToChromeTraceJson(const sim::SimResult& result,
     out += StrFormat(
         "  {\"name\": \"%s: %s\", \"ph\": \"X\", \"pid\": 2, \"tid\": %d, "
         "\"ts\": %.3f, \"dur\": %.3f}",
-        ToString(span.kind), span.label.c_str(), tid, ToMicroseconds(span.begin),
+        ToString(span.kind), EscapeJson(span.label).c_str(), tid, ToMicroseconds(span.begin),
         ToMicroseconds(span.end - span.begin));
   }
   out += "\n]\n";
   return out;
+}
+
+std::string ToChromeTraceJson(const std::vector<sim::FaultSpan>& spans) {
+  sim::SimResult shell;
+  shell.fault_spans = spans;
+  return ToChromeTraceJson(shell, {});
+}
+
+void WriteChromeTrace(const std::vector<sim::FaultSpan>& spans, const std::string& path) {
+  std::ofstream file(path);
+  MEPIPE_CHECK(file.good()) << "cannot open " << path;
+  file << ToChromeTraceJson(spans);
+  MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
 }
 
 void WriteChromeTrace(const sim::SimResult& result, const std::string& path) {

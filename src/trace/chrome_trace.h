@@ -24,10 +24,16 @@ std::string ToChromeTraceJson(const sim::SimResult& result);
 std::string ToChromeTraceJson(const sim::SimResult& result,
                               const std::vector<std::string>& stage_labels);
 
+// Fault/elastic spans alone (no op timeline) — e.g. the elastic
+// runtime's event log (core::ElasticMetrics::events) on the run's wall
+// clock: the spans render on the pid=2 fault track group.
+std::string ToChromeTraceJson(const std::vector<sim::FaultSpan>& spans);
+
 // Writes the JSON to `path`. Throws CheckError on I/O failure.
 void WriteChromeTrace(const sim::SimResult& result, const std::string& path);
 void WriteChromeTrace(const sim::SimResult& result,
                       const std::vector<std::string>& stage_labels, const std::string& path);
+void WriteChromeTrace(const std::vector<sim::FaultSpan>& spans, const std::string& path);
 
 }  // namespace mepipe::trace
 

@@ -8,9 +8,9 @@
 
 namespace mepipe::trace {
 
-std::string FaultTimelineCsv(const sim::SimResult& result) {
+std::string FaultTimelineCsv(const std::vector<sim::FaultSpan>& spans) {
   CsvWriter csv({"kind", "stage", "from", "to", "begin_s", "end_s", "label"});
-  for (const sim::FaultSpan& span : result.fault_spans) {
+  for (const sim::FaultSpan& span : spans) {
     csv.AddRow({ToString(span.kind), std::to_string(span.stage),
                 std::to_string(span.from), std::to_string(span.to),
                 StrFormat("%.6f", span.begin), StrFormat("%.6f", span.end), span.label});
@@ -18,20 +18,32 @@ std::string FaultTimelineCsv(const sim::SimResult& result) {
   return csv.ToString();
 }
 
-void WriteFaultTimelineCsv(const sim::SimResult& result, const std::string& path) {
+std::string FaultTimelineCsv(const sim::SimResult& result) {
+  return FaultTimelineCsv(result.fault_spans);
+}
+
+void WriteFaultTimelineCsv(const std::vector<sim::FaultSpan>& spans, const std::string& path) {
   std::ofstream file(path);
   MEPIPE_CHECK(file.good()) << "cannot open " << path;
-  file << FaultTimelineCsv(result);
+  file << FaultTimelineCsv(spans);
   MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
 }
 
-std::string RenderFaultSpans(const sim::SimResult& result) {
+void WriteFaultTimelineCsv(const sim::SimResult& result, const std::string& path) {
+  WriteFaultTimelineCsv(result.fault_spans, path);
+}
+
+std::string RenderFaultSpans(const std::vector<sim::FaultSpan>& spans) {
   std::string out;
-  for (const sim::FaultSpan& span : result.fault_spans) {
+  for (const sim::FaultSpan& span : spans) {
     out += StrFormat("[%9.3fs, %9.3fs) %-14s %s\n", span.begin, span.end,
                      ToString(span.kind), span.label.c_str());
   }
   return out;
+}
+
+std::string RenderFaultSpans(const sim::SimResult& result) {
+  return RenderFaultSpans(result.fault_spans);
 }
 
 }  // namespace mepipe::trace

@@ -1,22 +1,29 @@
 // Export of the fault windows applied to a simulated run (engine runs
 // with EngineOptions::fault_plan) — the data behind failure/straggler
-// overlays on timeline plots.
+// overlays on timeline plots. The span-vector overloads take any
+// sim::FaultSpan list directly, e.g. the elastic runtime's event log
+// (core::ElasticMetrics::events: fail-stops, repair windows, reshard
+// barriers, live re-plans, straggler windows on the run's wall clock).
 #ifndef MEPIPE_TRACE_FAULT_TIMELINE_H_
 #define MEPIPE_TRACE_FAULT_TIMELINE_H_
 
 #include <string>
+#include <vector>
 
 #include "sim/engine.h"
 
 namespace mepipe::trace {
 
 // CSV with columns kind,stage,from,to,begin_s,end_s,label — one row per
-// fault span, sorted by begin time. A result without fault spans yields
-// just the header.
+// fault span, in input order (begin-sorted for every in-repo producer).
+// An empty span list yields just the header.
+std::string FaultTimelineCsv(const std::vector<sim::FaultSpan>& spans);
 std::string FaultTimelineCsv(const sim::SimResult& result);
+void WriteFaultTimelineCsv(const std::vector<sim::FaultSpan>& spans, const std::string& path);
 void WriteFaultTimelineCsv(const sim::SimResult& result, const std::string& path);
 
 // One line per fault span, human-readable — pairs with RenderTimeline.
+std::string RenderFaultSpans(const std::vector<sim::FaultSpan>& spans);
 std::string RenderFaultSpans(const sim::SimResult& result);
 
 }  // namespace mepipe::trace

@@ -78,6 +78,30 @@ TEST(Fault, FailStopDowntimeAndCheckpoints) {
   }
 }
 
+TEST(Fault, RepairTimeExtendsTheDowntime) {
+  const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
+  FaultPlan plan;
+  // detection 1 + repair 2.5 + restart 3 + replay 2 = downtime [2, 10.5).
+  plan.fail_stops = {{1, 2.0, 1.0, 3.0, 2.5}};
+  const FaultyCostModel faulty(base, plan, 2);
+  EXPECT_DOUBLE_EQ(faulty.NextUpTime(2.0), 10.5);
+  const auto spans = faulty.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].end - spans[0].begin, 8.5);
+
+  FaultPlan bad;
+  bad.fail_stops = {{1, 2.0, 1.0, 3.0, -0.5}};
+  EXPECT_THROW(bad.Validate(2), CheckError);
+}
+
+TEST(Fault, ElasticFaultKindsStringify) {
+  // The elastic runtime's event kinds flow through the same trace
+  // exporters as the engine's; their names must be stable.
+  EXPECT_STREQ(ToString(FaultKind::kReplan), "replan");
+  EXPECT_STREQ(ToString(FaultKind::kReshard), "reshard");
+  EXPECT_STREQ(ToString(FaultKind::kRepair), "repair");
+}
+
 TEST(Fault, ReplicaScopeRestoresFromSyncPoints) {
   const UniformCostModel base(1.0, 2.0, 0.5, 0.1);
   FaultPlan plan;

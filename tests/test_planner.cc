@@ -313,6 +313,115 @@ TEST(Planner, GoodputObjectiveCanFlipTheWinner) {
             fault_free_choice->goodput.effective_iteration_time);
 }
 
+TEST(Planner, JointSearchReducesToPureGoodputWhenThePlanIsEmpty) {
+  // The joint straggler x goodput mode must reproduce the standalone
+  // goodput ranking when the straggler axis is off: clearing the fault
+  // plan from a joint configuration yields the pure goodput search,
+  // candidate for candidate.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions joint;
+  joint.pp_candidates = {8};
+  joint.slice_candidates = {1, 8};
+  joint.vp_candidates = {1};
+  joint.objective = PlannerObjective::kGoodput;
+  joint.resilience.seed = 11;
+  joint.interval_solver.coarse_points = 9;
+  joint.interval_solver.golden_iterations = 8;
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
+  joint.fault_plan = faults;
+
+  PlannerOptions goodput_only = joint;
+  goodput_only.fault_plan = nullptr;
+
+  const auto joint_off = SearchBestStrategy(Method::kSvpp, config, cluster, 64, goodput_only);
+  PlannerOptions pure = goodput_only;  // never carried a plan at all
+  const auto standalone = SearchBestStrategy(Method::kSvpp, config, cluster, 64, pure);
+  ASSERT_TRUE(joint_off.best.has_value());
+  ASSERT_TRUE(standalone.best.has_value());
+  EXPECT_EQ(joint_off.best->strategy.ToString(), standalone.best->strategy.ToString());
+  EXPECT_NEAR(joint_off.best->goodput.effective_iteration_time,
+              standalone.best->goodput.effective_iteration_time, 1e-9);
+  ASSERT_EQ(joint_off.evaluated.size(), standalone.evaluated.size());
+  for (std::size_t i = 0; i < joint_off.evaluated.size(); ++i) {
+    EXPECT_NEAR(joint_off.evaluated[i].goodput.effective_iteration_time,
+                standalone.evaluated[i].goodput.effective_iteration_time, 1e-9);
+  }
+}
+
+TEST(Planner, JointSearchReducesToPureStragglerWhenGoodputIsOff) {
+  // ... and the standalone straggler ranking when the goodput axis is
+  // off: same plan, objective back to kIterationTime.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions joint;
+  joint.pp_candidates = {8};
+  joint.slice_candidates = {1, 8};
+  joint.vp_candidates = {1};
+  joint.objective = PlannerObjective::kGoodput;
+  joint.resilience.seed = 11;
+  joint.interval_solver.coarse_points = 9;
+  joint.interval_solver.golden_iterations = 8;
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
+  joint.fault_plan = faults;
+
+  PlannerOptions straggler_only = joint;
+  straggler_only.objective = PlannerObjective::kIterationTime;
+
+  PlannerOptions pure;  // the standalone straggler search from scratch
+  pure.pp_candidates = joint.pp_candidates;
+  pure.slice_candidates = joint.slice_candidates;
+  pure.vp_candidates = joint.vp_candidates;
+  pure.fault_plan = joint.fault_plan;
+
+  const auto joint_off = SearchBestStrategy(Method::kSvpp, config, cluster, 64, straggler_only);
+  const auto standalone = SearchBestStrategy(Method::kSvpp, config, cluster, 64, pure);
+  ASSERT_TRUE(joint_off.best.has_value());
+  ASSERT_TRUE(standalone.best.has_value());
+  EXPECT_EQ(joint_off.best->strategy.ToString(), standalone.best->strategy.ToString());
+  EXPECT_NEAR(joint_off.best->iteration_time, standalone.best->iteration_time, 1e-9);
+  EXPECT_FALSE(joint_off.best->goodput.priced);  // axis really off
+}
+
+TEST(Planner, JointSearchPricesFailuresOnTopOfStragglerDilation) {
+  // Both axes on at once: every feasible candidate's goodput pricing
+  // runs on its *faulted* iteration time, so the joint effective time
+  // dominates both standalone costs.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions options;
+  options.pp_candidates = {8};
+  options.slice_candidates = {1, 8};
+  options.vp_candidates = {1};
+  options.resilience.seed = 11;
+  options.interval_solver.coarse_points = 9;
+  options.interval_solver.golden_iterations = 8;
+
+  const auto clean = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  ASSERT_TRUE(clean.best.has_value());
+
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
+  options.fault_plan = faults;
+  options.objective = PlannerObjective::kGoodput;
+  const auto joint = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  ASSERT_TRUE(joint.best.has_value());
+  EXPECT_TRUE(joint.best->goodput.priced);
+  // Straggler dilation is in the base iteration time...
+  EXPECT_GT(joint.best->iteration_time, clean.best->iteration_time);
+  // ...and the failure model compounds on top of it.
+  EXPECT_GE(joint.best->goodput.effective_iteration_time,
+            joint.best->iteration_time);
+  for (const auto& e : joint.evaluated) {
+    if (e.feasible) {
+      EXPECT_TRUE(e.goodput.priced) << e.strategy.ToString();
+      EXPECT_GE(e.goodput.effective_iteration_time, e.iteration_time);
+    }
+  }
+}
+
 TEST(Planner, GoodputPruningKeepsTheWinner) {
   // The compute lower bound stays sound under the goodput score
   // (goodput <= 1 implies score >= iteration_time): pruned and

@@ -310,6 +310,139 @@ TEST(MitigateStragglers, EmptyPlanIsANoOp) {
   EXPECT_NEAR(report.improvement(), 1.0, 0.05);
 }
 
+TEST(WindowedEstimation, RecoversAStragglerFromPartialWindows) {
+  // 3 iterations' busy sums with stage 1 running 2x slow.
+  const std::vector<Seconds> baseline = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<Seconds> sums = {3.0, 6.0, 3.0, 3.0};
+  const StageProfile profile = EstimateStageSlowdowns(baseline, sums, 3);
+  ASSERT_EQ(profile.slowdown.size(), 4u);
+  EXPECT_NEAR(profile.slowdown[0], 1.0, 1e-9);
+  EXPECT_NEAR(profile.slowdown[1], 2.0, 1e-9);
+}
+
+TEST(WindowedEstimation, UniformDilationIsNotAStraggler) {
+  // A degraded fleet runs *every* stage proportionally slower; the
+  // median normalization must read that as all-ones, not a 1.5x fleet-
+  // wide straggler.
+  const std::vector<Seconds> baseline = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<Seconds> sums = {3.0, 3.0, 3.0, 3.0};  // 2 its, 1.5x
+  const StageProfile profile = EstimateStageSlowdowns(baseline, sums, 2);
+  for (const double s : profile.slowdown) {
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(WindowedEstimation, ValidatesInputs) {
+  EXPECT_THROW(EstimateStageSlowdowns({1.0, 1.0}, {1.0}, 1), CheckError);
+  EXPECT_THROW(EstimateStageSlowdowns({1.0}, {1.0}, 0), CheckError);
+  EXPECT_THROW(EstimateStageSlowdowns({1.0}, {-1.0}, 1), CheckError);
+  WindowedProfileOptions bad;
+  bad.trigger_threshold = 1.0;
+  EXPECT_THROW(bad.Validate(), CheckError);
+  bad = {};
+  bad.min_observations = 9;  // above the 8-iteration window
+  EXPECT_THROW(bad.Validate(), CheckError);
+}
+
+TEST(SlowdownWindowEstimator, HysteresisRequiresConsecutiveDeviantWindows) {
+  WindowedProfileOptions options;
+  options.window = 4;
+  options.min_observations = 2;
+  options.trigger_threshold = 1.15;
+  options.hysteresis_windows = 2;
+  SlowdownWindowEstimator estimator({1.0, 1.0, 1.0, 1.0}, options);
+
+  const std::vector<Seconds> clean = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<Seconds> straggled = {1.0, 2.0, 1.0, 1.0};
+
+  // One fully deviant window: not persistent yet.
+  for (int i = 0; i < 4; ++i) {
+    estimator.Observe(straggled);
+  }
+  EXPECT_EQ(estimator.deviant_windows(), 1);
+  EXPECT_FALSE(estimator.PersistentDeviation());
+
+  // A clean window re-arms the hysteresis completely.
+  for (int i = 0; i < 4; ++i) {
+    estimator.Observe(clean);
+  }
+  EXPECT_EQ(estimator.deviant_windows(), 0);
+  EXPECT_FALSE(estimator.PersistentDeviation());
+
+  // Two consecutive deviant windows fire.
+  for (int i = 0; i < 8; ++i) {
+    estimator.Observe(straggled);
+  }
+  EXPECT_EQ(estimator.deviant_windows(), 2);
+  EXPECT_TRUE(estimator.PersistentDeviation());
+  // The deviation is visible in the closed window's profile and its raw
+  // (unclamped) ratios.
+  EXPECT_NEAR(estimator.WindowProfile().slowdown[1], 2.0, 1e-9);
+  EXPECT_NEAR(estimator.WindowRatios()[1], 2.0, 1e-9);
+}
+
+TEST(SlowdownWindowEstimator, DetectsDeviationInBothDirections) {
+  // A stage running *faster* than the plan expected (a straggler the
+  // plan still provisions for has cleared) must count as deviant too.
+  WindowedProfileOptions options;
+  options.window = 2;
+  options.min_observations = 1;
+  options.hysteresis_windows = 1;
+  SlowdownWindowEstimator estimator({1.0, 2.0, 1.0, 1.0}, options);
+  const std::vector<Seconds> cleared = {1.0, 1.0, 1.0, 1.0};
+  estimator.Observe(cleared);
+  estimator.Observe(cleared);
+  EXPECT_TRUE(estimator.PersistentDeviation());
+  // Raw ratio dips below 1 on the recovered stage; the clamped profile
+  // stays >= 1 per the StageProfile contract.
+  EXPECT_LT(estimator.WindowRatios()[1], 1.0);
+  EXPECT_GE(estimator.WindowProfile().slowdown[1], 1.0);
+}
+
+TEST(SlowdownWindowEstimator, PartialWindowsRespectTheConfidenceGate) {
+  WindowedProfileOptions options;
+  options.window = 8;
+  options.min_observations = 4;
+  SlowdownWindowEstimator estimator({1.0, 1.0}, options);
+  const std::vector<Seconds> straggled = {1.0, 3.0};
+
+  // Under the gate: the partial profile is all-ones and closing the
+  // window discards the observations.
+  estimator.Observe(straggled);
+  estimator.Observe(straggled);
+  EXPECT_NEAR(estimator.PartialProfile().slowdown[1], 1.0, 1e-9);
+  EXPECT_FALSE(estimator.ClosePartialWindow());
+  EXPECT_EQ(estimator.windows_closed(), 0);
+
+  // At the gate: the partial window counts.
+  for (int i = 0; i < 4; ++i) {
+    estimator.Observe(straggled);
+  }
+  EXPECT_NEAR(estimator.PartialProfile().slowdown[1], 3.0, 1e-9);
+  EXPECT_TRUE(estimator.ClosePartialWindow());
+  EXPECT_EQ(estimator.windows_closed(), 1);
+  EXPECT_EQ(estimator.deviant_windows(), 1);
+}
+
+TEST(SlowdownWindowEstimator, ResetReplacesTheBaseline) {
+  WindowedProfileOptions options;
+  options.window = 2;
+  options.min_observations = 1;
+  SlowdownWindowEstimator estimator({1.0, 1.0}, options);
+  estimator.Observe({1.0, 2.0});
+  // Adopting the re-plan: the new baseline *expects* the slowdown, so
+  // the same observations now read as clean.
+  estimator.Reset({1.0, 2.0});
+  EXPECT_EQ(estimator.deviant_windows(), 0);
+  estimator.Observe({1.0, 2.0});
+  estimator.Observe({1.0, 2.0});
+  EXPECT_EQ(estimator.windows_closed(), 1);
+  EXPECT_EQ(estimator.deviant_windows(), 0);
+  EXPECT_THROW(estimator.Observe({1.0}), CheckError);  // size mismatch
+  SlowdownWindowEstimator dormant;
+  EXPECT_THROW(dormant.Observe({1.0}), CheckError);  // unset baseline
+}
+
 TEST(MitigateStragglers, HonorsAnExplicitProfile) {
   const sched::Schedule schedule = sched::OneFOneBSchedule(4, 8);
   const sim::UniformCostModel costs(1.0, 2.0, 0.0, 0.05);

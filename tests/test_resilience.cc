@@ -365,5 +365,51 @@ TEST(Resilience, RejectsDegenerateInputs) {
   EXPECT_THROW(OptimalCheckpointInterval(10.0, free_ckpt), CheckError);
 }
 
+TEST(Resilience, ValidateRejectsReplicaScopeWithoutReplicas) {
+  // The contract: dp_replicas >= 1 always; kDpReplicaLocal with
+  // dp_replicas < 1 is rejected up-front, not silently treated as the
+  // dp==1 fallback.
+  ResilienceOptions bad;
+  bad.restart_scope = sim::RestartScope::kDpReplicaLocal;
+  bad.dp_replicas = 0;
+  EXPECT_THROW(bad.Validate(), CheckError);
+  EXPECT_THROW(SimulateTrainingRun(10.0, bad), CheckError);
+  // The interval solver must reject too — *before* its goodput scan,
+  // whose CheckError-swallowing probes would otherwise turn the invalid
+  // configuration into a silent all-zero-goodput search.
+  EXPECT_THROW(OptimalCheckpointInterval(10.0, bad), CheckError);
+  bad.dp_replicas = -3;
+  EXPECT_THROW(SimulateTrainingRun(10.0, bad), CheckError);
+  // Rejected under the full-pipeline scope as well: fewer replicas than
+  // one is not a job regardless of how restarts are scoped.
+  ResilienceOptions bad_full;
+  bad_full.dp_replicas = 0;
+  EXPECT_THROW(bad_full.Validate(), CheckError);
+  EXPECT_THROW(SimulateTrainingRun(10.0, bad_full), CheckError);
+}
+
+TEST(Resilience, IntervalSolverHonorsTheReplicaFallbackContract) {
+  // The dp_replicas == 1 fallback is part of the documented contract:
+  // the solver must accept it (not reject, not diverge) and produce the
+  // same solution as the full-pipeline scope, since the scopes are
+  // behaviorally identical without a surviving peer.
+  ResilienceOptions base;
+  base.gpus = 4096;
+  base.seed = 9;
+  base.dp_replicas = 1;
+  const Seconds mtbf = base.reliability.mtbf_per_1000_gpus * 1000.0 / base.gpus;
+  base.target_useful_time = 40.0 * mtbf;
+  CheckpointIntervalOptions effort;
+  effort.coarse_points = 9;
+  effort.golden_iterations = 8;
+
+  base.restart_scope = sim::RestartScope::kFullPipeline;
+  const CheckpointIntervalSolution full = OptimalCheckpointInterval(10.0, base, effort);
+  base.restart_scope = sim::RestartScope::kDpReplicaLocal;
+  const CheckpointIntervalSolution replica = OptimalCheckpointInterval(10.0, base, effort);
+  EXPECT_DOUBLE_EQ(full.refined, replica.refined);
+  EXPECT_DOUBLE_EQ(full.goodput, replica.goodput);
+}
+
 }  // namespace
 }  // namespace mepipe::core
