@@ -89,6 +89,12 @@ void ElasticOptions::Validate() const {
   MEPIPE_CHECK_GE(straggled_iteration_time, 0.0);
   MEPIPE_CHECK_GE(mitigated_iteration_time, 0.0);
   MEPIPE_CHECK_GE(mitigated_clean_iteration_time, 0.0);
+  for (const int spp : shape_slice_candidates) {
+    MEPIPE_CHECK_GE(spp, 1) << "shape_slice_candidates entries must be >= 1";
+  }
+  for (const int vp : shape_vp_candidates) {
+    MEPIPE_CHECK_GE(vp, 1) << "shape_vp_candidates entries must be >= 1";
+  }
 }
 
 ElasticMetrics SimulateElasticRun(Seconds iteration_time, const ElasticOptions& opt) {
@@ -575,6 +581,44 @@ std::vector<Seconds> StageBusyOf(const sim::SimResult& sim) {
   return busy;
 }
 
+// Partitioning variants a degraded shape may re-plan to: the base
+// strategy first (ties keep it), then SPP re-splits (slice methods
+// only) crossed with VP re-splits. CP/TP/PP never vary — they would
+// change the replica's GPU footprint, and "survivors" counts replicas
+// of the original footprint.
+std::vector<Strategy> ShapeVariants(const Strategy& base, const ElasticOptions& options) {
+  std::vector<Strategy> variants{base};
+  if (!options.surrogate_shape_search) {
+    return variants;
+  }
+  std::vector<int> spps{base.spp};
+  if (MethodUsesSlices(base.method)) {
+    for (const int spp : options.shape_slice_candidates) {
+      if (std::find(spps.begin(), spps.end(), spp) == spps.end()) {
+        spps.push_back(spp);
+      }
+    }
+  }
+  std::vector<int> vps{base.vp};
+  for (const int vp : options.shape_vp_candidates) {
+    if (std::find(vps.begin(), vps.end(), vp) == vps.end()) {
+      vps.push_back(vp);
+    }
+  }
+  for (const int spp : spps) {
+    for (const int vp : vps) {
+      if (spp == base.spp && vp == base.vp) {
+        continue;
+      }
+      Strategy variant = base;
+      variant.spp = spp;
+      variant.vp = vp;
+      variants.push_back(variant);
+    }
+  }
+  return variants;
+}
+
 }  // namespace
 
 ElasticPricing PriceElasticShapes(const model::TransformerConfig& config,
@@ -622,8 +666,43 @@ ElasticPricing PriceElasticShapes(const model::TransformerConfig& config,
     // more clean-equivalent credit.
     const int micros = (global_batch + s - 1) / s;
     const int batch_s = micros * s;
-    const IterationResult result = SimulateIteration(config, degraded, shrunk, batch_s, iter);
+    // Surrogate triage: analytically price the shape's partitioning
+    // variants and hand only the winner to the exact engine below. The
+    // base strategy is variant 0, so ties (and search-off) reproduce the
+    // pre-surrogate behavior exactly.
+    Strategy chosen = degraded;
+    const std::vector<Strategy> variants = ShapeVariants(degraded, options);
+    if (variants.size() > 1) {
+      SurrogateOptions surrogate;
+      surrogate.iteration = iteration;
+      surrogate.iteration.keep_timeline = false;
+      surrogate.iteration.keep_schedule = false;
+      surrogate.cache = options.surrogate_cache;
+      Seconds best_time = std::numeric_limits<Seconds>::infinity();
+      for (const Strategy& variant : variants) {
+        try {
+          const SurrogateResult priced =
+              SurrogatePrice(config, variant, shrunk, batch_s, surrogate);
+          if (priced.feasible && priced.iteration_time < best_time) {
+            best_time = priced.iteration_time;
+            chosen = variant;
+          }
+        } catch (const CheckError&) {
+          // Structurally inapplicable variant: skip it.
+        }
+      }
+    }
+    shape.surrogate_variants =
+        variants.size() > 1 ? static_cast<int>(variants.size()) : 0;
+    IterationResult result = SimulateIteration(config, chosen, shrunk, batch_s, iter);
+    if (!result.feasible && (chosen.spp != degraded.spp || chosen.vp != degraded.vp)) {
+      // The surrogate's pick must never cost feasibility: fall back to
+      // the base partitioning when the exact engine rejects it.
+      chosen = degraded;
+      result = SimulateIteration(config, chosen, shrunk, batch_s, iter);
+    }
     shape.micros = micros;
+    shape.strategy = chosen;
     shape.note = result.note;
     if (!result.feasible) {
       continue;
@@ -634,7 +713,7 @@ ElasticPricing PriceElasticShapes(const model::TransformerConfig& config,
         static_cast<double>(batch_s) / static_cast<double>(global_batch);
     // Reshard barrier entering this shape: all-gather of the departed
     // replica's worst ZeRO-1 shard over the surviving DP fabric.
-    const hw::LinkSpec link = hw::DataParallelLink(shrunk, degraded.layout());
+    const hw::LinkSpec link = hw::DataParallelLink(shrunk, chosen.layout());
     shape.reshard_stall = hw::CommModel::AllGather(result.checkpoint_shard, s, link);
     shape.invariant_violations = CountInvariantViolations(result, strategy.pp);
     if (shape.invariant_violations == 0) {

@@ -49,6 +49,7 @@
 #include "core/iteration.h"
 #include "core/rebalance.h"
 #include "core/resilience.h"
+#include "core/surrogate.h"
 #include "hw/cluster.h"
 #include "model/transformer.h"
 #include "sim/fault.h"
@@ -130,6 +131,24 @@ struct ElasticOptions {
   std::vector<Seconds> mitigated_stage_busy;
   std::vector<Seconds> mitigated_clean_stage_busy;
 
+  // ---- Surrogate shape triage (core/surrogate) ---------------------------
+  // Off (the default): every surviving-fleet shape keeps the full-fleet
+  // strategy's partitioning verbatim — bit-identical to the pre-surrogate
+  // behavior. On: for each shape, PriceElasticShapes first prices
+  // partitioning variants of the strategy (SPP splits for slice methods,
+  // VP splits where the method admits them — never CP/TP/PP, which would
+  // change the replica's GPU footprint) with the analytic surrogate, and
+  // runs the exact discrete-event engine only on the variant the
+  // surrogate picked. A degraded fleet often prefers a different
+  // slice/chunk split than the full fleet (more micro-batches per
+  // replica), and the triage makes that search affordable inside a live
+  // re-plan. Ties and the all-infeasible fallback keep the base strategy.
+  bool surrogate_shape_search = false;
+  std::vector<int> shape_slice_candidates;  // SPP variants; empty = base only
+  std::vector<int> shape_vp_candidates;     // VP variants; empty = base only
+  // Optional cross-run pricing cache (not owned; thread-safe).
+  SurrogateCache* surrogate_cache = nullptr;
+
   // Cap on the event spans kept in ElasticMetrics::events.
   std::size_t max_events = 4096;
 
@@ -183,6 +202,10 @@ ElasticMetrics SimulateElasticRun(Seconds iteration_time, const ElasticOptions& 
 struct ElasticShape {
   int survivors = 0;
   bool feasible = false;
+  // The partitioning this shape runs (dp = survivors). Equal to the
+  // full-fleet strategy unless surrogate_shape_search re-split it.
+  Strategy strategy;
+  int surrogate_variants = 0;   // variants triaged for this shape (0 = search off)
   std::string note;             // "ok" or why the shape cannot run
   Seconds iteration_time = 0;   // wall per degraded iteration
   double useful_fraction = 1;   // clean-iteration credit per degraded iteration

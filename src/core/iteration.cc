@@ -15,11 +15,24 @@
 #include "sim/noise.h"
 
 namespace mepipe::core {
-namespace {
 
 bool MethodSplitsBackward(Method method) {
   return method == Method::kZb1p || method == Method::kZbv || method == Method::kZbvCapped ||
          method == Method::kSvpp;
+}
+
+bool MethodUsesSlices(Method method) {
+  return method == Method::kSvpp || method == Method::kTeraPipe;
+}
+
+namespace {
+
+CandidateBuild InfeasibleBuild(const Strategy& strategy, std::string note) {
+  CandidateBuild build;
+  build.strategy = strategy;
+  build.feasible = false;
+  build.note = std::move(note);
+  return build;
 }
 
 IterationResult Infeasible(const Strategy& strategy, std::string note) {
@@ -32,63 +45,67 @@ IterationResult Infeasible(const Strategy& strategy, std::string note) {
 
 }  // namespace
 
-IterationResult SimulateIteration(const model::TransformerConfig& config,
-                                  const Strategy& strategy, const hw::ClusterSpec& cluster,
-                                  int global_batch, const IterationOptions& options) {
+CandidateBuild BuildCandidate(const model::TransformerConfig& config,
+                              const Strategy& strategy, const hw::ClusterSpec& cluster,
+                              int global_batch, const IterationOptions& options) {
   // ---- structural feasibility -------------------------------------------
   if (strategy.method == Method::kHanayo && strategy.vp != 2) {
-    return Infeasible(strategy, "the Hanayo wave schedule is defined for vp=2");
+    return InfeasibleBuild(strategy, "the Hanayo wave schedule is defined for vp=2");
   }
   const int world = cluster.world_size();
   if (strategy.layout().ranks() != world) {
-    return Infeasible(strategy, StrFormat("layout covers %d ranks, cluster has %d",
-                                          strategy.layout().ranks(), world));
+    return InfeasibleBuild(strategy, StrFormat("layout covers %d ranks, cluster has %d",
+                                               strategy.layout().ranks(), world));
   }
   if (global_batch % strategy.dp != 0) {
-    return Infeasible(strategy, "global batch not divisible by dp");
+    return InfeasibleBuild(strategy, "global batch not divisible by dp");
   }
   const int micros = global_batch / strategy.dp;
   if (config.partition_units() % (strategy.pp * strategy.vp) != 0) {
-    return Infeasible(strategy, StrFormat("%lld units not divisible by pp*vp=%d",
-                                          static_cast<long long>(config.partition_units()),
-                                          strategy.pp * strategy.vp));
+    return InfeasibleBuild(strategy,
+                           StrFormat("%lld units not divisible by pp*vp=%d",
+                                     static_cast<long long>(config.partition_units()),
+                                     strategy.pp * strategy.vp));
   }
   if (config.partition_units() / (strategy.pp * strategy.vp) < 1) {
-    return Infeasible(strategy, "fewer partition units than chunks");
+    return InfeasibleBuild(strategy, "fewer partition units than chunks");
   }
   if (strategy.cp > 1 && strategy.spp > 1) {
-    return Infeasible(strategy, "cp and spp cannot be combined");
+    return InfeasibleBuild(strategy, "cp and spp cannot be combined");
   }
   if (config.seq_len % strategy.cp != 0) {
-    return Infeasible(strategy, "sequence length not divisible by cp");
+    return InfeasibleBuild(strategy, "sequence length not divisible by cp");
   }
   if (strategy.recompute && MethodSplitsBackward(strategy.method)) {
-    return Infeasible(strategy, "recompute incompatible with split B/W (§7.1)");
+    return InfeasibleBuild(strategy, "recompute incompatible with split B/W (§7.1)");
   }
   if (strategy.method == Method::kVpp) {
     if (strategy.vp < 2) {
-      return Infeasible(strategy, "VPP requires vp >= 2");
+      return InfeasibleBuild(strategy, "VPP requires vp >= 2");
     }
     if (micros % strategy.pp != 0) {
-      return Infeasible(strategy, "Megatron interleaving requires n % p == 0");
+      return InfeasibleBuild(strategy, "Megatron interleaving requires n % p == 0");
     }
   }
   if ((strategy.method == Method::kZbv || strategy.method == Method::kZbvCapped) &&
       strategy.vp != 2) {
-    return Infeasible(strategy, "ZBV is defined for vp=2");
+    return InfeasibleBuild(strategy, "ZBV is defined for vp=2");
   }
   if ((strategy.method == Method::kDapple || strategy.method == Method::kGPipe ||
        strategy.method == Method::kZb1p) &&
       strategy.vp != 1) {
-    return Infeasible(strategy, "method does not use virtual chunks");
+    return InfeasibleBuild(strategy, "method does not use virtual chunks");
   }
   if (strategy.spp > 1 && strategy.method != Method::kSvpp &&
       strategy.method != Method::kTeraPipe) {
-    return Infeasible(strategy, "only SPP methods slice samples");
+    return InfeasibleBuild(strategy, "only SPP methods slice samples");
   }
 
   // ---- problem + costs -----------------------------------------------------
-  sched::PipelineProblem problem;
+  CandidateBuild build;
+  build.strategy = strategy;
+  build.micros = micros;
+  sched::PipelineProblem& problem = build.problem;
   problem.stages = strategy.pp;
   problem.virtual_chunks = strategy.vp;
   problem.slices = strategy.spp;
@@ -99,28 +116,27 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
     problem.placement = sched::ChunkPlacement::kVShape;
   }
 
-  TrainingCostModel costs(config, strategy, cluster, problem, options.cost);
+  build.costs.emplace(config, strategy, cluster, problem, options.cost);
+  const TrainingCostModel& costs = *build.costs;
 
   // ---- schedule -------------------------------------------------------------
-  sched::Schedule schedule;
-  sim::EngineOptions engine;
-  engine.wgrad_mode = options.wgrad_mode;
+  build.wgrad_mode = options.wgrad_mode;
   switch (strategy.method) {
     case Method::kGPipe:
-      schedule = sched::GPipeSchedule(strategy.pp, micros);
+      build.schedule = sched::GPipeSchedule(strategy.pp, micros);
       break;
     case Method::kDapple:
-      schedule = sched::OneFOneBSchedule(strategy.pp, micros);
+      build.schedule = sched::OneFOneBSchedule(strategy.pp, micros);
       break;
     case Method::kVpp:
-      schedule = sched::VppSchedule(strategy.pp, strategy.vp, micros);
+      build.schedule = sched::VppSchedule(strategy.pp, strategy.vp, micros);
       break;
     case Method::kTeraPipe:
-      schedule = sched::TeraPipeSchedule(strategy.pp, strategy.spp, micros);
+      build.schedule = sched::TeraPipeSchedule(strategy.pp, strategy.spp, micros);
       break;
     case Method::kZb1p:
-      schedule = sched::Zb1pSchedule(strategy.pp, micros);
-      engine.wgrad_mode = sim::WgradMode::kFillWhole;  // ZB fills whole-W tasks
+      build.schedule = sched::Zb1pSchedule(strategy.pp, micros);
+      build.wgrad_mode = sim::WgradMode::kFillWhole;  // ZB fills whole-W tasks
       break;
     case Method::kZbv: {
       // Handcrafted construction: W ops are statically placed, so the
@@ -131,12 +147,12 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
       zbv.b_time = costs.ComputeTime({sched::OpKind::kBackward, 0, 0, 0});
       zbv.w_time = costs.ComputeTime({sched::OpKind::kWeightGrad, 0, 0, 0});
       zbv.transfer_time = costs.TransferTime({sched::OpKind::kForward, 0, 0, 0});
-      schedule = sched::HandcraftedZbvSchedule(strategy.pp, micros, zbv);
+      build.schedule = sched::HandcraftedZbvSchedule(strategy.pp, micros, zbv);
       break;
     }
     case Method::kZbvCapped:
-      schedule = sched::ZbvCappedSchedule(strategy.pp, micros);
-      engine.wgrad_mode = sim::WgradMode::kFillWhole;
+      build.schedule = sched::ZbvCappedSchedule(strategy.pp, micros);
+      build.wgrad_mode = sim::WgradMode::kFillWhole;
       break;
     case Method::kSvpp: {
       SvppOptions svpp;
@@ -151,29 +167,50 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
       } else {
         const VariantDecision decision = ChooseSvppVariant(costs, svpp, cluster.gpu);
         if (!decision.feasible) {
-          return Infeasible(strategy, "no feasible SVPP variant: " + decision.reason);
+          return InfeasibleBuild(strategy, "no feasible SVPP variant: " + decision.reason);
         }
         svpp.max_inflight = decision.f;
       }
-      schedule = GenerateSvpp(svpp);
+      build.schedule = GenerateSvpp(svpp);
       break;
     }
     case Method::kHanayo:
-      schedule = sched::HanayoSchedule(strategy.pp, micros);
+      build.schedule = sched::HanayoSchedule(strategy.pp, micros);
       break;
   }
 
-  // ---- execute ---------------------------------------------------------------
   if (problem.split_backward) {
     // Deferred weight gradients retain memory; cap every stage's
     // activation footprint at what the device leaves after static memory
     // (§5: proceed "as soon as there is enough memory").
-    engine.activation_budget.resize(static_cast<std::size_t>(strategy.pp));
+    build.activation_budget.resize(static_cast<std::size_t>(strategy.pp));
     for (int stage = 0; stage < strategy.pp; ++stage) {
-      engine.activation_budget[static_cast<std::size_t>(stage)] =
+      build.activation_budget[static_cast<std::size_t>(stage)] =
           std::max<Bytes>(0, cluster.gpu.usable_memory() - costs.StaticMemory(stage));
     }
   }
+  build.feasible = true;
+  build.note = "ok";
+  return build;
+}
+
+IterationResult SimulateIteration(const model::TransformerConfig& config,
+                                  const Strategy& strategy, const hw::ClusterSpec& cluster,
+                                  int global_batch, const IterationOptions& options) {
+  CandidateBuild build = BuildCandidate(config, strategy, cluster, global_batch, options);
+  if (!build.feasible) {
+    return Infeasible(strategy, std::move(build.note));
+  }
+  const int world = cluster.world_size();
+  const int micros = build.micros;
+  const sched::PipelineProblem& problem = build.problem;
+  const TrainingCostModel& costs = *build.costs;
+  sched::Schedule& schedule = build.schedule;
+
+  // ---- execute ---------------------------------------------------------------
+  sim::EngineOptions engine;
+  engine.wgrad_mode = build.wgrad_mode;
+  engine.activation_budget = build.activation_budget;
   engine.fault_plan = options.fault_plan;
   engine.dp_overlap = options.dp_overlap;
   engine.dp_link_shared =

@@ -7,15 +7,24 @@
 #ifndef MEPIPE_CORE_ITERATION_H_
 #define MEPIPE_CORE_ITERATION_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/training_cost.h"
 #include "hw/cluster.h"
 #include "model/transformer.h"
+#include "sched/schedule.h"
 #include "sim/engine.h"
 
 namespace mepipe::core {
+
+// Whether `method` schedules B and W as separate ops (zero-bubble family
+// and MEPipe) — fixed properties of the method the planner and the
+// surrogate both key decisions off.
+bool MethodSplitsBackward(Method method);
+// Whether `method`'s slice axis is SPP (sequence pipeline) rather than CP.
+bool MethodUsesSlices(Method method);
 
 struct IterationOptions {
   TrainingCostOptions cost;
@@ -120,6 +129,35 @@ struct IterationResult {
   sched::Schedule schedule;
   std::vector<Bytes> activation_budget;
 };
+
+// Everything a candidate strategy needs before execution: the structural
+// feasibility verdict, the pipeline problem, the priced cost model, the
+// generated schedule, and the engine-facing wgrad/budget settings.
+// Shared between SimulateIteration (which executes the schedule on the
+// DES) and surrogate::SurrogatePrice (which prices it analytically) so
+// both paths agree on exactly what a candidate means.
+struct CandidateBuild {
+  Strategy strategy;
+  bool feasible = false;
+  std::string note;  // "ok", or the structural-constraint explanation
+  int micros = 0;
+  sched::PipelineProblem problem;
+  // Present iff feasible (TrainingCostModel has no default state).
+  std::optional<TrainingCostModel> costs;
+  sched::Schedule schedule;
+  // Effective engine settings: methods with statically-filled W override
+  // the caller's wgrad mode; split-backward methods get a per-stage
+  // activation budget of usable_memory - StaticMemory(stage).
+  sim::WgradMode wgrad_mode = sim::WgradMode::kFillGemms;
+  std::vector<Bytes> activation_budget;
+};
+
+// Builds (but does not execute) the candidate: structural feasibility,
+// problem, cost model, schedule, and engine settings. Infeasible
+// candidates return feasible=false with a note and no costs/schedule.
+CandidateBuild BuildCandidate(const model::TransformerConfig& config,
+                              const Strategy& strategy, const hw::ClusterSpec& cluster,
+                              int global_batch, const IterationOptions& options = {});
 
 // Simulates one training iteration of `config` under `strategy` on
 // `cluster` with global batch size `global_batch` (samples). Infeasible

@@ -1,21 +1,14 @@
 #include "core/planner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "common/check.h"
 #include "core/deployment.h"
 
 namespace mepipe::core {
 namespace {
-
-bool UsesSlices(Method method) {
-  return method == Method::kSvpp || method == Method::kTeraPipe;
-}
-
-bool SplitsBackward(Method method) {
-  return method == Method::kZb1p || method == Method::kZbv || method == Method::kZbvCapped ||
-         method == Method::kSvpp;
-}
 
 std::vector<int> VpCandidatesFor(Method method, const PlannerOptions& options) {
   switch (method) {
@@ -42,60 +35,58 @@ std::vector<int> VpCandidatesFor(Method method, const PlannerOptions& options) {
   }
 }
 
-// Compute-only lower bound on a strategy's iteration time: the busiest
-// stage must at least execute all of its F/B/W work back to back, and
-// the iteration ends with the data-parallel sync and optimizer step. Any
-// bubble or transfer only adds to this. Returns nullopt when the
-// strategy is structurally inapplicable (the full evaluation will report
-// the reason).
-std::optional<Seconds> IterationLowerBound(Method method,
-                                           const model::TransformerConfig& config,
-                                           const Strategy& strategy,
-                                           const hw::ClusterSpec& cluster, int global_batch,
-                                           const IterationOptions& options) {
-  if (global_batch % strategy.dp != 0) {
-    return std::nullopt;
-  }
-  sched::PipelineProblem problem;
-  problem.stages = strategy.pp;
-  problem.virtual_chunks = strategy.vp;
-  problem.slices = strategy.spp;
-  problem.micros = global_batch / strategy.dp;
-  problem.split_backward = SplitsBackward(method);
-  try {
-    problem.Validate();
-    const TrainingCostModel costs(config, strategy, cluster, problem, options.cost);
-    Seconds busiest = 0;
-    for (int stage = 0; stage < problem.stages; ++stage) {
-      Seconds busy = 0;
-      for (int chunk = 0; chunk < problem.num_chunks(); ++chunk) {
-        if (problem.stage_of_chunk(chunk) != stage) {
-          continue;
-        }
-        for (int slice = 0; slice < problem.slices; ++slice) {
-          busy += costs.ComputeTime({sched::OpKind::kForward, 0, slice, chunk});
-          busy += costs.ComputeTime({sched::OpKind::kBackward, 0, slice, chunk});
-          if (problem.split_backward) {
-            busy += costs.ComputeTime({sched::OpKind::kWeightGrad, 0, slice, chunk});
+// The full candidate grid for `method`, in the canonical enumeration
+// order tp → pp → slice → vp → recompute. This order is the search's
+// tie-break: every driver (serial exhaustive, pruned, two-phase
+// parallel) ranks equal scores by position in this list, which is what
+// makes the parallel winner bit-identical to the serial one.
+std::vector<Strategy> EnumerateCandidates(Method method, int world,
+                                          const PlannerOptions& options) {
+  std::vector<Strategy> grid;
+  for (int tp : options.tp_candidates) {
+    for (int pp : options.pp_candidates) {
+      for (int slice : options.slice_candidates) {
+        for (int vp : VpCandidatesFor(method, options)) {
+          const std::vector<bool> recompute_choices =
+              (options.allow_recompute && !MethodSplitsBackward(method))
+                  ? std::vector<bool>{false, true}
+                  : std::vector<bool>{false};
+          for (bool recompute : recompute_choices) {
+            Strategy strategy;
+            strategy.method = method;
+            strategy.pp = pp;
+            strategy.tp = tp;
+            strategy.vp = vp;
+            strategy.recompute = recompute;
+            if (MethodUsesSlices(method)) {
+              strategy.cp = 1;
+              strategy.spp = slice;
+            } else {
+              strategy.cp = slice;
+              strategy.spp = 1;
+            }
+            const int denom = pp * strategy.cp * tp;
+            if (denom == 0 || world % denom != 0) {
+              continue;
+            }
+            strategy.dp = world / denom;
+            if (strategy.dp < options.min_dp) {
+              continue;
+            }
+            grid.push_back(strategy);
           }
         }
       }
-      busiest = std::max(busiest, busy * problem.micros);
     }
-    // With overlapped DP sync (IterationOptions::dp_overlap) the whole
-    // collective can hide inside pipeline bubbles, so it cannot be part
-    // of a lower bound; serialized sync always adds in full.
-    const Seconds dp_sync = options.dp_overlap ? 0.0 : costs.DpSyncTime();
-    return busiest + dp_sync + options.optimizer_step;
-  } catch (const CheckError&) {
-    return std::nullopt;  // let the full evaluation explain why
   }
+  return grid;
 }
 
 // Prices a feasible result under the goodput objective's failure model:
 // per-strategy checkpoint write cost from its worst shard, Young/Daly +
-// refinement for the interval, then a simulated training run for the
-// delivered goodput. No-op on infeasible results. Under a fault plan
+// refinement for the interval (memoized through the SurrogateCache when
+// one is attached), then a simulated training run for the delivered
+// goodput. No-op on infeasible results. Under a fault plan
 // `result.iteration_time` is the faulted (possibly mitigated) time, so
 // the joint mode compounds failure overhead on top of straggler
 // dilation — the PlannerOptions::fault_plan contract.
@@ -108,7 +99,9 @@ void PriceGoodput(IterationResult& result, const PlannerOptions& options) {
       CheckpointWriteCost(result.checkpoint_shard, options.checkpoint_cost);
   res.dp_replicas = result.strategy.dp;
   const CheckpointIntervalSolution sol =
-      OptimalCheckpointInterval(result.iteration_time, res, options.interval_solver);
+      options.cache != nullptr
+          ? options.cache->IntervalSolve(result.iteration_time, res, options.interval_solver)
+          : OptimalCheckpointInterval(result.iteration_time, res, options.interval_solver);
   result.goodput.priced = true;
   result.goodput.checkpoint_interval = sol.refined;
   result.goodput.checkpoint_write_cost = res.reliability.checkpoint_write_cost;
@@ -125,6 +118,68 @@ Seconds Score(const IterationResult& result, const PlannerOptions& options) {
              : result.iteration_time;
 }
 
+// The surrogate analogue of Score for phase-1 ranking: closed-form
+// goodput pricing instead of the Monte-Carlo-refined solve.
+Seconds SurrogateScore(const SurrogateResult& result, const PlannerOptions& options) {
+  if (options.objective != PlannerObjective::kGoodput) {
+    return result.iteration_time;
+  }
+  ResilienceOptions res = options.resilience;
+  res.dp_replicas = result.strategy.dp;
+  return ClosedFormGoodput(result.iteration_time, result.checkpoint_shard, res,
+                           options.checkpoint_cost)
+      .effective_iteration_time;
+}
+
+// Phase 1 of the two-phase driver: surrogate-price every grid candidate
+// on `threads` workers (atomic work index; results land in their
+// candidate's slot, so the outcome is thread-count-independent).
+std::vector<SurrogateResult> SurrogateSweep(const std::vector<Strategy>& grid,
+                                            const model::TransformerConfig& config,
+                                            const hw::ClusterSpec& cluster, int global_batch,
+                                            const IterationOptions& iteration,
+                                            SurrogateCache* cache, int threads) {
+  std::vector<SurrogateResult> priced(grid.size());
+  if (grid.empty()) {
+    return priced;
+  }
+  SurrogateOptions surrogate;
+  surrogate.iteration = iteration;
+  surrogate.iteration.keep_timeline = false;
+  surrogate.iteration.keep_schedule = false;
+  surrogate.cache = cache;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::clamp(threads, 1, static_cast<int>(grid.size()));
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < grid.size(); i = next.fetch_add(1)) {
+      try {
+        priced[i] = SurrogatePrice(config, grid[i], cluster, global_batch, surrogate);
+      } catch (const CheckError& err) {
+        priced[i].strategy = grid[i];
+        priced[i].feasible = false;
+        priced[i].note = err.what();
+      }
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return priced;
+}
+
 }  // namespace
 
 PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& config,
@@ -139,85 +194,98 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
     eval_options.fault_plan = options.fault_plan;
   }
   const bool faulted = !eval_options.fault_plan.empty();
-  // The compute-only lower bound assumes clean stage rates; under a
-  // fault plan it would prune configurations that are merely slow when
-  // dilated, so pruning is off.
-  const bool prune = options.prune && !faulted;
+  // The lower bound is fault-aware (straggler windows cap each stage's
+  // rate), so pruning survives a fault plan. Rebalanced search moves
+  // work across stages, which no per-stage bound survives — off there.
+  const bool prune = options.prune && !(faulted && options.search_rebalanced);
 
-  for (int tp : options.tp_candidates) {
-    for (int pp : options.pp_candidates) {
-      for (int slice : options.slice_candidates) {
-        for (int vp : VpCandidatesFor(method, options)) {
-          const std::vector<bool> recompute_choices =
-              (options.allow_recompute && !SplitsBackward(method))
-                  ? std::vector<bool>{false, true}
-                  : std::vector<bool>{false};
-          for (bool recompute : recompute_choices) {
-            Strategy strategy;
-            strategy.method = method;
-            strategy.pp = pp;
-            strategy.tp = tp;
-            strategy.vp = vp;
-            strategy.recompute = recompute;
-            if (UsesSlices(method)) {
-              strategy.cp = 1;
-              strategy.spp = slice;
-            } else {
-              strategy.cp = slice;
-              strategy.spp = 1;
-            }
-            const int denom = pp * strategy.cp * tp;
-            if (denom == 0 || world % denom != 0) {
-              continue;
-            }
-            strategy.dp = world / denom;
-            if (strategy.dp < options.min_dp) {
-              continue;
-            }
-            if (prune && out.best) {
-              // Sound under both objectives: the goodput score
-              // iteration_time / goodput never falls below the
-              // iteration time itself (goodput <= 1), so a compute
-              // bound above the incumbent's score bounds the candidate
-              // out either way.
-              const auto bound = IterationLowerBound(method, config, strategy, cluster,
-                                                     global_batch, eval_options);
-              if (bound && *bound >= Score(*out.best, options)) {
-                ++out.pruned;
-                IterationResult skipped;
-                skipped.strategy = strategy;
-                skipped.note = "pruned: compute lower bound above incumbent";
-                out.evaluated.push_back(std::move(skipped));
-                continue;
-              }
-            }
-            IterationResult result =
-                SimulateIteration(config, strategy, cluster, global_batch, eval_options);
-            ++out.simulated;
-            PriceGoodput(result, options);
-            if (options.search_rebalanced && faulted && !eval_options.rebalance_stragglers) {
-              IterationOptions mitigated_options = eval_options;
-              mitigated_options.rebalance_stragglers = true;
-              IterationResult mitigated =
-                  SimulateIteration(config, strategy, cluster, global_batch, mitigated_options);
-              ++out.simulated;
-              PriceGoodput(mitigated, options);
-              if (mitigated.feasible &&
-                  (!result.feasible ||
-                   Score(mitigated, options) < Score(result, options))) {
-                result = std::move(mitigated);
-              }
-            }
-            if (result.feasible) {
-              if (!out.best || Score(result, options) < Score(*out.best, options)) {
-                out.best = result;
-              }
-            }
-            out.evaluated.push_back(std::move(result));
-          }
-        }
+  const std::vector<Strategy> grid = EnumerateCandidates(method, world, options);
+
+  // ---- phase 1: surrogate sweep + top-k selection (two_phase only) ----
+  // The surrogate prices clean runs only; under a fault plan the search
+  // stays exhaustive (the fault-aware bound still prunes it).
+  std::vector<char> selected;
+  std::vector<SurrogateResult> priced;
+  const bool two_phase = options.two_phase && !faulted;
+  if (two_phase) {
+    priced = SurrogateSweep(grid, config, cluster, global_batch, eval_options,
+                            options.cache, options.threads);
+    out.surrogate_priced = static_cast<int>(priced.size());
+    for (const SurrogateResult& result : priced) {
+      out.cache_hits += result.cache_hit ? 1 : 0;
+    }
+    std::vector<std::pair<Seconds, std::size_t>> ranked;  // (score, grid index)
+    ranked.reserve(priced.size());
+    for (std::size_t i = 0; i < priced.size(); ++i) {
+      if (priced[i].feasible) {
+        ranked.push_back({SurrogateScore(priced[i], options), i});
       }
     }
+    std::sort(ranked.begin(), ranked.end());
+    const std::size_t top_k =
+        std::min<std::size_t>(ranked.size(),
+                              static_cast<std::size_t>(std::max(1, options.surrogate_top_k)));
+    selected.assign(grid.size(), 0);
+    for (std::size_t r = 0; r < top_k; ++r) {
+      selected[ranked[r].second] = 1;
+    }
+    if (ranked.empty()) {
+      // Nothing surrogate-feasible: fall back to the exhaustive pass so
+      // a conservative surrogate can never hide a feasible strategy.
+      selected.assign(grid.size(), 1);
+    }
+  }
+
+  // ---- phase 2 / exhaustive: exact DES + goodput pricing ----
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Strategy& strategy = grid[i];
+    if (two_phase && !selected[i]) {
+      IterationResult skipped;
+      skipped.strategy = strategy;
+      skipped.note = priced[i].feasible
+                         ? "skipped: outside surrogate top-k"
+                         : "surrogate: " + priced[i].note;
+      out.evaluated.push_back(std::move(skipped));
+      continue;
+    }
+    if (prune && out.best) {
+      // Sound under both objectives: the goodput score
+      // iteration_time / goodput never falls below the iteration time
+      // itself (goodput <= 1), so a bound above the incumbent's score
+      // bounds the candidate out either way.
+      const auto bound =
+          SurrogateLowerBound(config, strategy, cluster, global_batch, eval_options);
+      if (bound && *bound >= Score(*out.best, options)) {
+        ++out.pruned;
+        IterationResult skipped;
+        skipped.strategy = strategy;
+        skipped.note = "pruned: lower bound above incumbent";
+        out.evaluated.push_back(std::move(skipped));
+        continue;
+      }
+    }
+    IterationResult result =
+        SimulateIteration(config, strategy, cluster, global_batch, eval_options);
+    ++out.simulated;
+    PriceGoodput(result, options);
+    if (options.search_rebalanced && faulted && !eval_options.rebalance_stragglers) {
+      IterationOptions mitigated_options = eval_options;
+      mitigated_options.rebalance_stragglers = true;
+      IterationResult mitigated =
+          SimulateIteration(config, strategy, cluster, global_batch, mitigated_options);
+      ++out.simulated;
+      PriceGoodput(mitigated, options);
+      if (mitigated.feasible &&
+          (!result.feasible || Score(mitigated, options) < Score(result, options))) {
+        result = std::move(mitigated);
+      }
+    }
+    if (result.feasible) {
+      if (!out.best || Score(result, options) < Score(*out.best, options)) {
+        out.best = result;
+      }
+    }
+    out.evaluated.push_back(std::move(result));
   }
 
   // Re-simulate the winner with its timeline for downstream rendering

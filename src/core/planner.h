@@ -10,6 +10,7 @@
 
 #include "core/iteration.h"
 #include "core/resilience.h"
+#include "core/surrogate.h"
 
 namespace mepipe::core {
 
@@ -39,11 +40,35 @@ struct PlannerOptions {
   std::vector<int> tp_candidates = {1};  // opened up for the A100 runs
   bool allow_recompute = true;
   // Cost-model-guided pruning (§9's "automated parallelization
-  // frameworks" direction): skip configurations whose compute-only lower
-  // bound already exceeds the best feasible time found so far. Same
-  // winner, fewer simulations. Automatically disabled when a fault plan
-  // is set — the bound assumes clean stage rates.
+  // frameworks" direction): skip configurations whose lower bound
+  // already exceeds the best feasible score found so far. Same winner,
+  // fewer simulations. The bound (core::SurrogateLowerBound) is
+  // fault-aware — straggler windows cap each stage's work rate — so
+  // pruning stays on in the joint straggler × goodput search. Only
+  // search_rebalanced disables it: re-partitioning moves work across
+  // stages, invalidating any per-stage bound.
   bool prune = false;
+  // ---- two-phase surrogate search (core/surrogate) ----
+  // Phase 1 prices the whole grid with the analytic surrogate (on
+  // `threads` workers), phase 2 runs the exact DES + interval solver on
+  // the `surrogate_top_k` best surrogate-feasible candidates only.
+  // Winner parity with the exhaustive search holds on every pinned
+  // planner configuration (tested for both objectives) but is heuristic
+  // in general: the surrogate's ranking must put the true winner inside
+  // the top-k. Falls back to the exhaustive path under a fault plan (the
+  // surrogate prices clean runs only) or when no candidate is
+  // surrogate-feasible.
+  bool two_phase = false;
+  int surrogate_top_k = 8;
+  // Worker threads for the surrogate sweep: 0 = hardware concurrency,
+  // 1 = serial. The winner is bit-identical regardless of thread count —
+  // candidates are scored independently, ranked by (score, grid order),
+  // and the exact phase runs in grid order.
+  int threads = 1;
+  // Optional cross-search pricing cache (not owned; thread-safe).
+  // Serves repeated shapes across planner re-runs and memoizes the
+  // goodput objective's per-candidate interval solve.
+  SurrogateCache* cache = nullptr;
   // Evaluate every strategy under this engine-level fault plan (empty =
   // clean; overrides iteration.fault_plan when set). Value-semantic:
   // assigning a FaultPlan copies it into shared storage.
@@ -83,6 +108,8 @@ struct PlannerResult {
   std::vector<IterationResult> evaluated;   // every combination tried
   int simulated = 0;                        // full simulations run
   int pruned = 0;                           // skipped via the lower bound
+  int surrogate_priced = 0;                 // phase-1 analytic prices (two_phase)
+  int cache_hits = 0;                       // of those, served from the cache
 };
 
 // Searches the grid for `method`. Timelines are kept only on the winner.

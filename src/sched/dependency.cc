@@ -5,49 +5,8 @@
 namespace mepipe::sched {
 
 std::vector<Dep> DependenciesOf(const PipelineProblem& problem, const OpId& op) {
-  const int last_chunk = problem.num_chunks() - 1;
-  const int stage = problem.stage_of_chunk(op.chunk);
   std::vector<Dep> deps;
-  switch (op.kind) {
-    case OpKind::kForward: {
-      if (op.chunk > 0) {
-        const bool cross = problem.stage_of_chunk(op.chunk - 1) != stage;
-        deps.push_back({{OpKind::kForward, op.micro, op.slice, op.chunk - 1}, cross});
-      }
-      if (op.slice > 0) {
-        deps.push_back({{OpKind::kForward, op.micro, op.slice - 1, op.chunk}, false});
-      }
-      break;
-    }
-    case OpKind::kBackward: {
-      if (op.chunk < last_chunk) {
-        const bool cross = problem.stage_of_chunk(op.chunk + 1) != stage;
-        deps.push_back({{OpKind::kBackward, op.micro, op.slice, op.chunk + 1}, cross});
-      } else {
-        deps.push_back({{OpKind::kForward, op.micro, op.slice, last_chunk}, false});
-      }
-      if (op.slice + 1 < problem.slices) {
-        deps.push_back({{OpKind::kBackward, op.micro, op.slice + 1, op.chunk}, false});
-      }
-      break;
-    }
-    case OpKind::kWeightGrad:
-    case OpKind::kWeightGradGemm: {
-      deps.push_back({{OpKind::kBackward, op.micro, op.slice, op.chunk}, false});
-      break;
-    }
-    case OpKind::kDpSync: {
-      // The bucket is ready once the last gradient op of its chunk has
-      // run: every W when the schedule splits B/W, every B otherwise.
-      const OpKind producer = problem.split_backward ? OpKind::kWeightGrad : OpKind::kBackward;
-      for (int micro = 0; micro < problem.micros; ++micro) {
-        for (int slice = 0; slice < problem.slices; ++slice) {
-          deps.push_back({{producer, micro, slice, op.chunk}, false});
-        }
-      }
-      break;
-    }
-  }
+  ForEachDependency(problem, op, [&deps](const Dep& dep) { deps.push_back(dep); });
   return deps;
 }
 

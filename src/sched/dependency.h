@@ -34,6 +34,58 @@ struct Dep {
 // match kWeightGrad (the GEMMs of one W are mutually independent).
 std::vector<Dep> DependenciesOf(const PipelineProblem& problem, const OpId& op);
 
+// Allocation-free dependency walk: invokes `visit(const Dep&)` for every
+// dependency of `op`. Single source of the dependency semantics above —
+// DependenciesOf, the engine's ready-time scan, and the surrogate's
+// critical-path pass all go through this.
+template <typename Visitor>
+void ForEachDependency(const PipelineProblem& problem, const OpId& op,
+                       Visitor&& visit) {
+  const int last_chunk = problem.num_chunks() - 1;
+  const int stage = problem.stage_of_chunk(op.chunk);
+  switch (op.kind) {
+    case OpKind::kForward: {
+      if (op.chunk > 0) {
+        const bool cross = problem.stage_of_chunk(op.chunk - 1) != stage;
+        visit(Dep{{OpKind::kForward, op.micro, op.slice, op.chunk - 1}, cross});
+      }
+      if (op.slice > 0) {
+        visit(Dep{{OpKind::kForward, op.micro, op.slice - 1, op.chunk}, false});
+      }
+      break;
+    }
+    case OpKind::kBackward: {
+      if (op.chunk < last_chunk) {
+        const bool cross = problem.stage_of_chunk(op.chunk + 1) != stage;
+        visit(Dep{{OpKind::kBackward, op.micro, op.slice, op.chunk + 1}, cross});
+      } else {
+        visit(Dep{{OpKind::kForward, op.micro, op.slice, last_chunk}, false});
+      }
+      if (op.slice + 1 < problem.slices) {
+        visit(Dep{{OpKind::kBackward, op.micro, op.slice + 1, op.chunk}, false});
+      }
+      break;
+    }
+    case OpKind::kWeightGrad:
+    case OpKind::kWeightGradGemm: {
+      visit(Dep{{OpKind::kBackward, op.micro, op.slice, op.chunk}, false});
+      break;
+    }
+    case OpKind::kDpSync: {
+      // The bucket is ready once the last gradient op of its chunk has
+      // run: every W when the schedule splits B/W, every B otherwise.
+      const OpKind producer =
+          problem.split_backward ? OpKind::kWeightGrad : OpKind::kBackward;
+      for (int micro = 0; micro < problem.micros; ++micro) {
+        for (int slice = 0; slice < problem.slices; ++slice) {
+          visit(Dep{{producer, micro, slice, op.chunk}, false});
+        }
+      }
+      break;
+    }
+  }
+}
+
 // All F/B(/W) compute ops owned by `stage`, in an unspecified order.
 // Per-GEMM W splits are not enumerated here (they are an execution-time
 // refinement of kWeightGrad).

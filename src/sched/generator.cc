@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "common/check.h"
+#include "sched/dependency.h"
 
 namespace mepipe::sched {
 namespace {
@@ -15,11 +15,26 @@ struct GeneratorState {
   const PipelineProblem& problem;
   const GeneratorOptions& options;
 
-  // Completion time of finished ops (compute time, before transfer).
-  std::unordered_map<OpId, double, OpIdHash> done;
+  // Incremental readiness over three dense kind-planes (F, B, W — the
+  // only kinds generation schedules). `unmet` counts unscheduled
+  // dependencies; `ready` accumulates max(dep end + transfer) as deps
+  // finish and is final once unmet reaches zero. This replaces a
+  // per-round dependency walk over every pending op — same values, same
+  // selection, just computed once per edge.
+  std::vector<int> unmet;
+  std::vector<double> ready;
+  // Position of each op in its stage's StageOps order. Ties in Priority
+  // (possible between B and an immediate W) fall back to this, which is
+  // exactly the order the former full pending scan visited them in.
+  std::vector<int> pos;
   std::vector<double> stage_free;
   std::vector<int> inflight;          // retained forwards per stage
-  std::vector<std::vector<OpId>> pending;  // unscheduled ops per stage
+  // Ops whose dependencies have all been scheduled, per owning stage —
+  // the only ops the selection scan needs to look at. Unordered (the
+  // (Priority, pos) key makes selection order-free); swap-removed when
+  // scheduled.
+  std::vector<std::vector<OpId>> unlocked;
+  std::vector<std::size_t> stage_left;     // unscheduled ops per stage
   std::vector<std::vector<OpId>> order;    // output program order
   // Forwards already scheduled per (stage, micro) — drives the
   // reservation-based admission that keeps capped generation
@@ -29,9 +44,15 @@ struct GeneratorState {
   explicit GeneratorState(const PipelineProblem& p, const GeneratorOptions& o)
       : problem(p),
         options(o),
+        unmet(3 * static_cast<std::size_t>(p.micros) * static_cast<std::size_t>(p.slices) *
+                  static_cast<std::size_t>(p.num_chunks()),
+              0),
+        ready(unmet.size(), 0.0),
+        pos(unmet.size(), 0),
         stage_free(static_cast<std::size_t>(p.stages), 0.0),
         inflight(static_cast<std::size_t>(p.stages), 0),
-        pending(static_cast<std::size_t>(p.stages)),
+        unlocked(static_cast<std::size_t>(p.stages)),
+        stage_left(static_cast<std::size_t>(p.stages), 0),
         order(static_cast<std::size_t>(p.stages)),
         fwd_scheduled(static_cast<std::size_t>(p.stages),
                       std::vector<int>(static_cast<std::size_t>(p.micros), 0)),
@@ -92,18 +113,78 @@ struct GeneratorState {
     return base;
   }
 
-  // Earliest time `op` can start given finished deps; +inf if a dep has
-  // not finished yet.
-  double ReadyTime(const OpId& op) const {
-    double ready = 0.0;
-    for (const Dep& dep : DependenciesOf(problem, op)) {
-      auto it = done.find(dep.op);
-      if (it == done.end()) {
-        return kInfinity;
-      }
-      ready = std::max(ready, it->second + (dep.cross_stage ? options.transfer_time : 0.0));
+  std::size_t OpIndex(const OpId& op) const {
+    const std::size_t kind = op.kind == OpKind::kForward    ? 0
+                             : op.kind == OpKind::kBackward ? 1
+                                                            : 2;
+    return ((kind * static_cast<std::size_t>(problem.micros) +
+             static_cast<std::size_t>(op.micro)) *
+                static_cast<std::size_t>(problem.slices) +
+            static_cast<std::size_t>(op.slice)) *
+               static_cast<std::size_t>(problem.num_chunks()) +
+           static_cast<std::size_t>(op.chunk);
+  }
+
+  // Register a to-be-scheduled op: its stage-order position (the former
+  // scan order, used as the tie-break) and its dependency count (deps
+  // are always F/B ops, which generation always schedules). Dep-free ops
+  // start unlocked.
+  void Seed(int stage, const OpId& op, int position) {
+    const std::size_t idx = OpIndex(op);
+    pos[idx] = position;
+    int count = 0;
+    ForEachDependency(problem, op, [&](const Dep&) { ++count; });
+    unmet[idx] = count;
+    if (count == 0) {
+      unlocked[static_cast<std::size_t>(stage)].push_back(op);
     }
-    return ready;
+    ++stage_left[static_cast<std::size_t>(stage)];
+  }
+
+  // `op` finished at `end`: feed its completion into every dependent op
+  // generation will schedule. Exact inverse of ForEachDependency,
+  // restricted to the generated kinds (no Wg split, no DpSync buckets;
+  // W only when emitted statically).
+  void MarkDone(const OpId& op, double end, bool emit_w_static) {
+    const auto feed = [&](OpKind kind, int micro, int slice, int chunk, bool cross) {
+      const OpId child{kind, micro, slice, chunk};
+      const std::size_t idx = OpIndex(child);
+      ready[idx] = std::max(ready[idx], end + (cross ? options.transfer_time : 0.0));
+      if (--unmet[idx] == 0) {
+        unlocked[static_cast<std::size_t>(problem.stage_of_chunk(chunk))].push_back(child);
+      }
+    };
+    const int last_chunk = problem.num_chunks() - 1;
+    const int stage = problem.stage_of_chunk(op.chunk);
+    switch (op.kind) {
+      case OpKind::kForward:
+        if (op.chunk < last_chunk) {
+          const bool cross = problem.stage_of_chunk(op.chunk + 1) != stage;
+          feed(OpKind::kForward, op.micro, op.slice, op.chunk + 1, cross);
+        } else {
+          feed(OpKind::kBackward, op.micro, op.slice, last_chunk, false);
+        }
+        if (op.slice + 1 < problem.slices) {
+          feed(OpKind::kForward, op.micro, op.slice + 1, op.chunk, false);
+        }
+        break;
+      case OpKind::kBackward:
+        if (op.chunk > 0) {
+          const bool cross = problem.stage_of_chunk(op.chunk - 1) != stage;
+          feed(OpKind::kBackward, op.micro, op.slice, op.chunk - 1, cross);
+        }
+        if (op.slice > 0) {
+          feed(OpKind::kBackward, op.micro, op.slice - 1, op.chunk, false);
+        }
+        if (emit_w_static) {
+          feed(OpKind::kWeightGrad, op.micro, op.slice, op.chunk, false);
+        }
+        break;
+      case OpKind::kWeightGrad:
+      case OpKind::kWeightGradGemm:
+      case OpKind::kDpSync:
+        break;  // nothing generation schedules depends on these
+    }
   }
 
   // Last compute kind scheduled per stage; drives 1F1B-style alternation.
@@ -181,11 +262,12 @@ Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& 
       problem.split_backward && options.wgrad != WgradPolicy::kDeferred;
   std::size_t remaining = 0;
   for (int stage = 0; stage < problem.stages; ++stage) {
+    int position = 0;
     for (const OpId& op : StageOps(problem, stage)) {
       if (op.kind == OpKind::kWeightGrad && !emit_w_static) {
         continue;  // deferred to the execution engine
       }
-      state.pending[static_cast<std::size_t>(stage)].push_back(op);
+      state.Seed(stage, op, position++);
       ++remaining;
     }
   }
@@ -196,9 +278,9 @@ Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& 
     double next_event = kInfinity;
 
     for (int stage = 0; stage < problem.stages; ++stage) {
-      auto& pending = state.pending[static_cast<std::size_t>(stage)];
+      auto& unlocked = state.unlocked[static_cast<std::size_t>(stage)];
       const double free_at = state.stage_free[static_cast<std::size_t>(stage)];
-      if (pending.empty()) {
+      if (state.stage_left[static_cast<std::size_t>(stage)] == 0) {
         continue;
       }
       if (free_at > now) {
@@ -209,24 +291,30 @@ Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& 
       const double lookahead =
           options.lookahead >= 0 ? options.lookahead : 2.0 * options.transfer_time;
       const OpId* best = nullptr;
+      std::size_t best_slot = 0;
       std::int64_t best_priority = 0;
+      int best_pos = 0;
       double best_ready = 0.0;
       const int cap = state.cap(stage);
-      for (const OpId& op : pending) {
-        const double ready = state.ReadyTime(op);
+      for (std::size_t slot = 0; slot < unlocked.size(); ++slot) {
+        const OpId& op = unlocked[slot];
+        const std::size_t idx = state.OpIndex(op);
+        const double ready = state.ready[idx];
         if (ready > now + lookahead) {
-          if (ready < kInfinity) {
-            next_event = std::min(next_event, ready);
-          }
+          next_event = std::min(next_event, ready);
           continue;
         }
         if (op.kind == OpKind::kForward && cap > 0 && !state.AdmitForward(stage, op, cap)) {
           continue;  // memory cap / reservation: hold this forward back
         }
         const std::int64_t priority = state.Priority(stage, op);
-        if (best == nullptr || priority < best_priority) {
+        const int position = state.pos[idx];
+        if (best == nullptr || priority < best_priority ||
+            (priority == best_priority && position < best_pos)) {
           best = &op;
+          best_slot = slot;
           best_priority = priority;
+          best_pos = position;
           best_ready = ready;
         }
       }
@@ -236,7 +324,7 @@ Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& 
       const OpId op = *best;
       const double start = std::max(now, best_ready);
       const double end = start + state.duration(stage, op);
-      state.done.emplace(op, end);
+      state.MarkDone(op, end, emit_w_static);
       state.order[static_cast<std::size_t>(stage)].push_back(op);
       if (op.kind == OpKind::kForward) {
         ++state.inflight[static_cast<std::size_t>(stage)];
@@ -249,7 +337,9 @@ Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& 
         state.last_kind[static_cast<std::size_t>(stage)] = op.kind;
       }
       state.stage_free[static_cast<std::size_t>(stage)] = end;
-      std::erase(pending, op);
+      unlocked[best_slot] = unlocked.back();
+      unlocked.pop_back();
+      --state.stage_left[static_cast<std::size_t>(stage)];
       --remaining;
       scheduled_any = true;
       next_event = std::min(next_event, end);

@@ -1,13 +1,14 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <deque>
 #include <limits>
-#include <map>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
+#include "sched/dependency.h"
 
 namespace mepipe::sim {
 namespace {
@@ -17,6 +18,10 @@ using sched::OpId;
 using sched::OpKind;
 
 constexpr double kEps = 1e-12;
+
+// Sentinel for "not recorded yet" in the dense time arenas below. All
+// recorded times are >= 0, so the comparison is exact.
+constexpr Seconds kNotDone = -1.0;
 
 // A deferred weight-gradient work item, optionally split into GEMMs.
 struct WgradItem {
@@ -38,6 +43,14 @@ class Engine {
         problem_(schedule.problem),
         costs_(costs),
         options_(options),
+        micros_(static_cast<std::size_t>(problem_.micros)),
+        slices_(static_cast<std::size_t>(problem_.slices)),
+        chunks_(static_cast<std::size_t>(problem_.num_chunks())),
+        done_(3 * micros_ * slices_ * chunks_, kNotDone),
+        transfer_arrival_(2 * micros_ * slices_ * chunks_, kNotDone),
+        link_free_(static_cast<std::size_t>(problem_.stages) *
+                       static_cast<std::size_t>(problem_.stages),
+                   0.0),
         cursor_(static_cast<std::size_t>(problem_.stages), 0),
         clock_(static_cast<std::size_t>(problem_.stages), 0.0),
         wqueue_(static_cast<std::size_t>(problem_.stages)),
@@ -65,21 +78,43 @@ class Engine {
   SimResult Run();
 
  private:
+  // Dense arena index for an op's completion slot. Only F/B/W identities
+  // are recorded (per-GEMM splits and DP buckets are never dependency
+  // targets), so three kind planes of micros × slices × chunks cover the
+  // whole space with a single subtraction-free computation.
+  std::size_t OpIndex(const OpId& op) const {
+    const std::size_t kind = op.kind == OpKind::kForward   ? 0
+                             : op.kind == OpKind::kBackward ? 1
+                                                            : 2;
+    return ((kind * micros_ + static_cast<std::size_t>(op.micro)) * slices_ +
+            static_cast<std::size_t>(op.slice)) *
+               chunks_ +
+           static_cast<std::size_t>(op.chunk);
+  }
+
+  Seconds DoneTime(const OpId& op) const { return done_[OpIndex(op)]; }
+  bool IsDone(const OpId& op) const { return done_[OpIndex(op)] != kNotDone; }
+  void SetDone(const OpId& op, Seconds time) { done_[OpIndex(op)] = time; }
+
   // Arrival time of `producer`'s output at the consuming stage, applying
   // per-directed-link serialization. Memoized (each producer feeds one
-  // consumer).
+  // consumer). Transfer producers are F/B only, so the first two kind
+  // planes of the arena suffice.
   Seconds TransferArrival(const OpId& producer) {
-    if (auto it = transfer_arrival_.find(producer); it != transfer_arrival_.end()) {
-      return it->second;
+    Seconds& memo = transfer_arrival_[OpIndex(producer)];
+    if (memo != kNotDone) {
+      return memo;
     }
-    const auto done_it = done_.find(producer);
-    MEPIPE_CHECK(done_it != done_.end());
+    const Seconds done = DoneTime(producer);
+    MEPIPE_CHECK(done != kNotDone);
     const int from = problem_.stage_of_chunk(producer.chunk);
     const int to = producer.kind == OpKind::kForward
                        ? problem_.stage_of_chunk(producer.chunk + 1)
                        : problem_.stage_of_chunk(producer.chunk - 1);
-    double& link_free = link_free_[{from, to}];
-    Seconds start = std::max(done_it->second, link_free);
+    double& link_free = link_free_[static_cast<std::size_t>(from) *
+                                       static_cast<std::size_t>(problem_.stages) +
+                                   static_cast<std::size_t>(to)];
+    Seconds start = std::max(done, link_free);
     Seconds arrival;
     if (faulty_) {
       start = faulty_->NextUpTime(start);
@@ -89,27 +124,30 @@ class Engine {
     }
     link_free = arrival;
     timeline_.push_back({from, producer, start, arrival, /*is_transfer=*/true});
-    transfer_arrival_.emplace(producer, arrival);
+    memo = arrival;
     return arrival;
   }
 
   Seconds ReadyTime(const OpId& op) {
     Seconds ready = 0.0;
-    for (const Dep& dep : sched::DependenciesOf(problem_, op)) {
-      const auto it = done_.find(dep.op);
-      MEPIPE_CHECK(it != done_.end());
-      ready = std::max(ready, dep.cross_stage ? TransferArrival(dep.op) : it->second);
-    }
+    sched::ForEachDependency(problem_, op, [&](const Dep& dep) {
+      if (dep.cross_stage) {
+        ready = std::max(ready, TransferArrival(dep.op));
+      } else {
+        const Seconds done = DoneTime(dep.op);
+        MEPIPE_CHECK(done != kNotDone);
+        ready = std::max(ready, done);
+      }
+    });
     return ready;
   }
 
   bool DepsDone(const OpId& op) const {
-    for (const Dep& dep : sched::DependenciesOf(problem_, op)) {
-      if (!done_.contains(dep.op)) {
-        return false;
-      }
-    }
-    return true;
+    bool all = true;
+    sched::ForEachDependency(problem_, op, [&](const Dep& dep) {
+      all = all && IsDone(dep.op);
+    });
+    return all;
   }
 
   // Fault-aware pricing: where a compute op started at `start` finishes.
@@ -170,7 +208,7 @@ class Engine {
       RecordCompute(stage, exec_op, start, end);
       clock = end;
       if (++item.next_gemm >= item.gemm_count) {
-        done_.emplace(item.op, clock);
+        SetDone(item.op, clock);
         ReleaseSlice(stage, item.op, clock, /*release_act_grad=*/true);
         queue.pop_front();
       }
@@ -281,12 +319,12 @@ class Engine {
           continue;  // the model does not price this bucket
         }
         Seconds ready = 0;
-        for (const Dep& dep : sched::DependenciesOf(problem_, bucket)) {
-          const auto it = done_.find(dep.op);
-          MEPIPE_CHECK(it != done_.end())
+        sched::ForEachDependency(problem_, bucket, [&](const Dep& dep) {
+          const Seconds done = DoneTime(dep.op);
+          MEPIPE_CHECK(done != kNotDone)
               << "DP bucket scheduled before its gradients completed";
-          ready = std::max(ready, it->second);
-        }
+          ready = std::max(ready, done);
+        });
         buckets.push_back({ready, bucket});
         total += duration;
       }
@@ -333,7 +371,7 @@ class Engine {
         clock = end;
       }
     }
-    done_.emplace(item.op, clock);
+    SetDone(item.op, clock);
     ReleaseSlice(stage, item.op, clock, /*release_act_grad=*/true);
   }
 
@@ -342,9 +380,17 @@ class Engine {
   const CostModel& costs_;
   EngineOptions options_;
 
-  std::unordered_map<OpId, Seconds, sched::OpIdHash> done_;
-  std::unordered_map<OpId, Seconds, sched::OpIdHash> transfer_arrival_;
-  std::map<std::pair<int, int>, double> link_free_;
+  // Event arenas: completion times and memoized transfer arrivals live
+  // in dense per-op vectors (kNotDone sentinel) instead of hash maps,
+  // and the per-directed-link free times in a flat stages × stages
+  // matrix. One allocation each up front; the hot loop does index
+  // arithmetic only. Sized at construction from the problem shape.
+  const std::size_t micros_;
+  const std::size_t slices_;
+  const std::size_t chunks_;
+  std::vector<Seconds> done_;
+  std::vector<Seconds> transfer_arrival_;
+  std::vector<double> link_free_;
   std::vector<std::size_t> cursor_;
   std::vector<double> clock_;
   std::vector<std::deque<WgradItem>> wqueue_;
@@ -365,6 +411,12 @@ SimResult Engine::Run() {
   std::size_t remaining = 0;
   for (const auto& ops : schedule_.stage_ops) {
     remaining += ops.size();
+  }
+  // Compute spans plus at most one transfer per F/B op; per-GEMM W
+  // splits can push past this, at which point the vector grows normally.
+  timeline_.reserve(2 * remaining);
+  for (auto& events : mem_events_) {
+    events.reserve(2 * remaining / std::max(1, problem_.stages));
   }
 
   while (remaining > 0) {
@@ -391,7 +443,7 @@ SimResult Engine::Run() {
         const Seconds end = ComputeEnd(stage, op, start);
         RecordCompute(stage, op, start, end);
         clock = end;
-        done_.emplace(op, end);
+        SetDone(op, end);
 
         switch (op.kind) {
           case OpKind::kForward:

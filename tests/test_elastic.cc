@@ -378,5 +378,83 @@ TEST(Elastic, EngineGroundedRunBeatsRestartToo) {
   EXPECT_GT(elastic.reshards, 0);
 }
 
+TEST(Elastic, SurrogateTriageOffKeepsTheBaseStrategyOnEveryShape) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  Strategy strategy;
+  strategy.method = Method::kSvpp;
+  strategy.pp = 8;
+  strategy.dp = 8;
+  strategy.spp = 8;
+
+  ElasticOptions opt = FailureProneOptions(1);
+  opt.run.dp_replicas = 8;
+  const ElasticPricing pricing = PriceElasticShapes(config, strategy, cluster, 64, opt);
+  for (const ElasticShape& shape : pricing.shapes) {
+    if (!shape.feasible) {
+      continue;
+    }
+    EXPECT_EQ(shape.surrogate_variants, 0) << "survivors " << shape.survivors;
+    EXPECT_EQ(shape.strategy.spp, strategy.spp) << "survivors " << shape.survivors;
+    EXPECT_EQ(shape.strategy.vp, strategy.vp) << "survivors " << shape.survivors;
+    EXPECT_EQ(shape.strategy.dp, shape.survivors);
+  }
+}
+
+TEST(Elastic, SurrogateTriageSearchesPartitioningsPerShape) {
+  // With the triage on, every degraded shape re-plans its SPP split:
+  // the surrogate prices the variants, the engine runs only the pick,
+  // and the priced run can never be slower than the base partitioning
+  // on the shapes where it re-planned.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  Strategy strategy;
+  strategy.method = Method::kSvpp;
+  strategy.pp = 8;
+  strategy.dp = 8;
+  strategy.spp = 8;
+
+  ElasticOptions base_opt = FailureProneOptions(1);
+  base_opt.run.dp_replicas = 8;
+  const ElasticPricing base = PriceElasticShapes(config, strategy, cluster, 64, base_opt);
+
+  SurrogateCache cache;
+  ElasticOptions opt = FailureProneOptions(1);
+  opt.run.dp_replicas = 8;
+  opt.surrogate_shape_search = true;
+  opt.shape_slice_candidates = {1, 2, 4, 8, 16};
+  opt.surrogate_cache = &cache;
+  const ElasticPricing triaged = PriceElasticShapes(config, strategy, cluster, 64, opt);
+
+  ASSERT_EQ(triaged.shapes.size(), base.shapes.size());
+  for (std::size_t i = 0; i < triaged.shapes.size(); ++i) {
+    const ElasticShape& shape = triaged.shapes[i];
+    if (!shape.feasible) {
+      continue;
+    }
+    EXPECT_GT(shape.surrogate_variants, 1) << "survivors " << shape.survivors;
+    EXPECT_EQ(shape.strategy.dp, shape.survivors);
+    EXPECT_EQ(shape.strategy.pp, strategy.pp);  // GPU footprint never changes
+    ASSERT_TRUE(base.shapes[i].feasible);
+    EXPECT_LE(shape.iteration_time, base.shapes[i].iteration_time + 1e-9)
+        << "survivors " << shape.survivors << " re-planned to spp=" << shape.strategy.spp
+        << " but runs slower than the base split";
+    EXPECT_EQ(shape.invariant_violations, 0) << "survivors " << shape.survivors;
+  }
+  EXPECT_GT(cache.stats().misses, 0);
+
+  // Determinism: the same triage lands on the same picks and times.
+  ElasticOptions again = FailureProneOptions(1);
+  again.run.dp_replicas = 8;
+  again.surrogate_shape_search = true;
+  again.shape_slice_candidates = {1, 2, 4, 8, 16};
+  again.surrogate_cache = &cache;
+  const ElasticPricing repeat = PriceElasticShapes(config, strategy, cluster, 64, again);
+  for (std::size_t i = 0; i < triaged.shapes.size(); ++i) {
+    EXPECT_EQ(repeat.shapes[i].strategy.spp, triaged.shapes[i].strategy.spp);
+    EXPECT_EQ(repeat.shapes[i].iteration_time, triaged.shapes[i].iteration_time);
+  }
+}
+
 }  // namespace
 }  // namespace mepipe::core

@@ -187,14 +187,17 @@ TEST(Planner, PruningNeverChangesTheWinnerOnASmallGrid) {
   }
 }
 
-TEST(Planner, FaultPlanDisablesPruningAndDegradesTheWinner) {
+TEST(Planner, FaultAwarePruningKeepsTheFaultedWinner) {
+  // The fault-aware lower bound (core::SurrogateLowerBound) caps each
+  // stage's rate over the plan's straggler windows, so pruning stays on
+  // under a fault plan — same faulted winner, fewer simulations. Only
+  // search_rebalanced disables it (work moves across stages).
   const auto config = model::Llama13B();
   const auto cluster = hw::Rtx4090Cluster();
   PlannerOptions options;
   options.pp_candidates = {8};  // 13B's 40 partition units need pp | 40
-  options.slice_candidates = {1, 8};
+  options.slice_candidates = {1, 2, 4, 8};
   options.vp_candidates = {1};
-  options.prune = true;  // must be ignored under the plan
 
   const auto clean = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
   ASSERT_TRUE(clean.best.has_value());
@@ -202,10 +205,158 @@ TEST(Planner, FaultPlanDisablesPruningAndDegradesTheWinner) {
   sim::FaultPlan faults;
   faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
   options.fault_plan = faults;
-  const auto faulted = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
-  ASSERT_TRUE(faulted.best.has_value());
-  EXPECT_EQ(faulted.pruned, 0);  // lower bound invalid under dilation
-  EXPECT_GT(faulted.best->iteration_time, clean.best->iteration_time);
+  const auto exhaustive = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  options.prune = true;
+  const auto pruned = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  ASSERT_TRUE(exhaustive.best.has_value());
+  ASSERT_TRUE(pruned.best.has_value());
+  EXPECT_EQ(exhaustive.best->strategy.ToString(), pruned.best->strategy.ToString());
+  EXPECT_NEAR(exhaustive.best->iteration_time, pruned.best->iteration_time, 1e-9);
+  EXPECT_GT(pruned.pruned, 0);  // the fault-aware bound actually fired
+  EXPECT_LT(pruned.simulated, exhaustive.simulated);
+  EXPECT_EQ(exhaustive.evaluated.size(), pruned.evaluated.size());
+  EXPECT_GT(pruned.best->iteration_time, clean.best->iteration_time);
+
+  // Rebalanced search re-partitions stages, which invalidates any
+  // per-stage bound — pruning must stand down there.
+  options.search_rebalanced = true;
+  const auto rebalanced = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  EXPECT_EQ(rebalanced.pruned, 0);
+}
+
+TEST(Planner, JointPruningKeepsTheWinnerUnderFaultsAndGoodput) {
+  // Satellite of the surrogate PR: the joint straggler × goodput search
+  // can now prune. Same winner and score as the exhaustive joint search,
+  // with at least one candidate bounded out.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions full;
+  full.pp_candidates = {8};
+  full.slice_candidates = {1, 2, 4, 8};
+  full.vp_candidates = {1};
+  full.objective = PlannerObjective::kGoodput;
+  full.resilience.seed = 7;
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
+  full.fault_plan = faults;
+  PlannerOptions pruned = full;
+  pruned.prune = true;
+  const auto a = SearchBestStrategy(Method::kSvpp, config, cluster, 64, full);
+  const auto b = SearchBestStrategy(Method::kSvpp, config, cluster, 64, pruned);
+  ASSERT_TRUE(a.best.has_value());
+  ASSERT_TRUE(b.best.has_value());
+  EXPECT_EQ(a.best->strategy.ToString(), b.best->strategy.ToString());
+  EXPECT_NEAR(a.best->goodput.effective_iteration_time,
+              b.best->goodput.effective_iteration_time, 1e-9);
+  EXPECT_GT(b.pruned, 0);
+  EXPECT_EQ(a.evaluated.size(), b.evaluated.size());
+}
+
+TEST(Planner, TwoPhaseSearchMatchesExhaustiveForEveryMethodAndBothObjectives) {
+  // The two-phase driver's acceptance bar: on the small grid every
+  // method's surrogate top-k contains the true winner, for both ranking
+  // objectives.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions full;
+  full.pp_candidates = {2, 4, 8};
+  full.slice_candidates = {1, 2, 4};
+  full.vp_candidates = {1, 2};
+  full.resilience.seed = 7;
+  PlannerOptions two_phase = full;
+  two_phase.two_phase = true;
+  two_phase.surrogate_top_k = 4;
+  two_phase.threads = 2;
+  for (PlannerObjective objective :
+       {PlannerObjective::kIterationTime, PlannerObjective::kGoodput}) {
+    full.objective = objective;
+    two_phase.objective = objective;
+    for (Method m : {Method::kDapple, Method::kGPipe, Method::kVpp, Method::kZb1p,
+                     Method::kTeraPipe, Method::kSvpp}) {
+      const auto a = SearchBestStrategy(m, config, cluster, 32, full);
+      const auto b = SearchBestStrategy(m, config, cluster, 32, two_phase);
+      ASSERT_EQ(a.best.has_value(), b.best.has_value()) << ToString(m);
+      if (!a.best) {
+        continue;
+      }
+      EXPECT_EQ(a.best->strategy.ToString(), b.best->strategy.ToString()) << ToString(m);
+      EXPECT_NEAR(a.best->iteration_time, b.best->iteration_time, 1e-9) << ToString(m);
+      EXPECT_GT(b.surrogate_priced, 0) << ToString(m);
+      EXPECT_LT(b.simulated, a.simulated) << ToString(m);
+      EXPECT_EQ(a.evaluated.size(), b.evaluated.size()) << ToString(m);
+    }
+  }
+}
+
+TEST(Planner, TwoPhaseWinnerIsBitIdenticalAcrossThreadCounts) {
+  // Determinism contract: candidates are ranked by (score, grid order)
+  // and the exact phase runs in grid order, so the thread count can
+  // never change the winner — bit for bit.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions base;
+  base.pp_candidates = {2, 4, 8};
+  base.slice_candidates = {1, 2, 4, 8};
+  base.vp_candidates = {1, 2};
+  base.two_phase = true;
+  base.surrogate_top_k = 4;
+  base.threads = 1;
+  const auto serial = SearchBestStrategy(Method::kSvpp, config, cluster, 64, base);
+  ASSERT_TRUE(serial.best.has_value());
+  for (int threads : {2, 8}) {
+    PlannerOptions options = base;
+    options.threads = threads;
+    const auto parallel = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+    ASSERT_TRUE(parallel.best.has_value()) << threads << " threads";
+    EXPECT_EQ(serial.best->strategy.ToString(), parallel.best->strategy.ToString())
+        << threads << " threads";
+    EXPECT_EQ(serial.best->iteration_time, parallel.best->iteration_time)
+        << threads << " threads";
+    EXPECT_EQ(serial.surrogate_priced, parallel.surrogate_priced);
+    EXPECT_EQ(serial.simulated, parallel.simulated);
+  }
+}
+
+TEST(Planner, TwoPhaseFallsBackToExhaustiveUnderAFaultPlan) {
+  // The surrogate prices clean runs only; a faulted search must ignore
+  // two_phase and evaluate the whole grid with the engine.
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  PlannerOptions options;
+  options.pp_candidates = {8};
+  options.slice_candidates = {1, 8};
+  options.vp_candidates = {1};
+  sim::FaultPlan faults;
+  faults.stragglers.push_back({1, 0.0, 1e9, 2.0});
+  options.fault_plan = faults;
+  const auto exhaustive = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  options.two_phase = true;
+  const auto fallback = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  ASSERT_TRUE(exhaustive.best.has_value());
+  ASSERT_TRUE(fallback.best.has_value());
+  EXPECT_EQ(fallback.surrogate_priced, 0);
+  EXPECT_EQ(exhaustive.best->strategy.ToString(), fallback.best->strategy.ToString());
+  EXPECT_EQ(exhaustive.simulated, fallback.simulated);
+}
+
+TEST(Planner, TwoPhaseServesRepeatSearchesFromTheCache) {
+  const auto config = model::Llama13B();
+  const auto cluster = hw::Rtx4090Cluster();
+  SurrogateCache cache;
+  PlannerOptions options;
+  options.pp_candidates = {2, 4, 8};
+  options.slice_candidates = {1, 2, 4};
+  options.vp_candidates = {1};
+  options.two_phase = true;
+  options.cache = &cache;
+  const auto first = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  const auto second = SearchBestStrategy(Method::kSvpp, config, cluster, 64, options);
+  ASSERT_TRUE(first.best.has_value());
+  ASSERT_TRUE(second.best.has_value());
+  EXPECT_EQ(first.cache_hits, 0);
+  EXPECT_EQ(second.cache_hits, second.surrogate_priced);  // every price served
+  EXPECT_EQ(first.best->strategy.ToString(), second.best->strategy.ToString());
+  EXPECT_EQ(first.best->iteration_time, second.best->iteration_time);
 }
 
 TEST(Planner, SearchRebalancedVariantsBeatOrMatchTheFaultedSearch) {
