@@ -72,8 +72,9 @@ void EmitDpOverlap() {
                           "-", "infeasible: " + serial.note, "", "", "", "", ""});
           continue;
         }
-        const bool shared =
-            hw::DpSharesPipelineFabric(cluster, serial.strategy.layout());
+        const bool shared = hw::SingleTierTopology(cluster)
+                                .FabricShares(serial.strategy.layout())
+                                .Shares(hw::Dim::kData, hw::Dim::kPipeline);
         rows.push_back({family.label, std::to_string(dp),
                         StrFormat("%.1f", cluster.intra_node.bandwidth / 1e9),
                         shared ? "yes" : "no", bench::Ms(serial.iteration_time),

@@ -27,17 +27,26 @@ void EmitDeployment() {
                    reliability);
   std::printf("paper's estimate at ~1000 GPUs: < 5%%\n");
 
-  // 2 & 3. Operating cost and parity horizon.
+  // 2 & 3. Operating cost and parity horizon, plus the rental view of the
+  // same fleets (core/deployment tiered economics): what each device
+  // costs to *rent* per GPU-hour and per year of continuous use.
+  const hw::DeviceTier tiers[] = {hw::A100Tier(), hw::Rtx4090Tier()};
   std::vector<std::vector<std::string>> cost;
   cost.push_back({"cluster", "acquisition_usd", "power_usd_per_day", "tco_1y_usd",
-                  "tco_5y_usd"});
-  for (const auto* cluster : {&a100, &rtx}) {
-    const double day = core::OperatingCostUsd(*cluster, 24.0 * 3600.0);
-    cost.push_back({cluster->gpu.name,
-                    StrFormat("%.0f", cluster->nodes * cluster->gpu.server_price_usd),
+                  "tco_5y_usd", "rental_usd_per_gpu_hour", "rental_1y_usd"});
+  for (const hw::DeviceTier& tier : tiers) {
+    const auto cluster = tier.spec();
+    const double day = core::OperatingCostUsd(cluster, 24.0 * 3600.0);
+    hw::ClusterTopology fleet;
+    fleet.tiers = {tier};
+    const double hourly = core::FleetHourlyCostUsd(fleet);
+    cost.push_back({cluster.gpu.name,
+                    StrFormat("%.0f", cluster.nodes * cluster.gpu.server_price_usd),
                     StrFormat("%.0f", day),
-                    StrFormat("%.0f", core::TotalCostUsd(*cluster, 1.0)),
-                    StrFormat("%.0f", core::TotalCostUsd(*cluster, 5.0))});
+                    StrFormat("%.0f", core::TotalCostUsd(cluster, 1.0)),
+                    StrFormat("%.0f", core::TotalCostUsd(cluster, 5.0)),
+                    StrFormat("%.2f", tier.usd_per_gpu_hour),
+                    StrFormat("%.0f", hourly * 24.0 * 365.0)});
   }
   bench::EmitTable("§9.3 — acquisition and operating cost", "sec9_cost", cost);
 

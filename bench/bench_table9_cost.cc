@@ -3,6 +3,7 @@
 // iteration time, achieved TFLOPS per GPU, and cost-effectiveness
 // (throughput per acquisition dollar; the paper's 2.5× claim).
 #include "bench/bench_util.h"
+#include "core/deployment.h"
 #include "core/planner.h"
 #include "hw/cluster.h"
 #include "model/transformer.h"
@@ -41,9 +42,18 @@ void EmitTable9() {
   const auto a100 = hw::A100Cluster();
   const double rtx_cluster_price = rtx.nodes * rtx.gpu.server_price_usd;
   const double a100_cluster_price = a100.nodes * a100.gpu.server_price_usd;
+  // Rental view of the same fleets (core/deployment): each Table 9 device
+  // at its tier's neocloud $/GPU-hour rate.
+  hw::ClusterTopology rtx_fleet;
+  rtx_fleet.tiers = {hw::Rtx4090Tier()};
+  hw::ClusterTopology a100_fleet;
+  a100_fleet.tiers = {hw::A100Tier()};
+  const double rtx_rate = core::FleetHourlyCostUsd(rtx_fleet);
+  const double a100_rate = core::FleetHourlyCostUsd(a100_fleet);
 
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"model", "cluster", "config", "iteration_ms", "tflops_per_gpu",
+                  "rental_usd_per_hour", "rental_usd_per_iter",
                   "cost_effectiveness_vs_A100"});
   for (const std::string size : {"7B", "13B", "34B"}) {
     const auto config = model::LlamaBySize(size);
@@ -57,18 +67,21 @@ void EmitTable9() {
       ratio = rtx_tput / a100_tput;
     }
     auto add = [&rows](const std::string& model_name, const char* cluster_name,
-                       const std::optional<core::IterationResult>& r, double ratio_value) {
+                       const std::optional<core::IterationResult>& r, double hourly_rate,
+                       double ratio_value) {
       if (!r) {
-        rows.push_back({model_name, cluster_name, "-", "infeasible", "-", "-"});
+        rows.push_back({model_name, cluster_name, "-", "infeasible", "-", "-", "-", "-"});
         return;
       }
       rows.push_back({model_name, cluster_name, r->strategy.ToString(),
                       bench::Ms(r->iteration_time),
                       StrFormat("%.1f", r->per_gpu_flops / 1e12),
+                      StrFormat("%.2f", hourly_rate),
+                      StrFormat("%.4f", hourly_rate * r->iteration_time / 3600.0),
                       ratio_value > 0 ? StrFormat("%.2fx", ratio_value) : "1.00x (ref)"});
     };
-    add(size, "A100-32", on_a100, 0);
-    add(size, "RTX4090-64", on_rtx, ratio);
+    add(size, "A100-32", on_a100, a100_rate, 0);
+    add(size, "RTX4090-64", on_rtx, rtx_rate, ratio);
   }
   bench::EmitTable("Table 9 — A100 vs RTX 4090: time, TFLOPS, cost-effectiveness",
                    "table9_cost", rows);

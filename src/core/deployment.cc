@@ -74,4 +74,29 @@ double TotalCostUsd(const hw::ClusterSpec& cluster, double years,
   return AcquisitionUsd(cluster) + OperatingCostUsd(cluster, seconds, options);
 }
 
+double FleetHourlyCostUsd(const hw::ClusterTopology& topology) {
+  double total = 0;
+  for (const hw::DeviceTier& tier : topology.tiers) {
+    total += static_cast<double>(tier.world_size()) * tier.usd_per_gpu_hour;
+  }
+  return total;
+}
+
+double PlacementHourlyCostUsd(const hw::ClusterTopology& topology,
+                              const hw::StagePlacement& placement,
+                              const hw::ParallelLayout& layout) {
+  const double group = static_cast<double>(layout.dp) * layout.cp * layout.tp;
+  double total = 0;
+  for (int stage = 0; stage < placement.stages(); ++stage) {
+    total += group * topology.tier(placement.tier_of(stage)).usd_per_gpu_hour;
+  }
+  return total;
+}
+
+double EgressCostUsd(Bytes bytes, double usd_per_gb) {
+  MEPIPE_CHECK_GE(bytes, 0);
+  MEPIPE_CHECK_GE(usd_per_gb, 0.0);
+  return static_cast<double>(bytes) / 1e9 * usd_per_gb;
+}
+
 }  // namespace mepipe::core

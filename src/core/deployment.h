@@ -76,6 +76,27 @@ double CostParityYears(const hw::ClusterSpec& cheap, const hw::ClusterSpec& refe
 double TotalCostUsd(const hw::ClusterSpec& cluster, double years,
                     const OperatingCostOptions& options = {});
 
+// ---- Rental economics of tiered fleets --------------------------------
+//
+// The acquisition/electricity math above prices *owning* a cluster; the
+// heterogeneous-fleet planner (core/fleet) prices *renting* one. Both
+// views meet in the Table 9 / §9 cost benches, which now report each
+// device's rental rate next to its ownership cost.
+
+// Rental rate of the whole fleet: every GPU of every tier at the tier's
+// $/GPU-hour.
+double FleetHourlyCostUsd(const hw::ClusterTopology& topology);
+
+// Rental rate of only the ranks a placed layout occupies: dp·cp·tp ranks
+// per stage, each at its hosting tier's rate. This is the
+// fleet_usd_per_hour term of core::DollarCostBreakdown.
+double PlacementHourlyCostUsd(const hw::ClusterTopology& topology,
+                              const hw::StagePlacement& placement,
+                              const hw::ParallelLayout& layout);
+
+// WAN egress dollars for `bytes`, billed per decimal GB (cloud style).
+double EgressCostUsd(Bytes bytes, double usd_per_gb);
+
 }  // namespace mepipe::core
 
 #endif  // MEPIPE_CORE_DEPLOYMENT_H_

@@ -661,6 +661,23 @@ ElasticPricing PriceElasticShapes(const model::TransformerConfig& config,
     shrunk.nodes = world_s / cluster.gpus_per_node;
     Strategy degraded = strategy;
     degraded.dp = s;
+    // Structural gate on the degraded layout. Shapes built above always
+    // cover the shrunk world exactly, so this only rejects layouts that
+    // the engine would refuse anyway (and gives them a structured note).
+    // The tp-on-consumer-tier advisory is deliberately non-fatal here:
+    // the degraded run keeps whatever tp the healthy run had.
+    bool structurally_invalid = false;
+    for (const hw::LayoutIssue& issue :
+         degraded.layout().Validate(hw::SingleTierTopology(shrunk))) {
+      if (issue.code != hw::LayoutIssue::Code::kTensorParallelOnConsumerTier) {
+        shape.note = issue.message;
+        structurally_invalid = true;
+        break;
+      }
+    }
+    if (structurally_invalid) {
+      continue;
+    }
     // Survivors re-split the global batch; the ceil keeps per-replica
     // micro-batches whole and the extra samples earn proportionally
     // more clean-equivalent credit.
@@ -713,7 +730,8 @@ ElasticPricing PriceElasticShapes(const model::TransformerConfig& config,
         static_cast<double>(batch_s) / static_cast<double>(global_batch);
     // Reshard barrier entering this shape: all-gather of the departed
     // replica's worst ZeRO-1 shard over the surviving DP fabric.
-    const hw::LinkSpec link = hw::DataParallelLink(shrunk, chosen.layout());
+    const hw::LinkSpec link =
+        hw::SingleTierTopology(shrunk).LinkFor(hw::Dim::kData, chosen.layout());
     shape.reshard_stall = hw::CommModel::AllGather(result.checkpoint_shard, s, link);
     shape.invariant_violations = CountInvariantViolations(result, strategy.pp);
     if (shape.invariant_violations == 0) {

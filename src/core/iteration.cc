@@ -213,8 +213,9 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
   engine.activation_budget = build.activation_budget;
   engine.fault_plan = options.fault_plan;
   engine.dp_overlap = options.dp_overlap;
-  engine.dp_link_shared =
-      options.dp_overlap && hw::DpSharesPipelineFabric(cluster, strategy.layout());
+  engine.dp_link_shared = options.dp_overlap && hw::SingleTierTopology(cluster)
+                                                    .FabricShares(strategy.layout())
+                                                    .Shares(hw::Dim::kData, hw::Dim::kPipeline);
   sim::SimResult sim;
   bool rebalanced = false;
   Seconds unmitigated_pipeline_time = 0;

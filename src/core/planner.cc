@@ -40,9 +40,11 @@ std::vector<int> VpCandidatesFor(Method method, const PlannerOptions& options) {
 // tie-break: every driver (serial exhaustive, pruned, two-phase
 // parallel) ranks equal scores by position in this list, which is what
 // makes the parallel winner bit-identical to the serial one.
-std::vector<Strategy> EnumerateCandidates(Method method, int world,
+std::vector<Strategy> EnumerateCandidates(Method method, const hw::ClusterSpec& cluster,
                                           const PlannerOptions& options) {
   std::vector<Strategy> grid;
+  const int world = cluster.world_size();
+  const hw::ClusterTopology topology = hw::SingleTierTopology(cluster);
   for (int tp : options.tp_candidates) {
     for (int pp : options.pp_candidates) {
       for (int slice : options.slice_candidates) {
@@ -66,11 +68,17 @@ std::vector<Strategy> EnumerateCandidates(Method method, int world,
               strategy.spp = 1;
             }
             const int denom = pp * strategy.cp * tp;
-            if (denom == 0 || world % denom != 0) {
+            if (denom == 0) {
               continue;
             }
             strategy.dp = world / denom;
             if (strategy.dp < options.min_dp) {
+              continue;
+            }
+            // Structured admissibility (kWorldMismatch subsumes the old
+            // world % denom test: an integer-truncated dp cannot cover
+            // the world exactly).
+            if (!strategy.layout().Validate(topology).empty()) {
               continue;
             }
             grid.push_back(strategy);
@@ -186,7 +194,6 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
                                  const hw::ClusterSpec& cluster, int global_batch,
                                  const PlannerOptions& options) {
   PlannerResult out;
-  const int world = cluster.world_size();
 
   IterationOptions eval_options = options.iteration;
   eval_options.keep_timeline = false;
@@ -199,7 +206,7 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
   // work across stages, which no per-stage bound survives — off there.
   const bool prune = options.prune && !(faulted && options.search_rebalanced);
 
-  const std::vector<Strategy> grid = EnumerateCandidates(method, world, options);
+  const std::vector<Strategy> grid = EnumerateCandidates(method, cluster, options);
 
   // ---- phase 1: surrogate sweep + top-k selection (two_phase only) ----
   // The surrogate prices clean runs only; under a fault plan the search
@@ -299,6 +306,211 @@ PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& 
         SimulateIteration(config, out.best->strategy, cluster, global_batch, final_options);
     MEPIPE_CHECK(out.best->feasible);
     PriceGoodput(*out.best, options);
+  }
+  return out;
+}
+
+namespace {
+
+// The fleet grid in canonical order: tp → pp → slice → vp → recompute →
+// dp (powers of two) → placement (EnumeratePlacements order). As in the
+// homogeneous search, this order is the tie-break that makes the
+// parallel two-phase winner thread-count-invariant.
+std::vector<PlacedStrategy> EnumerateFleetCandidates(Method method,
+                                                     const hw::ClusterTopology& topology,
+                                                     const PlannerOptions& options,
+                                                     int* invalid_placements) {
+  std::vector<PlacedStrategy> grid;
+  const int world = topology.world_size();
+  for (int tp : options.tp_candidates) {
+    for (int pp : options.pp_candidates) {
+      const std::vector<hw::StagePlacement> placements = EnumeratePlacements(topology, pp);
+      for (int slice : options.slice_candidates) {
+        for (int vp : VpCandidatesFor(method, options)) {
+          const std::vector<bool> recompute_choices =
+              (options.allow_recompute && !MethodSplitsBackward(method))
+                  ? std::vector<bool>{false, true}
+                  : std::vector<bool>{false};
+          for (bool recompute : recompute_choices) {
+            Strategy strategy;
+            strategy.method = method;
+            strategy.pp = pp;
+            strategy.tp = tp;
+            strategy.vp = vp;
+            strategy.recompute = recompute;
+            if (MethodUsesSlices(method)) {
+              strategy.cp = 1;
+              strategy.spp = slice;
+            } else {
+              strategy.cp = slice;
+              strategy.spp = 1;
+            }
+            const int denom = pp * strategy.cp * tp;
+            if (denom == 0) {
+              continue;
+            }
+            // The layout need not cover the fleet: dp sweeps powers of
+            // two while the rank count still fits somewhere.
+            for (int dp = 1; dp <= world / denom; dp *= 2) {
+              if (dp < options.min_dp) {
+                continue;
+              }
+              strategy.dp = dp;
+              for (const hw::StagePlacement& placement : placements) {
+                if (!strategy.layout().Validate(topology, placement).empty()) {
+                  ++*invalid_placements;
+                  continue;
+                }
+                grid.push_back({strategy, placement});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+// The fleet search's ranking quantity (kGoodput is rejected upstream).
+double FleetScore(Seconds iteration_time, const DollarCostBreakdown& dollars,
+                  const PlannerOptions& options) {
+  return options.objective == PlannerObjective::kDollarCost ? dollars.usd_per_iteration
+                                                            : iteration_time;
+}
+
+// Phase 1 of the fleet driver: SurrogatePricePlaced over the placed grid
+// on `threads` workers. Same atomic-work-index scheme as SurrogateSweep,
+// so the result vector is independent of the thread count.
+std::vector<PlacedSurrogateResult> FleetSurrogateSweep(
+    const std::vector<PlacedStrategy>& grid, const model::TransformerConfig& config,
+    const hw::ClusterTopology& topology, int global_batch, const IterationOptions& iteration,
+    SurrogateCache* cache, int threads) {
+  std::vector<PlacedSurrogateResult> priced(grid.size());
+  if (grid.empty()) {
+    return priced;
+  }
+  SurrogateOptions surrogate;
+  surrogate.iteration = iteration;
+  surrogate.iteration.keep_timeline = false;
+  surrogate.iteration.keep_schedule = false;
+  surrogate.cache = cache;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::clamp(threads, 1, static_cast<int>(grid.size()));
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < grid.size(); i = next.fetch_add(1)) {
+      try {
+        priced[i] = SurrogatePricePlaced(config, grid[i], topology, global_batch, surrogate);
+      } catch (const CheckError& err) {
+        priced[i].placed = grid[i];
+        priced[i].result.strategy = grid[i].strategy;
+        priced[i].result.feasible = false;
+        priced[i].result.note = err.what();
+      }
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return priced;
+}
+
+}  // namespace
+
+FleetPlannerResult SearchBestFleetStrategy(Method method,
+                                           const model::TransformerConfig& config,
+                                           const hw::ClusterTopology& topology,
+                                           int global_batch, const PlannerOptions& options) {
+  MEPIPE_CHECK(options.objective != PlannerObjective::kGoodput)
+      << "the goodput objective is not supported on the fleet path";
+  MEPIPE_CHECK(options.fault_plan.empty() && options.iteration.fault_plan.empty())
+      << "the fleet search prices clean runs only";
+  FleetPlannerResult out;
+
+  IterationOptions eval_options = options.iteration;
+  eval_options.keep_timeline = false;
+
+  std::vector<PlacedStrategy> grid =
+      EnumerateFleetCandidates(method, topology, options, &out.invalid_placements);
+  out.evaluated = static_cast<int>(grid.size());
+
+  // ---- phase 1: analytic placement pricing (two_phase only) ----
+  std::vector<char> selected(grid.size(), 1);
+  if (options.two_phase && !grid.empty()) {
+    out.priced = FleetSurrogateSweep(grid, config, topology, global_batch, eval_options,
+                                     options.cache, options.threads);
+    out.surrogate_priced = static_cast<int>(out.priced.size());
+    for (const PlacedSurrogateResult& priced : out.priced) {
+      out.cache_hits += priced.result.cache_hit ? 1 : 0;
+    }
+    std::vector<std::pair<double, std::size_t>> ranked;  // (score, grid index)
+    ranked.reserve(out.priced.size());
+    for (std::size_t i = 0; i < out.priced.size(); ++i) {
+      if (out.priced[i].result.feasible) {
+        ranked.push_back(
+            {FleetScore(out.priced[i].result.iteration_time, out.priced[i].dollars, options),
+             i});
+      }
+    }
+    std::sort(ranked.begin(), ranked.end());
+    if (!ranked.empty()) {
+      const std::size_t top_k = std::min<std::size_t>(
+          ranked.size(), static_cast<std::size_t>(std::max(1, options.surrogate_top_k)));
+      selected.assign(grid.size(), 0);
+      for (std::size_t r = 0; r < top_k; ++r) {
+        selected[ranked[r].second] = 1;
+      }
+    }
+    // Nothing surrogate-feasible: keep everything selected so the DES
+    // pass can still find a feasible placement the surrogate missed.
+  }
+
+  // ---- phase 2 / exhaustive: DES in grid order ----
+  double best_score = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!selected[i]) {
+      continue;
+    }
+    PlacedIterationResult result;
+    try {
+      result = SimulatePlacedIteration(config, grid[i], topology, global_batch, eval_options);
+    } catch (const CheckError& err) {
+      result.placed = grid[i];
+      result.result.strategy = grid[i].strategy;
+      result.result.feasible = false;
+      result.result.note = err.what();
+    }
+    ++out.simulated;
+    if (!result.result.feasible) {
+      continue;
+    }
+    const double score = FleetScore(result.result.iteration_time, result.dollars, options);
+    if (!out.best || score < best_score) {
+      best_score = score;
+      out.best = std::move(result);
+    }
+  }
+
+  // Re-simulate the winner with its timeline for downstream rendering.
+  if (out.best) {
+    IterationOptions final_options = eval_options;
+    final_options.keep_timeline = true;
+    *out.best =
+        SimulatePlacedIteration(config, out.best->placed, topology, global_batch, final_options);
+    MEPIPE_CHECK(out.best->result.feasible);
   }
   return out;
 }

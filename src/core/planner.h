@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/fleet.h"
 #include "core/iteration.h"
 #include "core/resilience.h"
 #include "core/surrogate.h"
@@ -27,7 +28,12 @@ namespace mepipe::core {
 //    wall-clock cost of one useful iteration — so a slightly slower
 //    schedule with cheaper checkpoints or a friendlier restart scope can
 //    out-rank the fault-free winner.
-enum class PlannerObjective { kIterationTime, kGoodput };
+//  - kDollarCost: dollars per iteration — fleet rental (occupied ranks ×
+//    tier $/GPU-hour × iteration time) plus WAN egress. Meaningful on the
+//    fleet path (SearchBestFleetStrategy), where tiers price differently;
+//    on the homogeneous path every candidate rents the same fleet, so the
+//    ranking degenerates to kIterationTime.
+enum class PlannerObjective { kIterationTime, kGoodput, kDollarCost };
 
 struct PlannerOptions {
   IterationOptions iteration;
@@ -116,6 +122,40 @@ struct PlannerResult {
 PlannerResult SearchBestStrategy(Method method, const model::TransformerConfig& config,
                                  const hw::ClusterSpec& cluster, int global_batch,
                                  const PlannerOptions& options = {});
+
+// ---- Heterogeneous-fleet search (core/fleet) ------------------------------
+
+// Outcome of SearchBestFleetStrategy. `evaluated` counts the placed grid
+// after layout validation; placements rejected by
+// ParallelLayout::Validate never enter the grid and are tallied in
+// `invalid_placements`.
+struct FleetPlannerResult {
+  std::optional<PlacedIterationResult> best;  // best feasible, if any
+  // Phase-1 surrogate prices in grid order (empty unless two_phase).
+  std::vector<PlacedSurrogateResult> priced;
+  int evaluated = 0;
+  int invalid_placements = 0;
+  int simulated = 0;
+  int surrogate_priced = 0;
+  int cache_hits = 0;
+};
+
+// Grid search over (strategy shape × dp × stage→tier placement) on a
+// tiered fleet, ranked by `options.objective` (kIterationTime or
+// kDollarCost; kGoodput is not supported here and CHECK-fails). Unlike
+// the homogeneous search the layout need not cover the whole fleet: dp
+// runs over powers of two >= min_dp while the layout still fits, and
+// every placement from EnumeratePlacements that validates becomes a
+// candidate axis. With options.two_phase the grid is surrogate-priced in
+// parallel (SurrogatePricePlaced; thread-count-invariant winner — same
+// (score, grid order) ranking as the homogeneous driver) and the DES
+// runs only on the surrogate top-k. Clean-run only: a fault plan
+// CHECK-fails.
+FleetPlannerResult SearchBestFleetStrategy(Method method,
+                                           const model::TransformerConfig& config,
+                                           const hw::ClusterTopology& topology,
+                                           int global_batch,
+                                           const PlannerOptions& options = {});
 
 // Convenience: searches several methods and returns per-method winners.
 std::vector<PlannerResult> SearchMethods(const std::vector<Method>& methods,

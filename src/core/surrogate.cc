@@ -422,6 +422,36 @@ std::uint64_t CostModelFingerprint(const model::TransformerConfig& config,
   return digest.state;
 }
 
+std::uint64_t TopologyFingerprint(const model::TransformerConfig& config,
+                                  const hw::ClusterTopology& topology,
+                                  const IterationOptions& options) {
+  // Reuse the homogeneous digest on the first tier's spec, then fold in
+  // every tier and the inter-tier link matrix.
+  Digest digest;
+  digest.Mix(CostModelFingerprint(config, topology.tiers.front().spec(), options));
+  digest.Mix(topology.num_tiers());
+  for (const hw::DeviceTier& tier : topology.tiers) {
+    digest.Mix(tier.name);
+    digest.Mix(tier.region);
+    digest.Mix(tier.nodes);
+    digest.Mix(tier.gpus_per_node);
+    digest.Mix(tier.usd_per_gpu_hour);
+    digest.Mix(tier.gpu.name);
+    digest.Mix(tier.gpu.memory_capacity);
+    digest.Mix(tier.gpu.memory_reserved);
+    digest.Mix(tier.gpu.peak_flops);
+    digest.Mix(tier.gpu.matmul_derate);
+    MixLink(digest, tier.intra_node);
+    MixLink(digest, tier.inter_node);
+  }
+  for (const hw::TierLink& link : topology.tier_links) {
+    MixLink(digest, link.link);
+    digest.Mix(link.usd_per_gb_egress);
+    digest.Mix(link.wan);
+  }
+  return digest.state;
+}
+
 std::size_t SurrogateKeyHash::operator()(const SurrogateKey& key) const {
   Digest digest;
   digest.Mix(static_cast<int>(key.method));
@@ -434,6 +464,7 @@ std::size_t SurrogateKeyHash::operator()(const SurrogateKey& key) const {
   digest.Mix(key.recompute);
   digest.Mix(key.global_batch);
   digest.Mix(key.fingerprint);
+  digest.Mix(key.placement);
   return static_cast<std::size_t>(digest.state);
 }
 

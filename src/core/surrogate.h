@@ -88,13 +88,24 @@ std::uint64_t CostModelFingerprint(const model::TransformerConfig& config,
                                    const hw::ClusterSpec& cluster,
                                    const IterationOptions& options);
 
-// Cache key: (method, shape, batch, cost-model fingerprint).
+// Fleet analogue: digests every tier (GPU, shape, links, rental rate)
+// and the inter-tier link matrix (bandwidth, latency, egress price) on
+// top of the model/options digest, so heterogeneous-fleet prices never
+// collide with homogeneous ones or with differently-priced fleets.
+std::uint64_t TopologyFingerprint(const model::TransformerConfig& config,
+                                  const hw::ClusterTopology& topology,
+                                  const IterationOptions& options);
+
+// Cache key: (method, shape, batch, cost-model fingerprint, placement).
+// `placement` is 0 for homogeneous searches and StagePlacement::Hash()
+// for placed (heterogeneous-fleet) candidates.
 struct SurrogateKey {
   Method method = Method::kSvpp;
   int pp = 1, dp = 1, cp = 1, tp = 1, vp = 1, spp = 1;
   bool recompute = false;
   int global_batch = 0;
   std::uint64_t fingerprint = 0;
+  std::uint64_t placement = 0;
 
   friend bool operator==(const SurrogateKey&, const SurrogateKey&) = default;
 };

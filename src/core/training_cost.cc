@@ -327,6 +327,23 @@ Seconds TrainingCostModel::DpSyncTime() const {
   return worst;
 }
 
+Seconds TrainingCostModel::StageDpSyncTime(int stage) const {
+  return comm_.DpGradientSync(param_bytes_per_stage_[static_cast<std::size_t>(stage)],
+                              strategy_.layout());
+}
+
+Bytes TrainingCostModel::StageParamBytes(int stage) const {
+  return param_bytes_per_stage_[static_cast<std::size_t>(stage)];
+}
+
+Bytes TrainingCostModel::ChunkParamBytes(int chunk) const {
+  return param_bytes_per_chunk_[static_cast<std::size_t>(chunk)];
+}
+
+Bytes TrainingCostModel::BoundaryBytes(int slice) const {
+  return model::BoundaryBytesPerToken(config_) * SliceTokens(slice);
+}
+
 Bytes TrainingCostModel::PerForwardActivationBytes() const {
   Bytes worst = 0;
   for (int g = 0; g < problem_.num_chunks(); ++g) {

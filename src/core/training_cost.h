@@ -96,7 +96,18 @@ class TrainingCostModel : public sim::CostModel {
   Bytes CheckpointShardBytes() const;
   Bytes CheckpointStateBytes() const;
 
+  // Per-stage / per-chunk decompositions of the summaries above, used by
+  // the heterogeneous-fleet wrapper (core/fleet) to re-price one stage's
+  // traffic on the fabric of the tier that hosts it.
+  Seconds StageDpSyncTime(int stage) const;  // monolithic sync of one stage
+  Bytes StageParamBytes(int stage) const;
+  Bytes ChunkParamBytes(int chunk) const;
+  // Pipeline boundary tensor volume of one slice (activations forward,
+  // activation gradients backward — same size).
+  Bytes BoundaryBytes(int slice) const;
+
   const Strategy& strategy() const { return strategy_; }
+  const sched::PipelineProblem& problem() const { return problem_; }
 
  private:
   struct ChunkShape {
