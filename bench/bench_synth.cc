@@ -1,0 +1,160 @@
+// Memory–bubble frontier of the budgeted schedule synthesizer
+// (sched/synth.h) at the paper's canonical scheduling-theory shape
+// (p=8, n=8, uniform per-op costs, zero transfer): one synthesized
+// point per activation budget from the v-chunk floor up to 1F1B parity
+// (2p retained chunk-forwards), against the handcrafted constructions
+// at their own budgets.
+//
+// The frontier column is the cumulative best over budgets <= c — the
+// honest "best known schedule within budget c" (the raw per-cap sweep
+// is not perfectly monotone; both columns are emitted so nothing is
+// silently dropped). The pinned CSV doubles as the acceptance artifact:
+// at budget 16 the synthesizer reaches the 6n+(p-1) bound while the
+// capped generator approximation sits far above it at the same honest
+// memory — a strict domination.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "sched/baselines.h"
+#include "sched/synth.h"
+#include "sched/validate.h"
+#include "sched/zbv.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace mepipe {
+namespace {
+
+constexpr int kStages = 8;
+constexpr int kMicros = 8;
+
+struct Point {
+  std::string method;
+  int budget = 0;        // retained chunk-forwards, worst stage
+  double makespan = 0;   // chunk-op units
+  double bubble = 0;
+  int peak_retained = 0;
+  bool at_bound = false;  // reached the chunk-chain lower bound
+};
+
+int PeakRetained(const sched::Schedule& schedule) {
+  int peak = 0;
+  for (int stage = 0; stage < schedule.problem.stages; ++stage) {
+    peak = std::max(peak, sched::PeakRetainedForwards(schedule, stage));
+  }
+  return peak;
+}
+
+sim::SimResult Run(const sched::Schedule& schedule) {
+  // Split schedules price B and W separately; fused ones pay both halves
+  // in their B — same total work per micro either way.
+  const sim::UniformCostModel costs(1.0, schedule.problem.split_backward ? 1.0 : 2.0, 1.0,
+                                    0.0);
+  sim::EngineOptions options;
+  if (schedule.deferred_wgrad) {
+    options.wgrad_mode = sim::WgradMode::kFillWhole;
+  }
+  return Simulate(schedule, costs, options);
+}
+
+sched::Schedule SynthAt(int cap) {
+  sched::PipelineProblem problem;
+  problem.stages = kStages;
+  problem.virtual_chunks = 2;
+  problem.micros = kMicros;
+  problem.split_backward = true;
+  problem.placement = sched::ChunkPlacement::kVShape;
+  sched::SynthOptions options;
+  options.transfer_time = 0.0;
+  options.budget.assign(static_cast<std::size_t>(kStages), cap);
+  return sched::SynthesizeSchedule(problem, options);
+}
+
+Point Measure(const std::string& method, int budget, const sched::Schedule& schedule) {
+  const sim::SimResult result = Run(schedule);
+  Point point;
+  point.method = method;
+  point.budget = budget;
+  point.makespan = result.makespan;
+  point.bubble = result.bubble_ratio;
+  point.peak_retained = PeakRetained(schedule);
+  // The 6n+(p-1) chunk-chain bound is the split-family yardstick; fused
+  // schedules price B+W as one op and are not comparable against it.
+  point.at_bound = schedule.problem.split_backward &&
+                   result.makespan <= 6.0 * kMicros + (kStages - 1) + 1e-9;
+  return point;
+}
+
+std::vector<Point> BuildFrontier() {
+  std::vector<Point> points;
+  // Synthesized sweep: v=2 split V-shape from the v floor to 1F1B parity.
+  for (int cap = 2; cap <= 2 * kStages; ++cap) {
+    points.push_back(Measure(StrFormat("Synth cap=%d", cap), cap, SynthAt(cap)));
+  }
+  // Handcrafted constructions at their own budgets, for comparison. The
+  // capped generator's budget is its *honest* peak — its deferred Ws
+  // hold every forward past its B, 1F1B parity, not the ~A/2 its
+  // release-on-B accounting suggests (see core/iteration).
+  points.push_back(Measure("DAPPLE (1F1B)", std::min(kStages, kMicros),
+                           sched::OneFOneBSchedule(kStages, kMicros)));
+  points.push_back(Measure("ZBV handcrafted", sched::ZbvMaxRetainedForwards(kStages, kMicros),
+                           sched::ZbvSchedule(kStages, kMicros)));
+  points.push_back(Measure("ZBV-capped (honest mem)",
+                           sched::ZbvMaxRetainedForwards(kStages, kMicros),
+                           sched::ZbvCappedSchedule(kStages, kMicros)));
+  return points;
+}
+
+void EmitFrontier() {
+  const std::vector<Point> points = BuildFrontier();
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"method", "budget_chunk_forwards", "makespan", "frontier_makespan",
+                  "bubble_ratio", "peak_retained", "at_bound"});
+  double frontier = 0.0;
+  double synth_at_parity = 0.0;
+  double capped_at_parity = 0.0;
+  for (const Point& point : points) {
+    const bool synth = point.method.rfind("Synth", 0) == 0;
+    if (synth) {
+      frontier = frontier > 0.0 ? std::min(frontier, point.makespan) : point.makespan;
+      if (point.budget == 2 * kStages) {
+        synth_at_parity = point.makespan;
+      }
+    } else if (point.method.rfind("ZBV-capped", 0) == 0) {
+      capped_at_parity = point.makespan;
+    }
+    rows.push_back({point.method, StrFormat("%d", point.budget),
+                    StrFormat("%.2f", point.makespan),
+                    synth ? StrFormat("%.2f", frontier) : "-", bench::Pct(point.bubble),
+                    StrFormat("%d", point.peak_retained), point.at_bound ? "yes" : "no"});
+  }
+  bench::EmitTable(
+      StrFormat("Synthesizer memory–bubble frontier (p=%d, n=%d, v=2 split V-shape, "
+                "uniform costs)",
+                kStages, kMicros),
+      "synth_frontier", rows);
+  std::printf("domination at 1F1B-parity memory (%d chunk-forwards): synth %.0f vs "
+              "ZBV-capped %.0f chunk-op units (bound %.0f)\n",
+              2 * kStages, synth_at_parity, capped_at_parity,
+              6.0 * kMicros + (kStages - 1));
+}
+
+void BM_SynthesizeParityBudget(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SynthAt(2 * kStages));
+  }
+}
+BENCHMARK(BM_SynthesizeParityBudget)->Unit(benchmark::kMillisecond);
+
+void BM_SynthesizeTightBudget(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SynthAt(4));
+  }
+}
+BENCHMARK(BM_SynthesizeTightBudget)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mepipe
+
+MEPIPE_BENCH_MAIN(mepipe::EmitFrontier)

@@ -31,6 +31,8 @@ const char* ToString(Method method) {
       return "ZBV-capped";
     case Method::kSvpp:
       return "MEPipe";
+    case Method::kSynth:
+      return "Synth";
   }
   return "?";
 }
@@ -86,9 +88,16 @@ std::optional<AnalyticResult> Analyze(Method method, const AnalyticInput& input)
 
     case Method::kZb1p:
     case Method::kZbvCapped:
+    case Method::kSynth:
       // §4.4 deliberately excludes the zero-bubble family from Table 3
       // (its B/W split composes with every row); the simulator measures
-      // these methods instead of a closed form.
+      // these methods instead of a closed form. Note kZbvCapped's
+      // *measured* profile is floored at 1F1B-parity memory by the
+      // iteration runner and the surrogate: its deferred weight
+      // gradients retain every forward past its B, so the capped
+      // generator's release-on-B count (~A/2) under-reports the honest
+      // peak. The synthesizer's profile is a function of its budget —
+      // bench_synth pins the frontier.
       return std::nullopt;
 
     case Method::kZbv: {

@@ -24,6 +24,7 @@ enum class Method {
   kZbv,        // zero bubble (V-shape), handcrafted construction
   kZbvCapped,  // ZBV's former capped-generator approximation
   kSvpp,       // MEPipe
+  kSynth,      // budgeted building-block synthesizer (sched/synth.h)
 };
 
 const char* ToString(Method method);

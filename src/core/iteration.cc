@@ -11,6 +11,7 @@
 #include "model/flops.h"
 #include "model/slicing.h"
 #include "sched/baselines.h"
+#include "sched/synth.h"
 #include "sched/zbv.h"
 #include "sim/noise.h"
 
@@ -18,7 +19,7 @@ namespace mepipe::core {
 
 bool MethodSplitsBackward(Method method) {
   return method == Method::kZb1p || method == Method::kZbv || method == Method::kZbvCapped ||
-         method == Method::kSvpp;
+         method == Method::kSvpp || method == Method::kSynth;
 }
 
 bool MethodUsesSlices(Method method) {
@@ -112,12 +113,29 @@ CandidateBuild BuildCandidate(const model::TransformerConfig& config,
   problem.micros = micros;
   problem.split_backward = MethodSplitsBackward(strategy.method);
   if (strategy.method == Method::kZbv || strategy.method == Method::kZbvCapped ||
-      strategy.method == Method::kHanayo) {
+      strategy.method == Method::kHanayo ||
+      (strategy.method == Method::kSynth && strategy.vp == 2)) {
     problem.placement = sched::ChunkPlacement::kVShape;
   }
 
   build.costs.emplace(config, strategy, cluster, problem, options.cost);
   const TrainingCostModel& costs = *build.costs;
+
+  if (problem.split_backward) {
+    // Deferred weight gradients retain memory; cap every stage's
+    // activation footprint at what the device leaves after static memory
+    // (§5: proceed "as soon as there is enough memory"). Computed before
+    // the schedule switch because the budget-aware constructions (kZbv,
+    // kSynth) consume it as their activation budget.
+    build.activation_budget.resize(static_cast<std::size_t>(strategy.pp));
+    for (int stage = 0; stage < strategy.pp; ++stage) {
+      build.activation_budget[static_cast<std::size_t>(stage)] =
+          std::max<Bytes>(0, cluster.gpu.usable_memory() - costs.StaticMemory(stage));
+    }
+  }
+  // The budget in retained-chunk-forward units (the schedule builders'
+  // memory currency); 0 per-forward bytes means memory is not modeled.
+  const double per_forward = static_cast<double>(costs.PerForwardActivationBytes());
 
   // ---- schedule -------------------------------------------------------------
   build.wgrad_mode = options.wgrad_mode;
@@ -147,6 +165,20 @@ CandidateBuild BuildCandidate(const model::TransformerConfig& config,
       zbv.b_time = costs.ComputeTime({sched::OpKind::kBackward, 0, 0, 0});
       zbv.w_time = costs.ComputeTime({sched::OpKind::kWeightGrad, 0, 0, 0});
       zbv.transfer_time = costs.TransferTime({sched::OpKind::kForward, 0, 0, 0});
+      if (per_forward > 0) {
+        // Memory-aware fill selection: weight each pending W by the
+        // act-grad bytes its B retains, and pass the tightest stage's
+        // byte budget in chunk-forward units so the construction never
+        // picks a budget-violating fill when a fitting one exists.
+        zbv.act_grad_weight =
+            static_cast<double>(costs.ActGradBytes({sched::OpKind::kBackward, 0, 0, 0})) /
+            per_forward;
+        Bytes tightest = build.activation_budget.front();
+        for (const Bytes b : build.activation_budget) {
+          tightest = std::min(tightest, b);
+        }
+        zbv.activation_budget_units = static_cast<double>(tightest) / per_forward;
+      }
       build.schedule = sched::HandcraftedZbvSchedule(strategy.pp, micros, zbv);
       break;
     }
@@ -177,18 +209,53 @@ CandidateBuild BuildCandidate(const model::TransformerConfig& config,
     case Method::kHanayo:
       build.schedule = sched::HanayoSchedule(strategy.pp, micros);
       break;
-  }
-
-  if (problem.split_backward) {
-    // Deferred weight gradients retain memory; cap every stage's
-    // activation footprint at what the device leaves after static memory
-    // (§5: proceed "as soon as there is enough memory").
-    build.activation_budget.resize(static_cast<std::size_t>(strategy.pp));
-    for (int stage = 0; stage < strategy.pp; ++stage) {
-      build.activation_budget[static_cast<std::size_t>(stage)] =
-          std::max<Bytes>(0, cluster.gpu.usable_memory() - costs.StaticMemory(stage));
+    case Method::kSynth: {
+      // Budgeted synthesizer: statically-placed W like kZbv, ordered by
+      // the measured per-op costs, with each stage's byte budget
+      // converted into retained-chunk-forward units.
+      sched::SynthOptions synth;
+      synth.f_time = costs.ComputeTime({sched::OpKind::kForward, 0, 0, 0});
+      synth.b_time = costs.ComputeTime({sched::OpKind::kBackward, 0, 0, 0});
+      synth.w_time = costs.ComputeTime({sched::OpKind::kWeightGrad, 0, 0, 0});
+      synth.transfer_time = costs.TransferTime({sched::OpKind::kForward, 0, 0, 0});
+      synth.offset_radius = options.synth_offset_radius;
+      synth.max_leaves = options.synth_max_leaves;
+      if (per_forward > 0) {
+        // A synth retained unit spans F→W: it holds the forward's
+        // activation throughout and additionally the act-grad between B
+        // and W (the engine releases both at W). Convert bytes at the
+        // stage's worst-case per-unit cost over the chunks it owns —
+        // embedding/head chunks carry more than the uniform
+        // per-forward figure — so the cap is honest.
+        synth.budget.resize(static_cast<std::size_t>(strategy.pp));
+        std::vector<double> per_unit(static_cast<std::size_t>(strategy.pp), 0.0);
+        const int total_chunks = strategy.pp * strategy.vp;
+        for (int chunk = 0; chunk < total_chunks; ++chunk) {
+          const int stage = problem.stage_of_chunk(chunk);
+          const double cost = static_cast<double>(
+              costs.ActivationBytes({sched::OpKind::kForward, 0, 0, chunk}) +
+              costs.ActGradBytes({sched::OpKind::kBackward, 0, 0, chunk}));
+          per_unit[static_cast<std::size_t>(stage)] =
+              std::max(per_unit[static_cast<std::size_t>(stage)], cost);
+        }
+        for (int stage = 0; stage < strategy.pp; ++stage) {
+          const int units = static_cast<int>(
+              static_cast<double>(build.activation_budget[static_cast<std::size_t>(stage)]) /
+              per_unit[static_cast<std::size_t>(stage)]);
+          if (units < strategy.vp) {
+            return InfeasibleBuild(
+                strategy,
+                StrFormat("synth: stage %d fits %d chunk-forwards, below the v=%d floor",
+                          stage, units, strategy.vp));
+          }
+          synth.budget[static_cast<std::size_t>(stage)] = units;
+        }
+      }
+      build.schedule = sched::SynthesizeSchedule(problem, synth);
+      break;
     }
   }
+
   build.feasible = true;
   build.note = "ok";
   return build;
@@ -298,6 +365,20 @@ IterationResult SimulateIteration(const model::TransformerConfig& config,
                      static_scale[static_cast<std::size_t>(stage)]));
     peak = std::max(peak, stage_static +
                               sim.stages[static_cast<std::size_t>(stage)].peak_activation);
+  }
+  if (strategy.method == Method::kZbvCapped) {
+    // The capped generator's accounting releases a forward's activations
+    // at its B, but its W ops are deferred (kFillWhole) and the memory is
+    // really held until each W runs — so the measured peak carries an
+    // ~A/2 artifact. Floor it at the construction's honest bound, 1F1B
+    // parity (ZbvMaxRetainedForwards chunk-forwards on the worst stage),
+    // so planner memory feasibility cannot be fooled. The surrogate
+    // applies the same floor.
+    const Bytes honest =
+        static_cast<Bytes>(sched::ZbvMaxRetainedForwards(strategy.pp, micros)) *
+        costs.PerForwardActivationBytes();
+    result.peak_activation = std::max(result.peak_activation, honest);
+    peak = std::max(peak, costs.MaxStaticMemory() + honest);
   }
   result.peak_memory = peak;
 

@@ -32,6 +32,12 @@ struct IterationOptions {
   sim::WgradMode wgrad_mode = sim::WgradMode::kFillGemms;
   // SVPP memory variant; 0 = automatic via the §4.5 memory model.
   int svpp_inflight = 0;
+  // Method::kSynth refinement effort (sched/synth.h): warmup-offset
+  // search radius around the composed incumbent and the leaf budget of
+  // the branch-and-bound. Both are pricing-relevant — the surrogate
+  // fingerprints them.
+  int synth_offset_radius = 2;
+  int synth_max_leaves = 256;
   // Disable the §4.3 backward rescheduling pass (ablation).
   bool svpp_reschedule = true;
   // Host-side optimizer step once per iteration.

@@ -28,6 +28,11 @@ std::vector<int> VpCandidatesFor(Method method, const PlannerOptions& options) {
     case Method::kZbvCapped:
     case Method::kHanayo:
       return {2};
+    case Method::kSynth:
+      // The synthesizer is budget-general across v: sweep the same
+      // virtual-chunk candidates as SVPP (v=1 recovers the 1F1B block,
+      // v=2 the V-shape family).
+      return options.vp_candidates;
     case Method::kSvpp:
       return options.vp_candidates;
     default:

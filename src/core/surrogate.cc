@@ -10,6 +10,7 @@
 #include "common/format.h"
 #include "core/deployment.h"
 #include "sched/dependency.h"
+#include "sched/zbv.h"
 
 namespace mepipe::core {
 namespace {
@@ -419,6 +420,8 @@ std::uint64_t CostModelFingerprint(const model::TransformerConfig& config,
   digest.Mix(options.svpp_reschedule);
   digest.Mix(options.optimizer_step);
   digest.Mix(options.dp_overlap);
+  digest.Mix(options.synth_offset_radius);
+  digest.Mix(options.synth_max_leaves);
   return digest.state;
 }
 
@@ -604,6 +607,17 @@ SurrogateResult SurrogatePrice(const model::TransformerConfig& config,
     for (int stage = 0; stage < strategy.pp; ++stage) {
       peak = std::max(peak, costs.StaticMemory(stage) +
                                 price.stage_peak_activation[static_cast<std::size_t>(stage)]);
+    }
+    if (strategy.method == Method::kZbvCapped) {
+      // Same honest-memory floor as SimulateIteration: the capped
+      // generator's release-on-B accounting under-reports the peak its
+      // deferred Ws actually hold (~A/2 artifact); floor at 1F1B parity
+      // so the surrogate and the simulator agree on memory feasibility.
+      const Bytes honest =
+          static_cast<Bytes>(sched::ZbvMaxRetainedForwards(strategy.pp, build.micros)) *
+          costs.PerForwardActivationBytes();
+      result.peak_activation = std::max(result.peak_activation, honest);
+      peak = std::max(peak, costs.MaxStaticMemory() + honest);
     }
     result.peak_memory = peak;
     if (peak > cluster.gpu.usable_memory()) {

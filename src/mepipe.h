@@ -40,6 +40,7 @@
 #include "sched/op.h"
 #include "sched/schedule.h"
 #include "sched/serialize.h"
+#include "sched/synth.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 #include "sim/fault.h"

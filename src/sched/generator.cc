@@ -235,6 +235,73 @@ struct GeneratorState {
 
 }  // namespace
 
+const char* GeneratorIssueCodeName(GeneratorIssue::Code code) {
+  switch (code) {
+    case GeneratorIssue::Code::kInflightCapArity:
+      return "inflight-cap-arity";
+    case GeneratorIssue::Code::kStageTimeScaleArity:
+      return "stage-time-scale-arity";
+    case GeneratorIssue::Code::kNonPositiveTimeScale:
+      return "non-positive-time-scale";
+    case GeneratorIssue::Code::kNegativeInflightCap:
+      return "negative-inflight-cap";
+    case GeneratorIssue::Code::kNonPositiveDuration:
+      return "non-positive-duration";
+    case GeneratorIssue::Code::kNegativeTransfer:
+      return "negative-transfer";
+  }
+  return "?";
+}
+
+std::vector<GeneratorIssue> GeneratorOptions::Validate(int stages) const {
+  std::vector<GeneratorIssue> issues;
+  const auto add = [&](GeneratorIssue::Code code, int stage, std::string message) {
+    issues.push_back({code, stage, std::move(message)});
+  };
+  if (!inflight_cap.empty() && static_cast<int>(inflight_cap.size()) != stages) {
+    add(GeneratorIssue::Code::kInflightCapArity, -1,
+        "inflight_cap has " + std::to_string(inflight_cap.size()) + " entries for " +
+            std::to_string(stages) + " stages");
+  } else {
+    for (std::size_t i = 0; i < inflight_cap.size(); ++i) {
+      if (inflight_cap[i] < 0) {
+        add(GeneratorIssue::Code::kNegativeInflightCap, static_cast<int>(i),
+            "inflight_cap[" + std::to_string(i) + "] = " + std::to_string(inflight_cap[i]));
+      }
+    }
+  }
+  if (!stage_time_scale.empty() && static_cast<int>(stage_time_scale.size()) != stages) {
+    add(GeneratorIssue::Code::kStageTimeScaleArity, -1,
+        "stage_time_scale has " + std::to_string(stage_time_scale.size()) + " entries for " +
+            std::to_string(stages) + " stages");
+  } else {
+    for (std::size_t i = 0; i < stage_time_scale.size(); ++i) {
+      if (!(stage_time_scale[i] > 0.0)) {  // also catches NaN
+        add(GeneratorIssue::Code::kNonPositiveTimeScale, static_cast<int>(i),
+            "stage_time_scale[" + std::to_string(i) + "] = " +
+                std::to_string(stage_time_scale[i]));
+      }
+    }
+  }
+  if (!(f_time > 0.0)) {
+    add(GeneratorIssue::Code::kNonPositiveDuration, -1,
+        "f_time = " + std::to_string(f_time));
+  }
+  if (!(b_time > 0.0)) {
+    add(GeneratorIssue::Code::kNonPositiveDuration, -1,
+        "b_time = " + std::to_string(b_time));
+  }
+  if (!(w_time > 0.0)) {
+    add(GeneratorIssue::Code::kNonPositiveDuration, -1,
+        "w_time = " + std::to_string(w_time));
+  }
+  if (transfer_time < 0.0) {
+    add(GeneratorIssue::Code::kNegativeTransfer, -1,
+        "transfer_time = " + std::to_string(transfer_time));
+  }
+  return issues;
+}
+
 std::vector<int> CapSchedule(int stages, int f, int min_cap) {
   MEPIPE_CHECK_GE(f, min_cap) << "cap f below the schedulability floor v*s";
   std::vector<int> caps(static_cast<std::size_t>(stages));
@@ -247,14 +314,15 @@ std::vector<int> CapSchedule(int stages, int f, int min_cap) {
 Schedule GenerateCapped(const PipelineProblem& problem, const GeneratorOptions& options,
                         std::string method_name) {
   problem.Validate();
-  if (!options.inflight_cap.empty()) {
-    MEPIPE_CHECK_EQ(static_cast<int>(options.inflight_cap.size()), problem.stages);
-  }
-  if (!options.stage_time_scale.empty()) {
-    MEPIPE_CHECK_EQ(static_cast<int>(options.stage_time_scale.size()), problem.stages);
-    for (const double scale : options.stage_time_scale) {
-      MEPIPE_CHECK_GT(scale, 0.0) << "stage_time_scale entries must be positive";
+  if (const std::vector<GeneratorIssue> issues = options.Validate(problem.stages);
+      !issues.empty()) {
+    std::string summary;
+    for (const GeneratorIssue& issue : issues) {
+      summary += std::string(summary.empty() ? "" : "; ") +
+                 GeneratorIssueCodeName(issue.code) + ": " + issue.message;
     }
+    MEPIPE_CHECK(false) << "malformed GeneratorOptions for method " << method_name << ": "
+                        << summary;
   }
 
   GeneratorState state(problem, options);

@@ -21,6 +21,25 @@
 
 namespace mepipe::sched {
 
+// Structured option-admissibility error (same idiom as
+// hw::ParallelLayout::Validate): one issue per violated rule, so callers
+// can report every problem at once instead of failing on the first.
+struct GeneratorIssue {
+  enum class Code {
+    kInflightCapArity,      // inflight_cap length != stage count
+    kStageTimeScaleArity,   // stage_time_scale length != stage count
+    kNonPositiveTimeScale,  // a stage_time_scale entry <= 0 (or NaN)
+    kNegativeInflightCap,   // an inflight_cap entry < 0
+    kNonPositiveDuration,   // an abstract f/b/w duration <= 0
+    kNegativeTransfer,      // transfer_time < 0
+  };
+  Code code;
+  int stage = -1;  // offending entry index, when applicable
+  std::string message;
+};
+
+const char* GeneratorIssueCodeName(GeneratorIssue::Code code);
+
 // How weight-gradient ops are placed when problem.split_backward is set.
 enum class WgradPolicy {
   kDeferred,        // not in the static order; the engine fills bubbles (§5)
@@ -64,6 +83,14 @@ struct GeneratorOptions {
   // forward relay by a whole backward — a limit cycle that inflates the
   // steady-state bubble. Defaults to 2× transfer_time.
   double lookahead = -1.0;
+
+  // Structured admissibility checks against a `stages`-stage problem.
+  // Empty result ⇔ the options are well-formed (a length mismatch
+  // between the per-stage vectors and the stage count was previously
+  // only caught — or worse, silently accepted — deep inside
+  // generation). GenerateCapped runs this at entry and throws
+  // CheckError with the full issue list.
+  std::vector<GeneratorIssue> Validate(int stages) const;
 };
 
 // Builds the cap vector cap_i = max(min_cap, f - i) for `stages` stages.

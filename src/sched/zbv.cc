@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -31,6 +32,9 @@ struct FillPolicy {
 struct Built {
   std::vector<std::vector<OpId>> order;
   double makespan = kInfinity;
+  // Worst-stage peak activation in chunk-forward units: retained
+  // forwards plus act_grad_weight per pending W (see ZbvOptions).
+  double peak_activation_units = 0.0;
 };
 
 class Builder {
@@ -50,6 +54,7 @@ class Builder {
     int b_next[2] = {0, 0};
     std::deque<OpId> pending_w;  // Ws whose B has run, FIFO
     int retained = 0;            // chunk-forwards awaiting their W
+    double peak_units = 0.0;     // peak of retained + weighted W backlog
     double free_at = 0.0;
     // Alternation state: after an F prefer a B and vice versa.
     bool prefer_backward = false;
@@ -199,6 +204,9 @@ Built Builder::Run() {
           st.pending_w.pop_front();
           break;
       }
+      st.peak_units = std::max(
+          st.peak_units, st.retained + options_.act_grad_weight *
+                                           static_cast<double>(st.pending_w.size()));
       st.free_at = end;
       --remaining;
       scheduled_any = true;
@@ -215,15 +223,60 @@ Built Builder::Run() {
   }
 
   built.makespan = 0.0;
+  built.peak_activation_units = 0.0;
   for (const StageState& st : state_) {
     built.makespan = std::max(built.makespan, st.free_at);
+    built.peak_activation_units = std::max(built.peak_activation_units, st.peak_units);
   }
   return built;
+}
+
+constexpr FillPolicy kFillTrials[] = {
+    {true, true}, {true, false}, {false, true}, {false, false}};
+
+// The shared validation + cap/budget resolution of the public entry
+// points. Returns the resolved retained-forward cap.
+int ResolveZbvCap(int stages, const ZbvOptions& options) {
+  MEPIPE_CHECK_GT(options.f_time, 0.0);
+  MEPIPE_CHECK_GT(options.b_time, 0.0);
+  MEPIPE_CHECK_GT(options.w_time, 0.0);
+  MEPIPE_CHECK_GE(options.transfer_time, 0.0);
+  MEPIPE_CHECK_GE(options.act_grad_weight, 0.0);
+  MEPIPE_CHECK_GE(options.activation_budget_units, 0.0);
+  const int cap = options.max_retained > 0 ? options.max_retained : 2 * stages;
+  MEPIPE_CHECK_GE(cap, 2) << "ZB-V needs both legs of a micro-batch in flight";
+  return cap;
+}
+
+double ResolveZbvBudget(int cap, const ZbvOptions& options) {
+  return options.activation_budget_units > 0.0 ? options.activation_budget_units
+                                               : static_cast<double>(cap);
 }
 
 }  // namespace
 
 int ZbvMaxRetainedForwards(int stages, int micros) { return 2 * std::min(stages, micros); }
+
+std::vector<ZbvFillCandidate> ZbvFillCandidates(int stages, int micros,
+                                                const ZbvOptions& options) {
+  PipelineProblem problem;
+  problem.stages = stages;
+  problem.virtual_chunks = 2;
+  problem.micros = micros;
+  problem.split_backward = true;
+  problem.placement = ChunkPlacement::kVShape;
+  problem.Validate();
+  const int cap = ResolveZbvCap(stages, options);
+  const double budget = ResolveZbvBudget(cap, options);
+  std::vector<ZbvFillCandidate> candidates;
+  for (const FillPolicy policy : kFillTrials) {
+    const Built built = Builder(problem, options, cap, policy).Run();
+    candidates.push_back({policy.alternate, policy.w_eager, built.makespan,
+                          built.peak_activation_units,
+                          built.peak_activation_units <= budget + 1e-9});
+  }
+  return candidates;
+}
 
 Schedule HandcraftedZbvSchedule(int stages, int micros, const ZbvOptions& options) {
   PipelineProblem problem;
@@ -233,19 +286,26 @@ Schedule HandcraftedZbvSchedule(int stages, int micros, const ZbvOptions& option
   problem.split_backward = true;
   problem.placement = ChunkPlacement::kVShape;
   problem.Validate();
-  MEPIPE_CHECK_GT(options.f_time, 0.0);
-  MEPIPE_CHECK_GT(options.b_time, 0.0);
-  MEPIPE_CHECK_GT(options.w_time, 0.0);
-  MEPIPE_CHECK_GE(options.transfer_time, 0.0);
-  const int cap = options.max_retained > 0 ? options.max_retained : 2 * stages;
-  MEPIPE_CHECK_GE(cap, 2) << "ZB-V needs both legs of a micro-batch in flight";
+  const int cap = ResolveZbvCap(stages, options);
+  const double budget = ResolveZbvBudget(cap, options);
 
+  // Memory-aware fill selection: a fill within the activation budget
+  // always beats one that blows it, and among fills on the same side of
+  // the budget the smaller makespan wins (first-tried wins exact ties,
+  // as before). When no fill fits — the budget is below what the
+  // construction can do at all — the ranking degrades to peak-first so
+  // the least-memory fill is returned instead of throwing.
   Built best;
-  for (const FillPolicy policy : {FillPolicy{true, true}, FillPolicy{true, false},
-                                  FillPolicy{false, true}, FillPolicy{false, false}}) {
+  bool best_feasible = false;
+  for (const FillPolicy policy : kFillTrials) {
     Built built = Builder(problem, options, cap, policy).Run();
-    if (built.makespan < best.makespan) {
+    const bool feasible = built.peak_activation_units <= budget + 1e-9;
+    const auto key = [](bool fits, const Built& b) {
+      return std::make_tuple(!fits, fits ? 0.0 : b.peak_activation_units, b.makespan);
+    };
+    if (best.order.empty() || key(feasible, built) < key(best_feasible, best)) {
       best = std::move(built);
+      best_feasible = feasible;
     }
   }
 

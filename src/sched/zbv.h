@@ -29,9 +29,13 @@
 //
 // Four fill-policy variants are tried — whether an idle slot prefers
 // alternating F/B or strictly drains backwards, and whether pending W
-// may fill any idle slot or only memory-forced ones — and the variant
-// with the smallest abstract makespan is returned (the recipe Qi et
-// al.'s reference implementation uses).
+// may fill any idle slot or only memory-forced ones. Selection is
+// memory-aware: a fill's peak activation (retained chunk-forwards plus
+// the act-grad each pending W retains until it runs) is checked against
+// the activation budget first, and only the feasible fills compete on
+// abstract makespan. (The former makespan-only ranking could select a
+// lazy-W fill whose act-grad backlog blew the budget while a
+// memory-equivalent eager fill existed.)
 #ifndef MEPIPE_SCHED_ZBV_H_
 #define MEPIPE_SCHED_ZBV_H_
 
@@ -54,7 +58,33 @@ struct ZbvOptions {
   // 1F1B-parity bound of 2p chunk-forwards (each 1/(2p) of a sample's
   // activation footprint).
   int max_retained = 0;
+  // Memory-aware fill selection. A fill's peak activation is counted in
+  // chunk-forward units: retained forwards plus act_grad_weight per
+  // pending W (the activation gradient B produces is retained until its
+  // W consumes it). Fills whose peak exceeds activation_budget_units
+  // are filtered out of the makespan ranking whenever any fill fits;
+  // 0 budget means "the retained-forward cap" (so with the default
+  // act_grad_weight of 0 the ranking degenerates to the legacy
+  // makespan-only selection).
+  double act_grad_weight = 0.0;
+  double activation_budget_units = 0.0;
 };
+
+// One fill-policy variant's measured profile, for tests and diagnostics.
+struct ZbvFillCandidate {
+  bool alternate = false;
+  bool w_eager = false;
+  double makespan = 0.0;
+  double peak_activation_units = 0.0;  // retained + act-grad backlog
+  bool within_budget = false;
+};
+
+// Profiles of the four fill policies under `options`, in the fixed trial
+// order (alternate, w_eager) = (1,1), (1,0), (0,1), (0,0). The schedule
+// HandcraftedZbvSchedule returns is the feasible candidate with the
+// smallest makespan (peak, then makespan, when none fits the budget).
+std::vector<ZbvFillCandidate> ZbvFillCandidates(int stages, int micros,
+                                                const ZbvOptions& options = {});
 
 // Builds and validates the handcrafted ZB-V schedule. Throws CheckError
 // for malformed inputs (stages < 1, micros < 1, max_retained < 2).

@@ -263,6 +263,65 @@ TEST(Generator, StageTimeScaleValidatesAndSchedules) {
   EXPECT_THROW(GenerateCapped(problem, options, "bad-scale"), CheckError);
 }
 
+TEST(GeneratorValidate, ReportsArityMismatchesBothDirections) {
+  // Per-stage vectors shorter AND longer than the stage count are
+  // structured errors — the long case previously sailed past the old
+  // inline check only to index garbage (or silently ignore entries)
+  // deep inside generation.
+  GeneratorOptions options;
+  for (const std::size_t len : {std::size_t{2}, std::size_t{7}}) {
+    options.inflight_cap.assign(len, 4);
+    options.stage_time_scale.assign(len, 1.0);
+    const std::vector<GeneratorIssue> issues = options.Validate(/*stages=*/4);
+    ASSERT_EQ(issues.size(), 2u) << "len=" << len;
+    EXPECT_EQ(issues[0].code, GeneratorIssue::Code::kInflightCapArity);
+    EXPECT_EQ(issues[1].code, GeneratorIssue::Code::kStageTimeScaleArity);
+    for (const GeneratorIssue& issue : issues) {
+      EXPECT_NE(issue.message.find(std::to_string(len)), std::string::npos);
+      EXPECT_NE(issue.message.find('4'), std::string::npos);
+    }
+  }
+  // Matching arity (or empty = uniform/uncapped) is clean.
+  options.inflight_cap.assign(4, 4);
+  options.stage_time_scale.assign(4, 1.0);
+  EXPECT_TRUE(options.Validate(4).empty());
+  options.inflight_cap.clear();
+  options.stage_time_scale.clear();
+  EXPECT_TRUE(options.Validate(4).empty());
+}
+
+TEST(GeneratorValidate, ReportsBadEntriesAndDurations) {
+  GeneratorOptions options;
+  options.inflight_cap = {4, -1, 4, 4};
+  options.stage_time_scale = {1.0, 1.0, 0.0, 1.0};
+  options.b_time = 0.0;
+  options.transfer_time = -0.05;
+  const std::vector<GeneratorIssue> issues = options.Validate(4);
+  ASSERT_EQ(issues.size(), 4u);
+  EXPECT_EQ(issues[0].code, GeneratorIssue::Code::kNegativeInflightCap);
+  EXPECT_EQ(issues[0].stage, 1);
+  EXPECT_EQ(issues[1].code, GeneratorIssue::Code::kNonPositiveTimeScale);
+  EXPECT_EQ(issues[1].stage, 2);
+  EXPECT_EQ(issues[2].code, GeneratorIssue::Code::kNonPositiveDuration);
+  EXPECT_EQ(issues[3].code, GeneratorIssue::Code::kNegativeTransfer);
+  for (const GeneratorIssue& issue : issues) {
+    EXPECT_FALSE(issue.message.empty());
+    EXPECT_NE(GeneratorIssueCodeName(issue.code), nullptr);
+  }
+}
+
+TEST(GeneratorValidate, GenerateCappedThrowsOnLongVectors) {
+  // The short-vector case is covered by StageTimeScaleValidatesAndSchedules;
+  // the long-vector case is the half the old entry check missed.
+  const PipelineProblem problem = MakeProblem(4, 1, 2, 6);
+  GeneratorOptions long_cap;
+  long_cap.inflight_cap = {4, 4, 4, 4, 4};
+  EXPECT_THROW(GenerateCapped(problem, long_cap, "long-cap"), CheckError);
+  GeneratorOptions long_scale;
+  long_scale.stage_time_scale = {1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_THROW(GenerateCapped(problem, long_scale, "long-scale"), CheckError);
+}
+
 TEST(Generator, StageTimeScaleChangesTheInterleaving) {
   // A heavily skewed stage rate must change the generated program order
   // somewhere (the point of the hook), while a uniform scale vector is

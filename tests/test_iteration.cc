@@ -5,6 +5,7 @@
 
 #include "hw/cluster.h"
 #include "model/transformer.h"
+#include "sched/zbv.h"
 
 namespace mepipe::core {
 namespace {
@@ -128,6 +129,43 @@ TEST(Iteration, ZbKeepsBoundedMemoryViaBudgetDrains) {
   const auto r = SimulateIteration(fx.config, fx.Make(Method::kZb1p, 8, 4, 2), fx.cluster, 64);
   ASSERT_TRUE(r.feasible) << r.note;
   EXPECT_LE(r.peak_memory, fx.cluster.gpu.usable_memory());
+}
+
+TEST(Iteration, ZbvCappedReportsHonestOneFOneBParityMemory) {
+  // The capped generator's release-on-B accounting under-reports the
+  // peak its deferred Ws actually hold (~A/2); the runner must floor
+  // the measured profile at the construction's honest 1F1B-parity
+  // bound so planner memory feasibility cannot be fooled.
+  Fixture fx;
+  fx.config = model::Llama7B();  // 32 layers divide pp*vp = 16
+  const Strategy strategy = fx.Make(Method::kZbvCapped, 8, 8, 1, 2);
+  const auto build = BuildCandidate(fx.config, strategy, fx.cluster, 64);
+  ASSERT_TRUE(build.feasible) << build.note;
+  const Bytes honest =
+      static_cast<Bytes>(sched::ZbvMaxRetainedForwards(8, build.micros)) *
+      build.costs->PerForwardActivationBytes();
+  const auto result = SimulateIteration(fx.config, strategy, fx.cluster, 64);
+  EXPECT_GE(result.peak_activation, honest);
+  EXPECT_GE(result.peak_memory, result.static_memory + honest);
+}
+
+TEST(Iteration, SynthBuildsValidatedBudgetedSchedule) {
+  // Method::kSynth rides the measured-cost construction path: V-shape
+  // placement at vp=2, statically placed W, per-stage budgets derived
+  // from (usable - static) / per-forward bytes.
+  Fixture fx;
+  fx.config = model::Llama7B();
+  const Strategy strategy = fx.Make(Method::kSynth, 8, 8, 1, 2);
+  const auto build = BuildCandidate(fx.config, strategy, fx.cluster, 64);
+  ASSERT_TRUE(build.feasible) << build.note;
+  EXPECT_EQ(build.schedule.problem.placement, sched::ChunkPlacement::kVShape);
+  EXPECT_TRUE(build.schedule.problem.split_backward);
+  EXPECT_FALSE(build.schedule.deferred_wgrad);
+  EXPECT_EQ(build.schedule.method.rfind("Synth", 0), 0u);
+  const auto result = SimulateIteration(fx.config, strategy, fx.cluster, 64);
+  ASSERT_TRUE(result.feasible) << result.note;
+  EXPECT_LE(result.peak_memory, fx.cluster.gpu.usable_memory());
+  EXPECT_GT(result.mfu, 0.0);
 }
 
 TEST(Iteration, TeraPipeMemoryGrowsWithMicros) {

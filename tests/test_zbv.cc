@@ -134,6 +134,103 @@ TEST(Zbv, SteadyStateMatchesTable3ClosedForm) {
   }
 }
 
+// Order-based replay of the builder's activation accounting over a
+// produced schedule: retained chunk-forwards plus act_grad_weight per
+// B-to-W act-grad backlog entry, maximized over every stage prefix.
+// Stage ops execute serially in program order, so this matches the
+// builder's own peak bookkeeping.
+double ReplayPeakActivationUnits(const Schedule& schedule, double act_grad_weight) {
+  double peak = 0.0;
+  for (const auto& ops : schedule.stage_ops) {
+    int retained = 0;
+    int pending_w = 0;
+    for (const OpId& op : ops) {
+      switch (op.kind) {
+        case OpKind::kForward:
+          ++retained;
+          break;
+        case OpKind::kBackward:
+          ++pending_w;
+          break;
+        case OpKind::kWeightGrad:
+          --retained;
+          --pending_w;
+          break;
+        default:
+          break;
+      }
+      peak = std::max(peak, retained + act_grad_weight * pending_w);
+    }
+  }
+  return peak;
+}
+
+// Regression for the fill-policy selection bug: ranking the four fill
+// trials by makespan alone can select a fill whose act-grad backlog
+// blows the activation budget while a within-budget fill exists at a
+// marginally larger makespan. Pinned shape: p=8, n=12 with unit act-grad
+// weight — the makespan winner peaks at 28 units, a feasible fill at 24.
+TEST(Zbv, FillSelectionRespectsActivationBudget) {
+  constexpr int kStages = 8;
+  constexpr int kMicros = 12;
+  constexpr double kBudget = 26.0;
+  ZbvOptions options;
+  options.act_grad_weight = 1.0;
+
+  // The shape is a genuine regression: the unconstrained makespan winner
+  // violates the budget, and at least one trial fits it.
+  const std::vector<ZbvFillCandidate> candidates =
+      ZbvFillCandidates(kStages, kMicros, options);
+  ASSERT_EQ(candidates.size(), 4u);
+  const auto winner = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const ZbvFillCandidate& a, const ZbvFillCandidate& b) {
+        return a.makespan < b.makespan;
+      });
+  EXPECT_GT(winner->peak_activation_units, kBudget);
+  EXPECT_TRUE(std::any_of(candidates.begin(), candidates.end(),
+                          [&](const ZbvFillCandidate& c) {
+                            return c.peak_activation_units <= kBudget;
+                          }));
+
+  // The fixed selection never picks a budget-violating fill when a
+  // feasible one exists.
+  options.activation_budget_units = kBudget;
+  const Schedule schedule = HandcraftedZbvSchedule(kStages, kMicros, options);
+  EXPECT_LE(ReplayPeakActivationUnits(schedule, options.act_grad_weight), kBudget + 1e-9);
+  const InvariantReport report =
+      CheckScheduleInvariants(schedule, ZbvInvariantOptions(kStages, kMicros));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(Zbv, FillSelectionDegradesToLeastPeakWhenNothingFits) {
+  ZbvOptions options;
+  options.act_grad_weight = 1.0;
+  options.activation_budget_units = 1.0;  // below any fill's peak
+  const std::vector<ZbvFillCandidate> candidates = ZbvFillCandidates(8, 12, options);
+  double least_peak = candidates.front().peak_activation_units;
+  for (const ZbvFillCandidate& c : candidates) {
+    EXPECT_FALSE(c.within_budget);
+    least_peak = std::min(least_peak, c.peak_activation_units);
+  }
+  const Schedule schedule = HandcraftedZbvSchedule(8, 12, options);
+  EXPECT_NEAR(ReplayPeakActivationUnits(schedule, options.act_grad_weight), least_peak, 1e-9);
+}
+
+TEST(Zbv, DefaultOptionsKeepLegacyFillSelection) {
+  // act_grad_weight = 0 makes every fill feasible (peak = retained
+  // forwards <= cap = budget), so the memory-aware key must reduce to
+  // the legacy makespan-only ranking bit-for-bit — the pinned goldens
+  // below depend on it.
+  for (const Grid& g : DifferentialGrid()) {
+    const std::vector<ZbvFillCandidate> candidates =
+        ZbvFillCandidates(g.stages, g.micros);
+    for (const ZbvFillCandidate& c : candidates) {
+      EXPECT_TRUE(c.within_budget) << "p=" << g.stages << " n=" << g.micros;
+    }
+  }
+}
+
 TEST(Zbv, RejectsMalformedOptions) {
   ZbvOptions negative_transfer;
   negative_transfer.transfer_time = -0.1;
@@ -144,6 +241,12 @@ TEST(Zbv, RejectsMalformedOptions) {
   ZbvOptions tiny_cap;
   tiny_cap.max_retained = 1;  // both legs of a micro can never be in flight
   EXPECT_THROW(HandcraftedZbvSchedule(4, 8, tiny_cap), CheckError);
+  ZbvOptions negative_weight;
+  negative_weight.act_grad_weight = -0.5;
+  EXPECT_THROW(HandcraftedZbvSchedule(4, 8, negative_weight), CheckError);
+  ZbvOptions negative_budget;
+  negative_budget.activation_budget_units = -1.0;
+  EXPECT_THROW(HandcraftedZbvSchedule(4, 8, negative_budget), CheckError);
 }
 
 TEST(Zbv, ValidatorCatchesCorruptedSchedules) {
