@@ -115,10 +115,10 @@ class TableSim {
   }
 
   void ReleaseSlice(int stage, const OpId& op, bool release_act_grad) {
-    const OpId forward{OpKind::kForward, op.micro, op.slice, op.chunk};
+    const OpId forward{OpKind::kForward, op.micro, op.slice, op.chunk, -1, op.job};
     AddMem(stage, -costs_.ActivationBytes(forward));
     if (release_act_grad) {
-      const OpId backward{OpKind::kBackward, op.micro, op.slice, op.chunk};
+      const OpId backward{OpKind::kBackward, op.micro, op.slice, op.chunk, -1, op.job};
       AddMem(stage, -costs_.ActGradBytes(backward));
     }
   }
@@ -135,7 +135,7 @@ class TableSim {
         break;
       }
       const OpId gemm_op{OpKind::kWeightGradGemm, item.op.micro, item.op.slice, item.op.chunk,
-                         item.next_gemm};
+                         item.next_gemm, item.op.job};
       const OpId& exec_op = item.gemm_count > 1 ? gemm_op : item.op;
       const Seconds end = clock + costs_.ComputeTime(exec_op);
       if (end > until + kEps) {
@@ -180,7 +180,7 @@ class TableSim {
     } else {
       for (; item.next_gemm < item.gemm_count; ++item.next_gemm) {
         const OpId gemm_op{OpKind::kWeightGradGemm, item.op.micro, item.op.slice, item.op.chunk,
-                           item.next_gemm};
+                           item.next_gemm, item.op.job};
         const Seconds end = clock + costs_.ComputeTime(gemm_op);
         Record(stage, clock, end);
         clock = end;
@@ -195,7 +195,7 @@ class TableSim {
     for (int stage = 0; stage < problem_.stages; ++stage) {
       std::vector<std::pair<Seconds, Seconds>> buckets;  // (ready, duration)
       Seconds total = 0;
-      for (const OpId& bucket : sched::DpSyncOps(problem_, stage)) {
+      for (const OpId& bucket : sched::DpSyncOps(problem_, stage, schedule_.job)) {
         const Seconds duration = costs_.DpSyncTime(bucket);
         if (duration <= 0) {
           continue;
@@ -279,7 +279,7 @@ TablePrice TableSim::Run() {
             } else {
               AddMem(stage, costs_.ActGradBytes(op));
               if (schedule_.deferred_wgrad) {
-                const OpId w{OpKind::kWeightGrad, op.micro, op.slice, op.chunk};
+                const OpId w{OpKind::kWeightGrad, op.micro, op.slice, op.chunk, -1, op.job};
                 WgradItem item{w, end, 0,
                                options_.wgrad_mode == sim::WgradMode::kFillGemms
                                    ? costs_.WeightGradGemmCount(w)

@@ -488,6 +488,41 @@ std::vector<LayoutIssue> ParallelLayout::Validate(const ClusterTopology& topolog
   return issues;
 }
 
+ClusterTopology CarveSubTopology(const ClusterTopology& fleet,
+                                 const std::vector<TierSlice>& slices) {
+  const int n = fleet.num_tiers();
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  ClusterTopology carved;
+  std::vector<int> parent_tier;  // carved tier index -> fleet tier index
+  for (const TierSlice& slice : slices) {
+    MEPIPE_CHECK(slice.tier >= 0 && slice.tier < n)
+        << "slice references tier " << slice.tier << " of " << n;
+    MEPIPE_CHECK(!seen[static_cast<std::size_t>(slice.tier)])
+        << "duplicate slice for tier " << slice.tier;
+    seen[static_cast<std::size_t>(slice.tier)] = true;
+    MEPIPE_CHECK_GE(slice.nodes, 0);
+    if (slice.nodes == 0) {
+      continue;
+    }
+    const DeviceTier& parent = fleet.tier(slice.tier);
+    MEPIPE_CHECK_LE(slice.nodes, parent.nodes)
+        << "slice wants " << slice.nodes << " nodes, tier " << parent.name << " has "
+        << parent.nodes;
+    DeviceTier t = parent;
+    t.nodes = slice.nodes;
+    carved.tiers.push_back(std::move(t));
+    parent_tier.push_back(slice.tier);
+  }
+  MEPIPE_CHECK(!carved.tiers.empty()) << "carve selects no nodes";
+  for (int a = 0; a < carved.num_tiers(); ++a) {
+    for (int b = a + 1; b < carved.num_tiers(); ++b) {
+      carved.SetLinkBetween(a, b, fleet.LinkBetween(parent_tier[static_cast<std::size_t>(a)],
+                                                    parent_tier[static_cast<std::size_t>(b)]));
+    }
+  }
+  return carved;
+}
+
 ClusterTopology SingleTierTopology(const ClusterSpec& spec, double usd_per_gpu_hour,
                                    std::string region, std::string name) {
   ClusterTopology topo;

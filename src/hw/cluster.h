@@ -199,6 +199,26 @@ struct ClusterTopology {
   FabricShareMap FabricShares(const ParallelLayout& layout) const;
 };
 
+// One tier's contribution to a carved sub-fleet: `nodes` whole nodes
+// taken from tier `tier` of a parent topology. Carving is node-granular
+// because a tier's NIC-sharing behaviour (gpus_per_node streams on one
+// NIC) only reproduces when nodes move whole.
+struct TierSlice {
+  int tier = 0;
+  int nodes = 0;
+};
+
+// Carves a disjoint sub-fleet out of `fleet`: whole-node slices per
+// tier, preserving each tier's GPU spec, intra/inter-node links, rental
+// rate and region. Slices with zero nodes are dropped (so callers can
+// pass a dense per-tier demand vector); surviving tier pairs inherit
+// the parent's inter-tier link. The result is a self-contained
+// ClusterTopology — the planner prices it exactly as if the sub-fleet
+// were the whole cluster. Node *identity* is not tracked here; the
+// cluster service owns which concrete node ids back each slice.
+ClusterTopology CarveSubTopology(const ClusterTopology& fleet,
+                                 const std::vector<TierSlice>& slices);
+
 // Embeds a homogeneous cluster as a one-tier topology.
 ClusterTopology SingleTierTopology(const ClusterSpec& spec,
                                    double usd_per_gpu_hour = 0.0,

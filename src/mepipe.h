@@ -4,8 +4,9 @@
 //   hw/      — GPUs, links, clusters, efficiency, collectives
 //   sched/   — ops, dependencies, schedules, baselines, serialization
 //   sim/     — discrete-event engine, cost models, noise, fault injection
-//   core/    — SVPP, analytics, memory model, planner, profiler,
-//              deployment economics, resilience simulation,
+//   core/    — SVPP, analytics, memory model, planner + surrogate,
+//              heterogeneous fleets, multi-job cluster service,
+//              profiler, deployment economics, resilience simulation,
 //              straggler rebalancing
 //   trace/   — ASCII timelines, Chrome traces, CSV, fault overlays
 //   tensor/, ref/ — the numerical validation substrate
@@ -13,9 +14,11 @@
 #define MEPIPE_MEPIPE_H_
 
 #include "core/analytic.h"
+#include "core/cluster.h"
 #include "core/deployment.h"
 #include "core/elastic.h"
 #include "core/experiment.h"
+#include "core/fleet.h"
 #include "core/iteration.h"
 #include "core/memory_model.h"
 #include "core/planner.h"

@@ -10,7 +10,7 @@ std::vector<Dep> DependenciesOf(const PipelineProblem& problem, const OpId& op) 
   return deps;
 }
 
-std::vector<OpId> StageOps(const PipelineProblem& problem, int stage) {
+std::vector<OpId> StageOps(const PipelineProblem& problem, int stage, int job) {
   MEPIPE_CHECK_GE(stage, 0);
   MEPIPE_CHECK_LT(stage, problem.stages);
   std::vector<OpId> ops;
@@ -20,10 +20,10 @@ std::vector<OpId> StageOps(const PipelineProblem& problem, int stage) {
     }
     for (int micro = 0; micro < problem.micros; ++micro) {
       for (int slice = 0; slice < problem.slices; ++slice) {
-        ops.push_back({OpKind::kForward, micro, slice, chunk});
-        ops.push_back({OpKind::kBackward, micro, slice, chunk});
+        ops.push_back({OpKind::kForward, micro, slice, chunk, -1, job});
+        ops.push_back({OpKind::kBackward, micro, slice, chunk, -1, job});
         if (problem.split_backward) {
-          ops.push_back({OpKind::kWeightGrad, micro, slice, chunk});
+          ops.push_back({OpKind::kWeightGrad, micro, slice, chunk, -1, job});
         }
       }
     }
@@ -40,15 +40,15 @@ std::vector<OpId> AllOps(const PipelineProblem& problem) {
   return ops;
 }
 
-OpId DpSyncOp(int chunk) { return {OpKind::kDpSync, 0, 0, chunk}; }
+OpId DpSyncOp(int chunk, int job) { return {OpKind::kDpSync, 0, 0, chunk, -1, job}; }
 
-std::vector<OpId> DpSyncOps(const PipelineProblem& problem, int stage) {
+std::vector<OpId> DpSyncOps(const PipelineProblem& problem, int stage, int job) {
   MEPIPE_CHECK_GE(stage, 0);
   MEPIPE_CHECK_LT(stage, problem.stages);
   std::vector<OpId> buckets;
   for (int chunk = 0; chunk < problem.num_chunks(); ++chunk) {
     if (problem.stage_of_chunk(chunk) == stage) {
-      buckets.push_back(DpSyncOp(chunk));
+      buckets.push_back(DpSyncOp(chunk, job));
     }
   }
   return buckets;

@@ -43,32 +43,36 @@ void ForEachDependency(const PipelineProblem& problem, const OpId& op,
                        Visitor&& visit) {
   const int last_chunk = problem.num_chunks() - 1;
   const int stage = problem.stage_of_chunk(op.chunk);
+  // Dependencies never cross jobs: every producer inherits the
+  // consumer's job tag, so tagged schedules (sched::TagJob) resolve
+  // against their own ops.
+  const int job = op.job;
   switch (op.kind) {
     case OpKind::kForward: {
       if (op.chunk > 0) {
         const bool cross = problem.stage_of_chunk(op.chunk - 1) != stage;
-        visit(Dep{{OpKind::kForward, op.micro, op.slice, op.chunk - 1}, cross});
+        visit(Dep{{OpKind::kForward, op.micro, op.slice, op.chunk - 1, -1, job}, cross});
       }
       if (op.slice > 0) {
-        visit(Dep{{OpKind::kForward, op.micro, op.slice - 1, op.chunk}, false});
+        visit(Dep{{OpKind::kForward, op.micro, op.slice - 1, op.chunk, -1, job}, false});
       }
       break;
     }
     case OpKind::kBackward: {
       if (op.chunk < last_chunk) {
         const bool cross = problem.stage_of_chunk(op.chunk + 1) != stage;
-        visit(Dep{{OpKind::kBackward, op.micro, op.slice, op.chunk + 1}, cross});
+        visit(Dep{{OpKind::kBackward, op.micro, op.slice, op.chunk + 1, -1, job}, cross});
       } else {
-        visit(Dep{{OpKind::kForward, op.micro, op.slice, last_chunk}, false});
+        visit(Dep{{OpKind::kForward, op.micro, op.slice, last_chunk, -1, job}, false});
       }
       if (op.slice + 1 < problem.slices) {
-        visit(Dep{{OpKind::kBackward, op.micro, op.slice + 1, op.chunk}, false});
+        visit(Dep{{OpKind::kBackward, op.micro, op.slice + 1, op.chunk, -1, job}, false});
       }
       break;
     }
     case OpKind::kWeightGrad:
     case OpKind::kWeightGradGemm: {
-      visit(Dep{{OpKind::kBackward, op.micro, op.slice, op.chunk}, false});
+      visit(Dep{{OpKind::kBackward, op.micro, op.slice, op.chunk, -1, job}, false});
       break;
     }
     case OpKind::kDpSync: {
@@ -78,7 +82,7 @@ void ForEachDependency(const PipelineProblem& problem, const OpId& op,
           problem.split_backward ? OpKind::kWeightGrad : OpKind::kBackward;
       for (int micro = 0; micro < problem.micros; ++micro) {
         for (int slice = 0; slice < problem.slices; ++slice) {
-          visit(Dep{{producer, micro, slice, op.chunk}, false});
+          visit(Dep{{producer, micro, slice, op.chunk, -1, job}, false});
         }
       }
       break;
@@ -86,10 +90,11 @@ void ForEachDependency(const PipelineProblem& problem, const OpId& op,
   }
 }
 
-// All F/B(/W) compute ops owned by `stage`, in an unspecified order.
-// Per-GEMM W splits are not enumerated here (they are an execution-time
-// refinement of kWeightGrad).
-std::vector<OpId> StageOps(const PipelineProblem& problem, int stage);
+// All F/B(/W) compute ops owned by `stage`, in an unspecified order,
+// stamped with `job` (0 = untagged). Per-GEMM W splits are not
+// enumerated here (they are an execution-time refinement of
+// kWeightGrad).
+std::vector<OpId> StageOps(const PipelineProblem& problem, int stage, int job = 0);
 
 // All compute ops of the whole problem.
 std::vector<OpId> AllOps(const PipelineProblem& problem);
@@ -98,10 +103,10 @@ std::vector<OpId> AllOps(const PipelineProblem& problem);
 // op per chunk placed on the stage, in chunk order (the order the
 // engine's per-stage comm stream issues them when each is ready). These
 // are comm ops — never part of Schedule::stage_ops or StageOps above.
-std::vector<OpId> DpSyncOps(const PipelineProblem& problem, int stage);
+std::vector<OpId> DpSyncOps(const PipelineProblem& problem, int stage, int job = 0);
 
 // Canonical identity of chunk `g`'s gradient bucket.
-OpId DpSyncOp(int chunk);
+OpId DpSyncOp(int chunk, int job = 0);
 
 }  // namespace mepipe::sched
 

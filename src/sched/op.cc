@@ -26,6 +26,9 @@ std::string ToString(const OpId& op) {
   if (op.kind == OpKind::kWeightGradGemm) {
     out += StrFormat(",k=%d", op.gemm);
   }
+  if (op.job != 0) {
+    out += StrFormat(",j=%d", op.job);
+  }
   return out + ")";
 }
 
@@ -38,6 +41,7 @@ std::size_t OpIdHash::operator()(const OpId& op) const {
   mix(static_cast<std::size_t>(op.slice));
   mix(static_cast<std::size_t>(op.chunk));
   mix(static_cast<std::size_t>(op.gemm + 1));
+  mix(static_cast<std::size_t>(op.job));
   return seed;
 }
 

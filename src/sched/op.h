@@ -41,6 +41,13 @@ struct OpId {
   int slice = 0;
   int chunk = 0;
   int gemm = -1;  // only meaningful for kWeightGradGemm
+  // Owning training job, for multi-job cluster timelines (core/cluster).
+  // 0 = untagged single-job run — the default everywhere a schedule is
+  // generated; sched::TagJob stamps a whole schedule after the fact and
+  // every dependency/engine-synthesized op inherits the consumer's tag,
+  // so one interleaved timeline can attribute each span to its job (the
+  // multi-session `session_id` idiom).
+  int job = 0;
 
   friend auto operator<=>(const OpId&, const OpId&) = default;
 };

@@ -10,9 +10,10 @@ namespace {
 
 using OpSet = std::unordered_set<OpId, OpIdHash>;
 
-// Expected multiset of ops for a stage's static order.
+// Expected multiset of ops for a stage's static order, carrying the
+// schedule's job tag so tagged schedules validate against themselves.
 std::vector<OpId> ExpectedStageOps(const Schedule& schedule, int stage) {
-  std::vector<OpId> expected = StageOps(schedule.problem, stage);
+  std::vector<OpId> expected = StageOps(schedule.problem, stage, schedule.job);
   if (schedule.deferred_wgrad) {
     std::erase_if(expected, [](const OpId& op) { return op.kind == OpKind::kWeightGrad; });
   }
@@ -20,6 +21,16 @@ std::vector<OpId> ExpectedStageOps(const Schedule& schedule, int stage) {
 }
 
 }  // namespace
+
+void TagJob(Schedule& schedule, int job) {
+  MEPIPE_CHECK_GE(job, 0);
+  schedule.job = job;
+  for (auto& ops : schedule.stage_ops) {
+    for (OpId& op : ops) {
+      op.job = job;
+    }
+  }
+}
 
 void ValidateSchedule(const Schedule& schedule) {
   const PipelineProblem& problem = schedule.problem;

@@ -22,7 +22,18 @@ struct Schedule {
   // NOT part of `stage_ops`; the execution engine schedules them
   // dynamically into bubbles and drains the remainder at iteration end.
   bool deferred_wgrad = false;
+  // Owning training job (core/cluster's multi-job dimension). 0 =
+  // untagged single-job schedule, the state every generator produces;
+  // TagJob stamps this together with every OpId::job so validation and
+  // execution agree on the tag.
+  int job = 0;
 };
+
+// Stamps `job` onto the schedule and every op in its program orders.
+// Generators always emit job=0; the cluster service tags each admitted
+// job's winning schedule so interleaved multi-job timelines stay
+// attributable. Idempotent; `job` must be >= 0.
+void TagJob(Schedule& schedule, int job);
 
 // Throws CheckError when the schedule is malformed: wrong op multiset per
 // stage, ops on the wrong stage, or a program order that deadlocks under

@@ -78,6 +78,11 @@ std::string SerializeSchedule(const Schedule& schedule) {
   std::string out = kHeader;
   out += "\nmethod ";
   out += schedule.method;
+  // Job tag only when set — untagged schedules (the norm, and every
+  // golden snapshot) serialize byte-identically to the pre-tag format.
+  if (schedule.job != 0) {
+    out += StrFormat("\njob %d", schedule.job);
+  }
   out += StrFormat("\nproblem p=%d v=%d s=%d n=%d split=%d placement=%s deferred_w=%d\n",
                    schedule.problem.stages, schedule.problem.virtual_chunks,
                    schedule.problem.slices, schedule.problem.micros,
@@ -106,8 +111,13 @@ Schedule ParseSchedule(const std::string& text) {
       << "missing method line";
   schedule.method = line.substr(7);
 
-  MEPIPE_CHECK(static_cast<bool>(std::getline(in, line)) && line.rfind("problem ", 0) == 0)
-      << "missing problem line";
+  MEPIPE_CHECK(static_cast<bool>(std::getline(in, line))) << "missing problem line";
+  if (line.rfind("job ", 0) == 0) {
+    schedule.job = std::stoi(line.substr(4));
+    MEPIPE_CHECK_GE(schedule.job, 0) << "negative job tag";
+    MEPIPE_CHECK(static_cast<bool>(std::getline(in, line))) << "missing problem line";
+  }
+  MEPIPE_CHECK(line.rfind("problem ", 0) == 0) << "missing problem line";
   {
     std::istringstream fields(line.substr(8));
     std::string token;
@@ -155,6 +165,9 @@ Schedule ParseSchedule(const std::string& text) {
     }
   }
 
+  if (schedule.job != 0) {
+    TagJob(schedule, schedule.job);  // op tokens don't carry the tag
+  }
   ValidateSchedule(schedule);
   return schedule;
 }

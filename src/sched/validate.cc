@@ -25,9 +25,10 @@ double OpDuration(const OpId& op, const TableCosts& costs) {
   }
 }
 
-// Expected multiset of statically ordered ops for one stage.
+// Expected multiset of statically ordered ops for one stage, carrying
+// the schedule's job tag.
 std::vector<OpId> ExpectedOps(const Schedule& schedule, int stage) {
-  std::vector<OpId> expected = StageOps(schedule.problem, stage);
+  std::vector<OpId> expected = StageOps(schedule.problem, stage, schedule.job);
   if (schedule.deferred_wgrad) {
     std::erase_if(expected, [](const OpId& op) { return op.kind == OpKind::kWeightGrad; });
   }

@@ -176,10 +176,10 @@ class Engine {
   // Releases the activation (and act-grad) footprint of (micro, slice,
   // chunk) at `time` on `stage`.
   void ReleaseSlice(int stage, const OpId& op, Seconds time, bool release_act_grad) {
-    const OpId forward{OpKind::kForward, op.micro, op.slice, op.chunk};
+    const OpId forward{OpKind::kForward, op.micro, op.slice, op.chunk, -1, op.job};
     AddMem(stage, time, -costs_.ActivationBytes(forward));
     if (release_act_grad) {
-      const OpId backward{OpKind::kBackward, op.micro, op.slice, op.chunk};
+      const OpId backward{OpKind::kBackward, op.micro, op.slice, op.chunk, -1, op.job};
       AddMem(stage, time, -costs_.ActGradBytes(backward));
     }
   }
@@ -198,7 +198,7 @@ class Engine {
         break;
       }
       const OpId gemm_op{OpKind::kWeightGradGemm, item.op.micro, item.op.slice, item.op.chunk,
-                         item.next_gemm};
+                         item.next_gemm, item.op.job};
       const OpId exec_op = item.gemm_count > 1 ? gemm_op : item.op;
       const Seconds start = StartAt(clock);
       const Seconds end = ComputeEnd(stage, exec_op, start);
@@ -313,7 +313,7 @@ class Engine {
     for (int stage = 0; stage < problem_.stages; ++stage) {
       std::vector<std::pair<Seconds, OpId>> buckets;  // (ready, bucket)
       Seconds total = 0;
-      for (const OpId& bucket : sched::DpSyncOps(problem_, stage)) {
+      for (const OpId& bucket : sched::DpSyncOps(problem_, stage, schedule_.job)) {
         const Seconds duration = costs_.DpSyncTime(bucket);
         if (duration <= 0) {
           continue;  // the model does not price this bucket
@@ -364,7 +364,7 @@ class Engine {
     } else {
       for (; item.next_gemm < item.gemm_count; ++item.next_gemm) {
         const OpId gemm_op{OpKind::kWeightGradGemm, item.op.micro, item.op.slice, item.op.chunk,
-                           item.next_gemm};
+                           item.next_gemm, item.op.job};
         const Seconds start = StartAt(clock);
         const Seconds end = ComputeEnd(stage, gemm_op, start);
         RecordCompute(stage, gemm_op, start, end);
@@ -455,7 +455,7 @@ SimResult Engine::Run() {
             } else {
               AddMem(stage, end, costs_.ActGradBytes(op));
               if (schedule_.deferred_wgrad) {
-                const OpId w{OpKind::kWeightGrad, op.micro, op.slice, op.chunk};
+                const OpId w{OpKind::kWeightGrad, op.micro, op.slice, op.chunk, -1, op.job};
                 WgradItem item{w, end, 0,
                                options_.wgrad_mode == WgradMode::kFillGemms
                                    ? costs_.WeightGradGemmCount(w)

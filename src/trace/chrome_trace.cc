@@ -83,6 +83,53 @@ std::string ToChromeTraceJson(const std::vector<sim::FaultSpan>& spans) {
   return ToChromeTraceJson(shell, {});
 }
 
+std::string ToChromeTraceJson(const std::vector<JobTimeline>& jobs) {
+  std::string out = "[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += event;
+  };
+  for (const JobTimeline& job : jobs) {
+    if (!job.name.empty()) {
+      emit(StrFormat(
+          "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+          "\"args\": {\"name\": \"%s\"}}",
+          job.job_id, EscapeJson(job.name).c_str()));
+    }
+    for (const sim::OpSpan& span : job.result.timeline) {
+      emit(StrFormat(
+          "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": %d, \"tid\": %d, "
+          "\"ts\": %.3f, \"dur\": %.3f}",
+          ToString(span.op).c_str(), job.job_id,
+          span.is_transfer ? 100 + span.stage : span.stage,
+          ToMicroseconds(job.offset + span.start),
+          ToMicroseconds(span.end - span.start)));
+    }
+    for (const sim::FaultSpan& span : job.result.fault_spans) {
+      const int tid = span.stage >= 0 ? span.stage : span.from;
+      emit(StrFormat(
+          "  {\"name\": \"%s: %s\", \"ph\": \"X\", \"pid\": %d, \"tid\": %d, "
+          "\"ts\": %.3f, \"dur\": %.3f}",
+          ToString(span.kind), EscapeJson(span.label).c_str(), job.job_id, tid,
+          ToMicroseconds(job.offset + span.begin),
+          ToMicroseconds(span.end - span.begin)));
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void WriteChromeTrace(const std::vector<JobTimeline>& jobs, const std::string& path) {
+  std::ofstream file(path);
+  MEPIPE_CHECK(file.good()) << "cannot open " << path;
+  file << ToChromeTraceJson(jobs);
+  MEPIPE_CHECK(file.good()) << "write to " << path << " failed";
+}
+
 void WriteChromeTrace(const std::vector<sim::FaultSpan>& spans, const std::string& path) {
   std::ofstream file(path);
   MEPIPE_CHECK(file.good()) << "cannot open " << path;

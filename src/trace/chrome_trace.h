@@ -29,11 +29,28 @@ std::string ToChromeTraceJson(const sim::SimResult& result,
 // clock: the spans render on the pid=2 fault track group.
 std::string ToChromeTraceJson(const std::vector<sim::FaultSpan>& spans);
 
+// One job's simulated timeline inside a multi-job fleet view. `offset`
+// shifts every span onto the cluster wall clock (the service's
+// segment_start), so concurrently running jobs interleave correctly.
+struct JobTimeline {
+  int job_id = 0;     // becomes the Chrome trace pid
+  std::string name;   // process_name metadata (e.g. the JobRequest name)
+  Seconds offset = 0;
+  sim::SimResult result;
+};
+
+// Interleaved multi-job export: pid = job_id (one process group per
+// job), tid = stage for compute, 100+stage for transfers — the
+// multi-session layout job-tagged OpIds (",j=N" in span names) pair
+// with. Fault spans keep tid = stage inside the owning job's group.
+std::string ToChromeTraceJson(const std::vector<JobTimeline>& jobs);
+
 // Writes the JSON to `path`. Throws CheckError on I/O failure.
 void WriteChromeTrace(const sim::SimResult& result, const std::string& path);
 void WriteChromeTrace(const sim::SimResult& result,
                       const std::vector<std::string>& stage_labels, const std::string& path);
 void WriteChromeTrace(const std::vector<sim::FaultSpan>& spans, const std::string& path);
+void WriteChromeTrace(const std::vector<JobTimeline>& jobs, const std::string& path);
 
 }  // namespace mepipe::trace
 
